@@ -1,0 +1,63 @@
+// Reproduces Figure 3: effect of the number of I/O nodes on SCF 1.1.
+//
+// Paper finding: more compute nodes mean more contention at the I/O
+// nodes; increasing the I/O partition (12 -> 16 -> 64) relieves it, and
+// the benefit grows with the processor count.
+#include <cstdio>
+#include <vector>
+
+#include "apps/scf.hpp"
+#include "exp/options.hpp"
+#include "exp/table.hpp"
+
+int main(int argc, char** argv) {
+  expt::Options opt(/*default_scale=*/0.5);
+  opt.parse(argc, argv);
+
+  const std::vector<int> procs = {4, 16, 64, 256};
+  const std::vector<std::size_t> io_nodes = {12, 16, 64};
+
+  expt::Table exec_table({"procs", "12 io nodes", "16 io nodes",
+                          "64 io nodes"});
+  expt::Table io_table({"procs", "12 io nodes", "16 io nodes",
+                        "64 io nodes"});
+  // gain[p] = exec(12 io) / exec(64 io) at processor count p.
+  std::vector<double> gain;
+  for (int p : procs) {
+    std::vector<std::string> exec_row = {
+        expt::fmt_u64(static_cast<unsigned long long>(p))};
+    std::vector<std::string> io_row = exec_row;
+    double exec12 = 0, exec64 = 0;
+    for (std::size_t sf : io_nodes) {
+      apps::ScfConfig cfg;
+      cfg.version = apps::ScfVersion::kOriginal;
+      cfg.nprocs = p;
+      cfg.io_nodes = sf;
+      cfg.n_basis = 285;
+      cfg.iterations = 15;
+      cfg.scale = opt.scale;
+      const apps::RunResult r = apps::run_scf11(cfg);
+      exec_row.push_back(expt::fmt_s(r.exec_time));
+      io_row.push_back(expt::fmt_s(r.io_time / p));
+      if (sf == 12) exec12 = r.exec_time;
+      if (sf == 64) exec64 = r.exec_time;
+    }
+    gain.push_back(exec12 / exec64);
+    exec_table.add_row(exec_row);
+    io_table.add_row(io_row);
+  }
+  std::printf("Figure 3a: SCF 1.1 LARGE execution time (s)\n%s\n",
+              (opt.csv ? exec_table.csv() : exec_table.str()).c_str());
+  std::printf("Figure 3b: SCF 1.1 LARGE per-process I/O time (s)\n%s\n",
+              (opt.csv ? io_table.csv() : io_table.str()).c_str());
+
+  if (opt.check) {
+    expt::Checker chk;
+    chk.expect(gain.back() > 1.3,
+               "at 256 procs, 64 I/O nodes clearly beat 12");
+    chk.expect(gain.back() > gain.front(),
+               "the I/O-node benefit grows with processor count");
+    return chk.exit_code();
+  }
+  return 0;
+}

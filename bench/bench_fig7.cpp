@@ -1,0 +1,54 @@
+// Reproduces Figure 7: BTIO I/O bandwidths, original vs two-phase
+// collective, Class A and Class B.
+//
+// Paper reference points: original 0.97-1.5 MB/s; optimized 6.6-31.4 MB/s.
+#include <cstdio>
+#include <vector>
+
+#include "apps/btio.hpp"
+#include "exp/options.hpp"
+#include "exp/table.hpp"
+
+int main(int argc, char** argv) {
+  expt::Options opt(/*default_scale=*/0.25);
+  opt.parse(argc, argv);
+
+  const std::vector<int> procs = {4, 16, 36, 64};
+  double orig_min = 1e30, orig_max = 0, opt_min = 1e30, opt_max = 0;
+
+  for (char cls : {'A', 'B'}) {
+    expt::Table table({"procs", "original MB/s", "optimized MB/s"});
+    for (int p : procs) {
+      apps::BtioConfig cfg;
+      cfg.problem_class = cls;
+      cfg.nprocs = p;
+      cfg.scale = opt.scale;
+      cfg.collective = false;
+      const double orig_bw = apps::run_btio(cfg).io_bandwidth_mb_s();
+      cfg.collective = true;
+      const double opt_bw = apps::run_btio(cfg).io_bandwidth_mb_s();
+      orig_min = std::min(orig_min, orig_bw);
+      orig_max = std::max(orig_max, orig_bw);
+      opt_min = std::min(opt_min, opt_bw);
+      opt_max = std::max(opt_max, opt_bw);
+      table.add_row({expt::fmt_u64(static_cast<unsigned long long>(p)),
+                     expt::fmt_mb(orig_bw), expt::fmt_mb(opt_bw)});
+    }
+    std::printf("Figure 7 (Class %c): BTIO I/O bandwidth on the SP-2\n%s\n",
+                cls, (opt.csv ? table.csv() : table.str()).c_str());
+  }
+  std::printf("original: %.2f-%.2f MB/s (paper 0.97-1.5);  optimized: "
+              "%.2f-%.2f MB/s (paper 6.6-31.4)\n",
+              orig_min, orig_max, opt_min, opt_max);
+
+  if (opt.check) {
+    expt::Checker chk;
+    chk.expect(opt_min > 3.0 * orig_max,
+               "optimized bandwidth clearly separated from original");
+    chk.expect(orig_max < 6.0, "original bandwidth is single-digit MB/s");
+    chk.expect(opt_max > 10.0,
+               "optimized bandwidth reaches tens of MB/s");
+    return chk.exit_code();
+  }
+  return 0;
+}

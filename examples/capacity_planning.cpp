@@ -1,0 +1,65 @@
+// capacity_planning — use the simulator as a what-if tool.
+//
+// The paper's architectural question in reverse: given an application's
+// I/O profile, how many I/O nodes does a balanced machine need, and when
+// does software optimization substitute for hardware?  This example
+// sweeps the I/O partition size for a read-heavy iterative workload
+// (SCF-like) at several processor counts, with and without software
+// optimization, and prints the smallest I/O partition within 15% of the
+// asymptotic performance — a direct answer to "how much improvement can
+// be obtained by increasing I/O resources?" (paper §1).
+//
+//   $ build/examples/capacity_planning
+#include <cstdio>
+#include <vector>
+
+#include "apps/scf.hpp"
+#include "exp/table.hpp"
+
+int main() {
+  const std::vector<std::size_t> io_nodes = {4, 8, 12, 16, 32, 64};
+  const std::vector<int> procs = {16, 64, 256};
+
+  for (apps::ScfVersion v :
+       {apps::ScfVersion::kOriginal, apps::ScfVersion::kPassionPrefetch}) {
+    expt::Table table({"procs", "io=4", "io=8", "io=12", "io=16", "io=32",
+                       "io=64", "recommended"});
+    for (int p : procs) {
+      std::vector<double> exec;
+      for (std::size_t io : io_nodes) {
+        apps::ScfConfig cfg;
+        cfg.version = v;
+        cfg.nprocs = p;
+        cfg.io_nodes = io;
+        cfg.n_basis = 140;
+        cfg.iterations = 10;
+        cfg.scale = 0.5;
+        exec.push_back(apps::run_scf11(cfg).exec_time);
+      }
+      // Smallest partition within 15% of the best observed time.
+      const double best = *std::min_element(exec.begin(), exec.end());
+      std::size_t pick = io_nodes.back();
+      for (std::size_t i = 0; i < io_nodes.size(); ++i) {
+        if (exec[i] <= 1.15 * best) {
+          pick = io_nodes[i];
+          break;
+        }
+      }
+      std::vector<std::string> row = {
+          expt::fmt_u64(static_cast<unsigned long long>(p))};
+      for (double e : exec) row.push_back(expt::fmt_s(e));
+      row.push_back(expt::fmt_u64(pick) + " I/O nodes");
+      table.add_row(row);
+    }
+    std::printf("SCF-like workload, %s version — execution time (s) vs I/O "
+                "partition size:\n%s\n",
+                v == apps::ScfVersion::kOriginal ? "unoptimized"
+                                                 : "optimized",
+                table.str().c_str());
+  }
+  std::printf(
+      "Reading the tables: software optimization shifts the knee left —\n"
+      "an optimized code is satisfied by a smaller I/O partition, until\n"
+      "the processor count outgrows it (the paper's Figure 2 crossover).\n");
+  return 0;
+}

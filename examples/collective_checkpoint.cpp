@@ -1,0 +1,122 @@
+// collective_checkpoint — the paper's BTIO/AST motif as a reusable recipe.
+//
+// A 16-process stencil code owns a block-decomposed 512x512 grid of
+// doubles and checkpoints it to one shared, column-major file every few
+// steps.  The example times three strategies on the same simulated SP-2:
+//
+//   naive       one seek+write per non-contiguous piece (MPI-2 Unix style)
+//   sieved      each process writes its pieces via data-sieving windows
+//   collective  one two-phase collective write per checkpoint
+//
+// and verifies (data-backed) that all three land identical bytes.
+//
+//   $ build/examples/collective_checkpoint
+#include <cstdio>
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "mprt/collectives.hpp"
+#include "mprt/comm.hpp"
+#include "pario/sieve.hpp"
+#include "pario/twophase.hpp"
+#include "pfs/fs.hpp"
+#include "simkit/engine.hpp"
+
+namespace {
+
+constexpr std::uint64_t kGrid = 512;
+constexpr int kProcs = 16;
+constexpr int kCheckpoints = 4;
+
+// Block-row decomposition: rank r owns rows [r*32, (r+1)*32).  In a
+// column-major file that is one small piece per column.
+std::vector<pario::Extent> my_pieces(int rank) {
+  const std::uint64_t rows = kGrid / kProcs;
+  const std::uint64_t row_lo = static_cast<std::uint64_t>(rank) * rows;
+  std::vector<pario::Extent> out;
+  out.reserve(kGrid);
+  std::uint64_t buf = 0;
+  for (std::uint64_t c = 0; c < kGrid; ++c) {
+    out.push_back(pario::Extent{(c * kGrid + row_lo) * 8, rows * 8, buf});
+    buf += rows * 8;
+  }
+  return out;
+}
+
+std::vector<std::byte> my_data(int rank) {
+  std::vector<std::byte> data(kGrid / kProcs * kGrid * 8);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>((rank * 131 + i) % 251);
+  }
+  return data;
+}
+
+enum class Strategy { kNaive, kSieved, kCollective };
+
+struct Outcome {
+  double exec = 0.0;
+  std::vector<std::byte> file_bytes;
+};
+
+Outcome run(Strategy strat) {
+  simkit::Engine eng;
+  hw::Machine machine(eng, hw::MachineConfig::sp2(kProcs));
+  pfs::StripedFs fs(machine);
+  const pfs::FileId f = fs.create("checkpoint.dat", /*backed=*/true);
+
+  Outcome out;
+  out.exec = mprt::Cluster::execute(
+      machine, kProcs, [&](mprt::Comm& c) -> simkit::Task<void> {
+        auto pieces = my_pieces(c.rank());
+        auto data = my_data(c.rank());
+        for (int ck = 0; ck < kCheckpoints; ++ck) {
+          // A little compute between checkpoints.
+          co_await c.machine().compute(5e6);
+          switch (strat) {
+            case Strategy::kNaive:
+              for (const auto& e : pieces) {
+                std::span<const std::byte> view(data);
+                co_await fs.pwrite(c.node(), f, e.file_offset, e.length,
+                                   view.subspan(e.buf_offset, e.length));
+              }
+              co_await mprt::barrier(c);
+              break;
+            case Strategy::kSieved:
+              co_await pario::sieved_write(fs, c.node(), f, pieces, data,
+                                           /*max_window=*/1 << 20);
+              co_await mprt::barrier(c);
+              break;
+            case Strategy::kCollective:
+              co_await pario::TwoPhase::write(c, fs, f, pieces, data);
+              break;
+          }
+        }
+      });
+  out.file_bytes.resize(kGrid * kGrid * 8);
+  fs.peek(f, 0, out.file_bytes);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const Outcome naive = run(Strategy::kNaive);
+  const Outcome sieved = run(Strategy::kSieved);
+  const Outcome collective = run(Strategy::kCollective);
+
+  std::printf("checkpointing a %llux%llu grid from %d processes, %d "
+              "checkpoints:\n\n",
+              static_cast<unsigned long long>(kGrid),
+              static_cast<unsigned long long>(kGrid), kProcs, kCheckpoints);
+  std::printf("  naive seek+write : %8.2f s simulated\n", naive.exec);
+  std::printf("  data sieving     : %8.2f s simulated (%.1fx)\n",
+              sieved.exec, naive.exec / sieved.exec);
+  std::printf("  two-phase        : %8.2f s simulated (%.1fx)\n\n",
+              collective.exec, naive.exec / collective.exec);
+
+  const bool identical = naive.file_bytes == sieved.file_bytes &&
+                         naive.file_bytes == collective.file_bytes;
+  std::printf("checkpoint files byte-identical across strategies: %s\n",
+              identical ? "yes" : "NO (bug!)");
+  return identical ? 0 : 1;
+}

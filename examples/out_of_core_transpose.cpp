@@ -1,0 +1,138 @@
+// out_of_core_transpose — the paper's FFT layout lesson as a library
+// recipe.
+//
+// Transposes a disk-resident 256x256 complex matrix that does not fit in
+// (simulated) memory, twice: once with both files column-major (the
+// original FFT program's layout) and once with a row-major target (the
+// optimized layout).  Prints the I/O call counts and simulated times, and
+// verifies on real data that both produce the correct transpose.
+//
+//   $ build/examples/out_of_core_transpose
+#include <complex>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "numeric/fft.hpp"
+#include "numeric/transpose.hpp"
+#include "pario/advisor.hpp"
+#include "pario/ooc_array.hpp"
+#include "pfs/fs.hpp"
+#include "simkit/engine.hpp"
+#include "simkit/rng.hpp"
+
+namespace {
+
+using numeric::Complex;
+constexpr std::uint64_t kN = 256;
+constexpr std::uint64_t kEs = sizeof(Complex);
+constexpr std::uint64_t kPanel = 32;  // strip width the "memory" allows
+
+struct Outcome {
+  double exec = 0.0;
+  std::uint64_t io_calls = 0;
+  std::vector<Complex> result;
+};
+
+Outcome transpose_on_disk(pario::Layout target_layout,
+                          const std::vector<Complex>& input) {
+  simkit::Engine eng;
+  hw::Machine machine(eng, hw::MachineConfig::paragon_small(4, 2));
+  pfs::StripedFs fs(machine);
+
+  auto a = pario::OutOfCoreArray::create(fs, "A", kN, kN, kEs,
+                                         pario::Layout::kColMajor, true);
+  auto b = pario::OutOfCoreArray::create(fs, "B", kN, kN, kEs,
+                                         target_layout, true);
+  fs.poke(a.file(), 0,
+          std::span<const std::byte>(
+              reinterpret_cast<const std::byte*>(input.data()),
+              input.size() * kEs));
+
+  eng.spawn([](hw::Machine& m, pario::OutOfCoreArray& a,
+               pario::OutOfCoreArray& b) -> simkit::Task<void> {
+    std::vector<std::byte> buf(kN * kPanel * kEs), tbuf(kN * kPanel * kEs);
+    for (std::uint64_t c0 = 0; c0 < kN; c0 += kPanel) {
+      // Read a full-height column panel of A (contiguous: A is
+      // column-major).
+      co_await a.read_tile(m.compute_node(0), 0, c0, kN, kPanel, buf);
+      // In-memory transpose of the panel into the target tile's order.
+      // For a ROW-major B = A^T the panel bytes already ARE the tile in
+      // file order (read stream == write stream — the deep reason the
+      // layout choice makes both sides contiguous); for a COL-major B the
+      // tile must be genuinely reshuffled.
+      numeric::transpose<Complex>(
+          std::span<const Complex>(reinterpret_cast<Complex*>(buf.data()),
+                                   kN * kPanel),
+          std::span<Complex>(reinterpret_cast<Complex*>(tbuf.data()),
+                             kN * kPanel),
+          kPanel, kN);
+      co_await m.mem_copy(kN * kPanel * kEs);
+      // Write rows [c0, c0+kPanel) of B = A^T.  Row-major B takes this as
+      // one contiguous run; column-major B shatters it into kN little
+      // strided runs — the whole point of the layout choice.
+      std::span<const std::byte> tile =
+          b.layout() == pario::Layout::kRowMajor
+              ? std::span<const std::byte>(buf)
+              : std::span<const std::byte>(tbuf);
+      co_await b.write_tile(m.compute_node(0), c0, 0, kPanel, kN, tile);
+    }
+  }(machine, a, b), "transpose");
+  eng.run();
+
+  Outcome out;
+  out.exec = eng.now();
+  out.io_calls = a.io_calls() + b.io_calls();
+  out.result.resize(kN * kN);
+  std::vector<std::byte> raw(kN * kN * kEs);
+  fs.peek(b.file(), 0, raw);
+  // Normalize to row-major A^T for comparison regardless of B's layout.
+  const auto* elems = reinterpret_cast<const Complex*>(raw.data());
+  for (std::uint64_t r = 0; r < kN; ++r) {
+    for (std::uint64_t c = 0; c < kN; ++c) {
+      const std::uint64_t pos = target_layout == pario::Layout::kRowMajor
+                                    ? r * kN + c
+                                    : c * kN + r;
+      out.result[r * kN + c] = elems[pos];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  // Random input, stored column-major on "disk".
+  simkit::Rng rng(2026);
+  std::vector<Complex> input(kN * kN);
+  for (auto& x : input) x = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+
+  const Outcome col = transpose_on_disk(pario::Layout::kColMajor, input);
+  const Outcome row = transpose_on_disk(pario::Layout::kRowMajor, input);
+
+  std::printf("out-of-core transpose of a %llux%llu complex matrix "
+              "(%.0f KB panels):\n\n",
+              static_cast<unsigned long long>(kN),
+              static_cast<unsigned long long>(kN),
+              kN * kPanel * kEs / 1024.0);
+  std::printf("  target col-major: %6llu I/O calls, %7.2f s simulated\n",
+              static_cast<unsigned long long>(col.io_calls), col.exec);
+  std::printf("  target row-major: %6llu I/O calls, %7.2f s simulated "
+              "(%.1fx faster)\n\n",
+              static_cast<unsigned long long>(row.io_calls), row.exec,
+              col.exec / row.exec);
+
+  // What a layout-aware compiler would have said (paper §4.4 / ref [7]).
+  pario::LayoutAdvisor advisor;
+  advisor.observe("A", kN, kN, kN, kPanel, kN / kPanel);       // panel reads
+  advisor.observe("B", kN, kN, kPanel, kN, kN / kPanel);       // row writes
+  std::printf("LayoutAdvisor:\n%s\n", advisor.report().c_str());
+
+  // Correctness: `result` is A^T in row-major order, and A^T(i,j) = A(j,i)
+  // = input[i*kN + j] (input is A in column-major order) — so both results
+  // must equal the input buffer elementwise.
+  const bool ok = col.result == input && row.result == input;
+  std::printf("transposed contents verified: %s\n", ok ? "yes" : "NO (bug!)");
+  return ok ? 0 : 1;
+}

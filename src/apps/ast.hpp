@@ -1,0 +1,57 @@
+// apps/ast.hpp — the astrophysics application (U. Chicago).
+//
+// Simulates self-gravitating gas collapse (piecewise parabolic method +
+// multigrid potential solver) on a 2-D distributed grid, and periodically
+// writes the whole grid to one shared, column-major file for
+// check-pointing / data analysis / visualization (paper §2, §4.6).
+//
+// Each dump writes several arrays (check-pointing + data analysis +
+// visualization, the paper's three purposes).  Unoptimized: every piece is
+// funnelled through the Chameleon library to node 0, which performs ALL
+// the file I/O one small column chunk at a time — the single-writer,
+// small-non-contiguous-chunk bottleneck the paper describes.  Optimized:
+// each array dump is one two-phase collective write (Table 4).
+#pragma once
+
+#include <cstdint>
+
+#include "apps/common.hpp"
+
+namespace apps {
+
+struct AstConfig {
+  std::uint64_t grid = 2048;  // 2K x 2K doubles (the paper's large input)
+  int nprocs = 16;
+  std::size_t io_nodes = 16;  // Table 4 compares 16 vs 64
+  bool collective = false;
+  /// Restart from the last checkpoint before computing: the one case the
+  /// paper calls out where this application becomes READ-intensive.
+  bool restart = false;
+  int dumps = 40;
+  int steps_per_dump = 4;
+  /// Snapshot + analysis + visualization arrays per dump point.
+  int arrays_per_dump = 3;
+  /// PPM hydrodynamics + multigrid gravity per fine-grid cell per step.
+  double flops_per_cell_step = 1000.0;
+  /// Multigrid coarse levels do not parallelize: this fraction of the
+  /// per-step grid work is repeated on every process regardless of P
+  /// (why the optimized Table 4 column stops scaling around 128 procs).
+  double serial_flops_fraction = 0.005;
+  /// Per-chunk software cost of the Chameleon gather+write path at node 0
+  /// (library bookkeeping, packing, protocol), in ms.
+  double chameleon_call_ms = 25.0;
+  double scale = 1.0;
+
+  std::uint64_t elem_bytes() const { return 8; }
+  std::uint64_t dump_bytes() const {
+    return grid * grid * elem_bytes() *
+           static_cast<std::uint64_t>(arrays_per_dump);
+  }
+  int effective_dumps() const {
+    return std::max(1, static_cast<int>(dumps * scale));
+  }
+};
+
+RunResult run_ast(const AstConfig& cfg);
+
+}  // namespace apps

@@ -1,0 +1,41 @@
+// apps/common.hpp — shared result record for application runs.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "simkit/time.hpp"
+#include "trace/tracer.hpp"
+
+namespace apps {
+
+/// What every application run reports: wall (simulated) execution time,
+/// aggregate I/O time summed over processes (how the paper's tables count
+/// it), and the merged Pablo-style trace.
+struct RunResult {
+  simkit::Duration exec_time = 0.0;     // simulated wall time of the job
+  simkit::Duration io_time = 0.0;       // sum of per-process I/O time
+  simkit::Duration io_wall = 0.0;       // wall-clock time spent in I/O
+  simkit::Duration compute_time = 0.0;  // sum of per-process compute time
+  std::uint64_t io_bytes = 0;
+  std::uint64_t io_calls = 0;
+  trace::IoTracer trace;                // merged across all processes
+
+  double io_fraction() const {
+    return exec_time > 0 ? io_time / exec_time : 0.0;
+  }
+  /// Aggregate bandwidth over the job's wall I/O time (MB/s), the paper's
+  /// Figure 7 metric (falls back to summed I/O time if wall unknown).
+  double io_bandwidth_mb_s() const {
+    const double t = io_wall > 0 ? io_wall : io_time;
+    return t > 0 ? static_cast<double>(io_bytes) / 1e6 / t : 0.0;
+  }
+
+  /// For barrier-phased applications (compute then I/O per step), the
+  /// wall I/O time is execution minus the per-process compute share.
+  void derive_io_wall(int nprocs) {
+    io_wall = std::max(0.0, exec_time - compute_time / nprocs);
+  }
+};
+
+}  // namespace apps

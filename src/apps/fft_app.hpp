@@ -1,0 +1,58 @@
+// apps/fft_app.hpp — 2-D out-of-core FFT (the paper's 500-line code).
+//
+// Pipeline (paper §2): (1) 1-D out-of-core FFT over the columns, (2) an
+// out-of-core transpose through two disk-resident files, (3) 1-D
+// out-of-core FFT over the columns of the transposed array.
+//
+// Layouts (paper §4.4): the original stores BOTH disk arrays column-major,
+// so the transpose's writes into the target land as one small strided run
+// per column — and shrinking per-process strips (more processes) make the
+// runs smaller and more numerous.  The optimized version stores the
+// transpose target row-major: the transpose writes whole row panels
+// contiguously, and step 3 reads row panels of the target — which are the
+// columns it needs — contiguously too.  Every phase becomes large
+// sequential I/O, which is why the optimized code on 2 I/O nodes beats the
+// original on 4 (Figure 5).
+//
+// Data-backed runs perform the real FFT/transpose math (numeric::) so the
+// result can be validated; timing-only runs move the same extents.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "apps/common.hpp"
+
+namespace apps {
+
+struct FftConfig {
+  std::uint64_t n = 2048;  // N x N complex<double> (16 bytes/element)
+  int nprocs = 4;
+  std::size_t io_nodes = 2;
+  bool optimized_layout = false;  // row-major transpose target
+  /// Memory available per process for I/O strips (the paper's machine has
+  /// 32 MB/node; half is usable after the OS and code).
+  std::uint64_t mem_bytes = 16ULL << 20;
+  bool backed = false;  // run the real math on real bytes (tests)
+  double fft_flops_scale = 1.0;
+
+  std::uint64_t elem_bytes() const { return 16; }
+  std::uint64_t array_bytes() const { return n * n * elem_bytes(); }
+};
+
+struct FftResult : RunResult {
+  simkit::Duration step1_io = 0.0;      // column FFT pass
+  simkit::Duration transpose_io = 0.0;  // the expensive step
+  simkit::Duration step3_io = 0.0;
+};
+
+FftResult run_fft(const FftConfig& cfg);
+
+/// Test hook: run with `backed=true` and return the final output file's
+/// contents (file order: chunk i holds FFT(column i of the column-FFT'd
+/// input) — identical bytes for both layouts).
+std::vector<std::byte> run_fft_collect_output(const FftConfig& cfg,
+                                              std::span<const std::byte> input);
+
+}  // namespace apps

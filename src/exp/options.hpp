@@ -1,0 +1,58 @@
+// exp/options.hpp — shared command-line handling for the bench binaries.
+//
+// Every table/figure bench accepts:
+//   --full         paper-sized op counts (default is a scaled-down run)
+//   --scale=X      explicit volume/dump scale factor
+//   --check        exit non-zero if the paper's qualitative shape fails
+//   --csv          print CSV instead of the ASCII table
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace expt {
+
+struct Options {
+  double scale;   // volume scale (1.0 = paper-sized)
+  bool check = false;
+  bool csv = false;
+
+  explicit Options(double default_scale = 0.25) : scale(default_scale) {}
+
+  void parse(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strcmp(a, "--full") == 0) {
+        scale = 1.0;
+      } else if (std::strncmp(a, "--scale=", 8) == 0) {
+        scale = std::atof(a + 8);
+      } else if (std::strcmp(a, "--check") == 0) {
+        check = true;
+      } else if (std::strcmp(a, "--csv") == 0) {
+        csv = true;
+      } else if (std::strcmp(a, "--help") == 0) {
+        std::printf(
+            "usage: %s [--full] [--scale=X] [--check] [--csv]\n", argv[0]);
+        std::exit(0);
+      }
+    }
+  }
+};
+
+/// Shape-check helper: prints PASS/FAIL lines; returns overall status.
+class Checker {
+ public:
+  void expect(bool ok, const std::string& what) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+    all_ok_ = all_ok_ && ok;
+  }
+  bool ok() const { return all_ok_; }
+  int exit_code() const { return all_ok_ ? 0 : 1; }
+
+ private:
+  bool all_ok_ = true;
+};
+
+}  // namespace expt

@@ -1,0 +1,65 @@
+#include "exp/report.hpp"
+
+#include <algorithm>
+
+#include "exp/table.hpp"
+
+namespace expt {
+
+IoNodeUtilization io_node_utilization(const pfs::StripedFs& fs,
+                                      std::size_t node, double elapsed) {
+  // StripedFs::io_node is non-const; counters are logically const.
+  auto& mut = const_cast<pfs::StripedFs&>(fs);
+  const pfs::IoNode& n = mut.io_node(node);
+  IoNodeUtilization u;
+  u.node_index = node;
+  u.requests = n.requests_served();
+  u.disk_reads = n.disk_reads();
+  u.disk_writes = n.disk_writes();
+  u.cache_hits = n.cache().hits();
+  u.cache_misses = n.cache().misses();
+  u.busy_fraction = elapsed > 0 ? std::min(1.0, n.busy_time() / elapsed)
+                                : 0.0;
+  return u;
+}
+
+std::string utilization_report(pfs::StripedFs& fs, double elapsed) {
+  Table table({"io node", "requests", "disk rd", "disk wr", "hit rate",
+               "busy"});
+  std::uint64_t req = 0, rd = 0, wr = 0, hit = 0, miss = 0;
+  double busy = 0.0;
+  for (std::size_t i = 0; i < fs.io_node_count(); ++i) {
+    const IoNodeUtilization u = io_node_utilization(fs, i, elapsed);
+    req += u.requests;
+    rd += u.disk_reads;
+    wr += u.disk_writes;
+    hit += u.cache_hits;
+    miss += u.cache_misses;
+    busy += u.busy_fraction;
+    table.add_row({fmt_u64(u.node_index), fmt_u64(u.requests),
+                   fmt_u64(u.disk_reads), fmt_u64(u.disk_writes),
+                   fmt("%.0f%%", 100.0 * u.hit_rate()),
+                   fmt("%.0f%%", 100.0 * u.busy_fraction)});
+  }
+  const double agg_hit =
+      (hit + miss) ? 100.0 * static_cast<double>(hit) / (hit + miss) : 0.0;
+  table.add_row({"all", fmt_u64(req), fmt_u64(rd), fmt_u64(wr),
+                 fmt("%.0f%%", agg_hit),
+                 fmt("%.0f%%", 100.0 * busy /
+                                   static_cast<double>(fs.io_node_count()))});
+  return table.str();
+}
+
+double io_imbalance(pfs::StripedFs& fs) {
+  std::uint64_t lo = ~std::uint64_t{0}, hi = 0;
+  for (std::size_t i = 0; i < fs.io_node_count(); ++i) {
+    const std::uint64_t r = fs.io_node(i).requests_served();
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  if (fs.io_node_count() == 0 || hi == 0) return 1.0;
+  return lo == 0 ? static_cast<double>(hi)
+                 : static_cast<double>(hi) / static_cast<double>(lo);
+}
+
+}  // namespace expt

@@ -1,0 +1,42 @@
+// exp/report.hpp — post-run resource utilization reporting.
+//
+// The paper's contention argument ("as the number of compute nodes
+// increases so does the contention at the I/O nodes") in numbers: per-
+// I/O-node served requests, disk operations, cache hit rates, and busy
+// fraction over the run.
+#pragma once
+
+#include <string>
+
+#include "pfs/fs.hpp"
+#include "simkit/time.hpp"
+
+namespace expt {
+
+struct IoNodeUtilization {
+  std::size_t node_index = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t disk_reads = 0;
+  std::uint64_t disk_writes = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  double busy_fraction = 0.0;  // busy time / elapsed
+
+  double hit_rate() const {
+    const auto total = cache_hits + cache_misses;
+    return total ? static_cast<double>(cache_hits) / total : 0.0;
+  }
+};
+
+/// Snapshot one I/O node's counters relative to `elapsed` simulated time.
+IoNodeUtilization io_node_utilization(const pfs::StripedFs& fs,
+                                      std::size_t node, double elapsed);
+
+/// ASCII table over all I/O nodes plus an aggregate row.
+std::string utilization_report(pfs::StripedFs& fs, double elapsed);
+
+/// Largest / smallest per-node request share — 1.0 means perfectly even
+/// striping, large values mean hot-spotting.
+double io_imbalance(pfs::StripedFs& fs);
+
+}  // namespace expt

@@ -1,0 +1,62 @@
+#include "exp/table.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+
+namespace expt {
+
+std::string fmt(const char* format, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, format, value);
+  return buf;
+}
+
+std::string fmt_u64(unsigned long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", v);
+  return buf;
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : "";
+      line += " " + cell + std::string(width[c] - cell.size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string out = render_row(headers_);
+  out += "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out += std::string(width[c] + 2, '-') + "|";
+  }
+  out += "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string Table::csv() const {
+  auto join = [](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) line += ",";
+      line += cells[c];
+    }
+    return line + "\n";
+  };
+  std::string out = join(headers_);
+  for (const auto& row : rows_) out += join(row);
+  return out;
+}
+
+}  // namespace expt

@@ -1,0 +1,75 @@
+// hw/disk.hpp — mechanical disk service-time model.
+//
+// Models the three classical components of a disk access:
+//   seek       — head movement, sub-linear (sqrt) in seek distance,
+//   rotation   — half-revolution average latency on non-sequential access,
+//   transfer   — bytes / media rate,
+// plus a fixed controller overhead per request.  The model is stateful:
+// it remembers the head position, so a stream of sequential requests pays
+// seek + rotation only once — this is exactly the effect the paper's
+// layout and collective-I/O optimizations exploit.
+//
+// The model computes durations; occupancy/queueing is handled by the
+// caller (pfs::IoNode holds a simkit::Resource per disk arm).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "simkit/time.hpp"
+
+namespace hw {
+
+struct DiskParams {
+  std::string name;
+  double track_to_track_seek_ms = 1.5;  // minimum (adjacent-track) seek
+  double average_seek_ms = 10.0;        // manufacturer average (1/3 stroke)
+  double rpm = 5400.0;                  // spindle speed
+  double transfer_mb_per_s = 5.0;       // sustained media rate
+  double controller_overhead_ms = 0.5;  // fixed per-request cost
+  std::uint64_t capacity_bytes = 2ULL << 30;
+  /// Zoned bit recording: outer tracks (low offsets) transfer up to
+  /// `zoned_speedup` times faster than inner ones, interpolated linearly.
+  /// 1.0 (default) disables zoning.
+  double zoned_speedup = 1.0;
+
+  /// 9 GB SSA drive as attached to the SP-2's PIOFS I/O nodes (4 each).
+  static DiskParams sp2_ssa_9gb();
+  /// RAID-3 array behind a Paragon I/O node.
+  static DiskParams paragon_raid3();
+};
+
+enum class AccessKind : std::uint8_t { kRead, kWrite };
+
+class DiskModel {
+ public:
+  explicit DiskModel(DiskParams params) : p_(std::move(params)) {}
+
+  const DiskParams& params() const noexcept { return p_; }
+
+  /// Service time for a request at byte offset `offset` of length `nbytes`.
+  /// Advances the head to the end of the request.
+  simkit::Duration access(std::uint64_t offset, std::uint64_t nbytes,
+                          AccessKind kind);
+
+  /// True if the next access at `offset` would be sequential (no seek).
+  bool sequential_at(std::uint64_t offset) const noexcept {
+    return offset == head_;
+  }
+
+  std::uint64_t head_position() const noexcept { return head_; }
+  void park() noexcept { head_ = 0; }
+
+  /// Time for one full platter revolution.
+  simkit::Duration revolution_time() const noexcept {
+    return 60.0 / p_.rpm;
+  }
+
+ private:
+  simkit::Duration seek_time(std::uint64_t from, std::uint64_t to) const;
+
+  DiskParams p_;
+  std::uint64_t head_ = 0;
+};
+
+}  // namespace hw

@@ -1,0 +1,108 @@
+// hw/machine.hpp — a whole platform: compute partition, I/O partition,
+// interconnect, and the calibration constants for the I/O subsystem.
+//
+// Node numbering: compute nodes are 0..C-1, I/O nodes are C..C+I-1.  This
+// mirrors the Paragon's service-partition layout (I/O nodes at the edge of
+// the mesh) and keeps rank->node mapping trivial for the runtime.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "hw/disk.hpp"
+#include "hw/network.hpp"
+#include "simkit/engine.hpp"
+#include "simkit/task.hpp"
+
+namespace hw {
+
+enum class TopologyKind : std::uint8_t { kMesh2D, kMultistageSwitch };
+
+/// Calibration knobs for the parallel-file-system I/O path.  These are the
+/// "architectural and software" constants the paper's effects hinge on;
+/// pfs:: consumes them, bench_ablation_overhead sweeps them.
+struct IoSubsysParams {
+  std::uint64_t stripe_unit_bytes = 64 * 1024;  // PFS default 64 KB
+  std::uint32_t disks_per_io_node = 1;
+  double server_overhead_ms = 0.8;   // per request at the I/O node daemon
+  double client_syscall_ms = 0.35;   // per call trap/marshal on the client
+  std::uint64_t cache_bytes_per_io_node = 4ULL << 20;
+  bool write_behind = true;          // buffered writes flushed by a daemon
+  /// SCAN (elevator) disk scheduling at the I/O nodes instead of FIFO.
+  bool scan_scheduling = false;
+};
+
+struct MachineConfig {
+  std::string name;
+  std::size_t compute_nodes = 4;
+  std::size_t io_nodes = 2;
+  double cpu_mflops = 25.0;            // effective, not peak
+  double mem_copy_mb_per_s = 30.0;     // memcpy bandwidth (buffer copies)
+  std::uint64_t mem_bytes_per_node = 32ULL << 20;
+  TopologyKind topology = TopologyKind::kMesh2D;
+  std::uint32_t mesh_cols = 4;         // for kMesh2D
+  NetParams net;
+  DiskParams disk;
+  IoSubsysParams io;
+
+  std::size_t total_nodes() const noexcept {
+    return compute_nodes + io_nodes;
+  }
+
+  // -- Presets (calibrated to the paper's platforms; see DESIGN.md §2) ----
+
+  /// 56-node Paragon used for the FFT experiments (2 or 4 I/O nodes).
+  static MachineConfig paragon_small(std::size_t compute_nodes,
+                                     std::size_t io_nodes);
+  /// 512-node Paragon used for SCF/AST (12, 16 or 64 I/O node partitions).
+  static MachineConfig paragon_large(std::size_t compute_nodes,
+                                     std::size_t io_nodes);
+  /// 80-node SP-2 with PIOFS: 4 I/O nodes, 4 SSA disks each, 32 KB BSU.
+  static MachineConfig sp2(std::size_t compute_nodes);
+};
+
+class Machine {
+ public:
+  Machine(simkit::Engine& eng, MachineConfig cfg);
+
+  simkit::Engine& engine() noexcept { return eng_; }
+  const MachineConfig& config() const noexcept { return cfg_; }
+  Network& network() noexcept { return *net_; }
+
+  NodeId compute_node(std::size_t i) const {
+    assert(i < cfg_.compute_nodes);
+    return static_cast<NodeId>(i);
+  }
+  NodeId io_node(std::size_t i) const {
+    assert(i < cfg_.io_nodes);
+    return static_cast<NodeId>(cfg_.compute_nodes + i);
+  }
+  bool is_io_node(NodeId n) const noexcept {
+    return n >= cfg_.compute_nodes && n < cfg_.total_nodes();
+  }
+
+  /// Timed computation of `flops` floating-point operations on a node.
+  /// (Every node computes at the same configured effective rate.)
+  simkit::Task<void> compute(double flops) {
+    co_await eng_.delay(flops / (cfg_.cpu_mflops * 1e6));
+  }
+
+  /// Timed in-memory copy of `bytes` (used for interface-layer buffering).
+  simkit::Task<void> mem_copy(std::uint64_t bytes) {
+    co_await eng_.delay(static_cast<double>(bytes) /
+                        (cfg_.mem_copy_mb_per_s * 1e6));
+  }
+
+  simkit::Duration compute_time(double flops) const noexcept {
+    return flops / (cfg_.cpu_mflops * 1e6);
+  }
+
+ private:
+  simkit::Engine& eng_;
+  MachineConfig cfg_;
+  std::unique_ptr<Network> net_;
+};
+
+}  // namespace hw

@@ -1,0 +1,149 @@
+#include "mprt/collectives.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace mprt {
+
+simkit::Task<void> barrier(Comm& c) {
+  const int p = c.size();
+  if (p == 1) co_return;
+  const int tag = c.next_collective_tag();
+  const Rank r = c.rank();
+  for (int k = 1; k < p; k <<= 1) {
+    const Rank dst = (r + k) % p;
+    const Rank src = (r - k % p + p) % p;
+    co_await c.send(dst, tag, 0);
+    (void)co_await c.recv(src, tag);
+  }
+}
+
+simkit::Task<void> bcast(Comm& c, Rank root, std::uint64_t bytes,
+                         std::span<std::byte> buf) {
+  assert(buf.empty() || buf.size() == bytes);
+  const int p = c.size();
+  if (p == 1) co_return;
+  const int tag = c.next_collective_tag();
+  const Rank r = c.rank();
+  const Rank rel = (r - root + p) % p;
+
+  // Receive from parent (non-root only).
+  int mask = 1;
+  while (mask < p) {
+    if (rel & mask) {
+      const Rank parent = ((rel - mask) + root) % p;
+      Message m = co_await c.recv(parent, tag);
+      if (!buf.empty() && !m.payload.empty()) {
+        std::memcpy(buf.data(), m.payload.data(),
+                    std::min<std::size_t>(buf.size(), m.payload.size()));
+      }
+      break;
+    }
+    mask <<= 1;
+  }
+  // Forward to children.
+  mask >>= 1;
+  while (mask > 0) {
+    if (rel + mask < p) {
+      const Rank child = (rel + mask + root) % p;
+      const std::span<const std::byte> view = buf;  // no ternary: GCC 12
+      co_await c.send(child, tag, bytes, view);
+    }
+    mask >>= 1;
+  }
+}
+
+simkit::Task<std::vector<Message>> gatherv(Comm& c, Rank root,
+                                           std::uint64_t my_bytes,
+                                           std::span<const std::byte> payload) {
+  const int p = c.size();
+  const int tag = c.next_collective_tag();
+  std::vector<Message> out;
+  if (c.rank() == root) {
+    out.resize(static_cast<std::size_t>(p));
+    Message self;
+    self.src = root;
+    self.tag = tag;
+    self.bytes = my_bytes;
+    self.payload.assign(payload.begin(), payload.end());
+    out[static_cast<std::size_t>(root)] = std::move(self);
+    for (int i = 1; i < p; ++i) {
+      Message m = co_await c.recv(kAnySource, tag);
+      out[static_cast<std::size_t>(m.src)] = std::move(m);
+    }
+  } else {
+    co_await c.send(root, tag, my_bytes, payload);
+  }
+  co_return out;
+}
+
+simkit::Task<std::vector<Message>> alltoallv(
+    Comm& c, std::vector<std::uint64_t> send_bytes,
+    std::vector<std::span<const std::byte>> payloads) {
+  const int p = c.size();
+  assert(send_bytes.size() == static_cast<std::size_t>(p));
+  assert(payloads.empty() || payloads.size() == static_cast<std::size_t>(p));
+  const int tag = c.next_collective_tag();
+  const Rank r = c.rank();
+  std::vector<Message> out(static_cast<std::size_t>(p));
+
+  // Shifted pairwise exchange: step k talks to (r+k) / (r-k).  Eager sends
+  // make the sequential send-then-recv per step deadlock-free.
+  for (int k = 0; k < p; ++k) {
+    const Rank dst = (r + k) % p;
+    const Rank src = (r - k % p + p) % p;
+    const auto d = static_cast<std::size_t>(dst);
+    // Plain if, not a ternary: GCC 12 miscompiles conditional-expression
+    // operands inside co_await argument lists.
+    std::span<const std::byte> pay;
+    if (!payloads.empty()) pay = payloads[d];
+    co_await c.send(dst, tag, send_bytes[d], pay);
+    Message m = co_await c.recv(src, tag);
+    out[static_cast<std::size_t>(src)] = std::move(m);
+  }
+  co_return out;
+}
+
+namespace {
+void combine(ReduceOp op, std::span<double> acc,
+             std::span<const double> in) {
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    switch (op) {
+      case ReduceOp::kSum: acc[i] += in[i]; break;
+      case ReduceOp::kMin: acc[i] = std::min(acc[i], in[i]); break;
+      case ReduceOp::kMax: acc[i] = std::max(acc[i], in[i]); break;
+    }
+  }
+}
+}  // namespace
+
+simkit::Task<void> allreduce(Comm& c, std::span<double> values,
+                             ReduceOp op) {
+  const int p = c.size();
+  if (p == 1) co_return;
+  const int tag = c.next_collective_tag();
+  const Rank r = c.rank();
+  const std::uint64_t bytes = values.size() * sizeof(double);
+
+  // Binomial reduce to rank 0.
+  int mask = 1;
+  while (mask < p) {
+    if (r & mask) {
+      co_await c.send(r - mask, tag, bytes, std::as_bytes(values));
+      break;
+    }
+    if (r + mask < p) {
+      Message m = co_await c.recv(r + mask, tag);
+      assert(m.payload.size() == bytes);
+      combine(op, values,
+              std::span<const double>(
+                  reinterpret_cast<const double*>(m.payload.data()),
+                  values.size()));
+    }
+    mask <<= 1;
+  }
+  co_await bcast(c, 0, bytes, std::as_writable_bytes(values));
+}
+
+}  // namespace mprt

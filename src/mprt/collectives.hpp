@@ -1,0 +1,50 @@
+// mprt/collectives.hpp — collective operations over point-to-point.
+//
+// Real algorithms (MPICH-style binomial trees, dissemination barrier,
+// shifted pairwise exchange), so collective cost scales with log P or P
+// exactly as it did on the paper's machines.  All ranks must call each
+// collective in the same order (SPMD), which keeps the internal tag
+// sequence aligned.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mprt/comm.hpp"
+#include "simkit/task.hpp"
+
+namespace mprt {
+
+/// Dissemination barrier: ceil(log2 P) rounds, works for any P.
+simkit::Task<void> barrier(Comm& c);
+
+/// Binomial-tree broadcast of `bytes` from `root`.  If `buf` is non-empty
+/// (size == bytes) it carries real content: the root's bytes arrive in
+/// every rank's buf.
+simkit::Task<void> bcast(Comm& c, Rank root, std::uint64_t bytes,
+                         std::span<std::byte> buf = {});
+
+/// Gather per-rank blocks to `root`.  Returns P messages indexed by rank
+/// at the root (self included); empty vector elsewhere.
+simkit::Task<std::vector<Message>> gatherv(
+    Comm& c, Rank root, std::uint64_t my_bytes,
+    std::span<const std::byte> payload = {});
+
+/// Personalized all-to-all: rank r sends send_bytes[d] to each rank d.
+/// Returns P messages indexed by source.  `payloads`, when non-empty,
+/// supplies per-destination real content.
+///
+/// Parameters are taken BY VALUE deliberately: a coroutine must not bind
+/// references to caller temporaries (and GCC 12 additionally miscompiles
+/// non-trivially-destructible default arguments of coroutine calls).
+simkit::Task<std::vector<Message>> alltoallv(
+    Comm& c, std::vector<std::uint64_t> send_bytes,
+    std::vector<std::span<const std::byte>> payloads = {});
+
+enum class ReduceOp : std::uint8_t { kSum, kMin, kMax };
+
+/// Allreduce over doubles (binomial reduce to rank 0, then broadcast).
+simkit::Task<void> allreduce(Comm& c, std::span<double> values, ReduceOp op);
+
+}  // namespace mprt

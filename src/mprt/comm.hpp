@@ -1,0 +1,140 @@
+// mprt/comm.hpp — message-passing runtime over the simulated machine.
+//
+// An NX/MPL-flavoured runtime: a Cluster maps ranks onto compute nodes
+// (one process per node, as the paper's applications ran) and each rank
+// owns a Comm endpoint with tagged, source-matched send/recv.  Sends are
+// eager: the sender pays the network timing and completes; the message
+// waits in the receiver's mailbox.  Collectives are built on top in
+// collectives.hpp with real tree/pairwise algorithms so their network
+// costs emerge from point-to-point timing.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "simkit/engine.hpp"
+#include "simkit/task.hpp"
+
+namespace mprt {
+
+using Rank = int;
+inline constexpr Rank kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+struct Message {
+  Rank src = -1;
+  int tag = 0;
+  std::uint64_t bytes = 0;             // simulated size
+  std::vector<std::byte> payload;      // real content (may be empty)
+};
+
+class Cluster;
+
+/// Per-rank communication endpoint.
+class Comm {
+ public:
+  Rank rank() const noexcept { return rank_; }
+  int size() const noexcept;
+  hw::NodeId node() const noexcept { return node_; }
+  simkit::Engine& engine() noexcept;
+  hw::Machine& machine() noexcept;
+  Cluster& cluster() noexcept { return *cluster_; }
+
+  /// Timed, eager send.  `bytes` is the simulated message size; `payload`
+  /// optionally carries real content (empty, or exactly `bytes` long).
+  simkit::Task<void> send(Rank dst, int tag, std::uint64_t bytes,
+                          std::span<const std::byte> payload = {});
+
+  /// Receive the first matching message (FIFO per matching stream).
+  simkit::Task<Message> recv(Rank src = kAnySource, int tag = kAnyTag);
+
+  /// Nonblocking send: returns immediately with a handle; join it (or use
+  /// waitall) to wait for the network transfer to complete.  Payload
+  /// bytes are captured at call time.
+  simkit::ProcHandle isend(Rank dst, int tag, std::uint64_t bytes,
+                           std::span<const std::byte> payload = {});
+
+  /// Next tag for internal collective rounds; stays in lock-step across
+  /// ranks because collectives are called in SPMD order.
+  int next_collective_tag() { return kCollectiveTagBase + (coll_seq_++ & 0xFFFF); }
+
+  std::uint64_t messages_sent() const noexcept { return sent_; }
+  std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
+
+  static constexpr int kCollectiveTagBase = 1 << 20;
+
+ private:
+  friend class Cluster;
+  Comm(Cluster* cluster, Rank rank, hw::NodeId node)
+      : cluster_(cluster), rank_(rank), node_(node) {}
+
+  void deliver(Message m);
+  static bool matches(const Message& m, Rank src, int tag) {
+    return (src == kAnySource || m.src == src) &&
+           (tag == kAnyTag || m.tag == tag);
+  }
+
+  struct PendingRecv {
+    Rank src;
+    int tag;
+    std::optional<Message>* slot;
+    std::coroutine_handle<> h;
+  };
+
+  Cluster* cluster_;
+  Rank rank_;
+  hw::NodeId node_;
+  std::deque<Message> mailbox_;
+  std::deque<PendingRecv> recvers_;
+  int coll_seq_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+/// The "world": owns one Comm per rank and runs SPMD programs.
+class Cluster {
+ public:
+  /// One process per compute node, ranks 0..nprocs-1.
+  Cluster(hw::Machine& machine, int nprocs);
+
+  int size() const noexcept { return static_cast<int>(comms_.size()); }
+  hw::Machine& machine() noexcept { return machine_; }
+  simkit::Engine& engine() noexcept { return machine_.engine(); }
+  Comm& comm(Rank r) { return *comms_.at(static_cast<std::size_t>(r)); }
+
+  /// Spawn `body(comm)` on every rank and wait for all of them.
+  simkit::Task<void> run(
+      const std::function<simkit::Task<void>(Comm&)>& body);
+
+  /// Convenience: build the cluster, run one program, drive the engine.
+  /// Returns the simulated completion time.
+  static simkit::Time execute(
+      hw::Machine& machine, int nprocs,
+      const std::function<simkit::Task<void>(Comm&)>& body);
+
+  /// Rendezvous board for collective constructors (e.g. pfs::SharedFile):
+  /// rank 0 deposits a shared object under an agreed key (a collective
+  /// tag), the other ranks pick it up after a barrier.
+  std::map<int, std::shared_ptr<void>>& rendezvous() { return rendezvous_; }
+
+ private:
+  hw::Machine& machine_;
+  std::vector<std::unique_ptr<Comm>> comms_;
+  std::map<int, std::shared_ptr<void>> rendezvous_;
+};
+
+/// Wait for a set of nonblocking operations (MPI_Waitall).
+inline simkit::Task<void> waitall(std::vector<simkit::ProcHandle> requests) {
+  for (auto& r : requests) co_await r.join();
+}
+
+}  // namespace mprt

@@ -1,0 +1,87 @@
+#include "numeric/fft.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace numeric {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+void fft(std::span<Complex> data, bool inverse) {
+  const std::size_t n = data.size();
+  assert(is_power_of_two(n));
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = sign * 2.0 * std::numbers::pi /
+                         static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const Complex u = data[i + j];
+        const Complex v = data[i + j + len / 2] * w;
+        data[i + j] = u + v;
+        data[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+void ifft(std::span<Complex> data) {
+  fft(data, /*inverse=*/true);
+  const double inv_n = 1.0 / static_cast<double>(data.size());
+  for (auto& x : data) x *= inv_n;
+}
+
+std::vector<Complex> dft_reference(std::span<const Complex> data,
+                                   bool inverse) {
+  const std::size_t n = data.size();
+  std::vector<Complex> out(n);
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc(0.0, 0.0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = sign * 2.0 * std::numbers::pi *
+                           static_cast<double>(k * t) /
+                           static_cast<double>(n);
+      acc += data[t] * Complex(std::cos(angle), std::sin(angle));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+void fft_2d(std::span<Complex> matrix, std::size_t rows, std::size_t cols,
+            bool inverse) {
+  assert(matrix.size() == rows * cols);
+  // Rows.
+  for (std::size_t r = 0; r < rows; ++r) {
+    fft(matrix.subspan(r * cols, cols), inverse);
+  }
+  // Columns (gather/scatter through a scratch vector).
+  std::vector<Complex> col(rows);
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t r = 0; r < rows; ++r) col[r] = matrix[r * cols + c];
+    fft(col, inverse);
+    for (std::size_t r = 0; r < rows; ++r) matrix[r * cols + c] = col[r];
+  }
+}
+
+double fft_flops(std::size_t n) {
+  if (n <= 1) return 0.0;
+  return 5.0 * static_cast<double>(n) * std::log2(static_cast<double>(n));
+}
+
+}  // namespace numeric

@@ -1,0 +1,37 @@
+// numeric/fft.hpp — complex FFT kernels used by the out-of-core FFT
+// application when it runs data-backed (and by its correctness tests).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace numeric {
+
+using Complex = std::complex<double>;
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.  data.size() must be a
+/// power of two.  inverse=true applies the unscaled inverse transform;
+/// callers divide by N to invert exactly.
+void fft(std::span<Complex> data, bool inverse = false);
+
+/// Normalized inverse: fft(inverse) followed by 1/N scaling.
+void ifft(std::span<Complex> data);
+
+/// O(N^2) reference DFT for validation.
+std::vector<Complex> dft_reference(std::span<const Complex> data,
+                                   bool inverse = false);
+
+/// In-core 2-D FFT over a row-major rows x cols matrix (both powers of
+/// two): FFT of every row, then of every column.  Reference for the
+/// out-of-core implementation.
+void fft_2d(std::span<Complex> matrix, std::size_t rows, std::size_t cols,
+            bool inverse = false);
+
+/// Estimated FLOP count of one radix-2 FFT of length n (5 n log2 n).
+double fft_flops(std::size_t n);
+
+bool is_power_of_two(std::size_t n);
+
+}  // namespace numeric

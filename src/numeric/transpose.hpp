@@ -1,0 +1,42 @@
+// numeric/transpose.hpp — blocked matrix transpose kernels.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+
+namespace numeric {
+
+/// out[c * rows + r] = in[r * cols + c] — transpose a row-major rows x cols
+/// matrix into a row-major cols x rows matrix, cache-blocked.
+template <class T>
+void transpose(std::span<const T> in, std::span<T> out, std::size_t rows,
+               std::size_t cols, std::size_t block = 32) {
+  assert(in.size() == rows * cols);
+  assert(out.size() == rows * cols);
+  assert(in.data() != out.data() && "transpose is out-of-place");
+  for (std::size_t rb = 0; rb < rows; rb += block) {
+    const std::size_t rmax = std::min(rows, rb + block);
+    for (std::size_t cb = 0; cb < cols; cb += block) {
+      const std::size_t cmax = std::min(cols, cb + block);
+      for (std::size_t r = rb; r < rmax; ++r) {
+        for (std::size_t c = cb; c < cmax; ++c) {
+          out[c * rows + r] = in[r * cols + c];
+        }
+      }
+    }
+  }
+}
+
+/// In-place transpose of a square n x n matrix.
+template <class T>
+void transpose_square(std::span<T> m, std::size_t n) {
+  assert(m.size() == n * n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = r + 1; c < n; ++c) {
+      std::swap(m[r * n + c], m[c * n + r]);
+    }
+  }
+}
+
+}  // namespace numeric

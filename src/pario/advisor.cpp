@@ -1,0 +1,76 @@
+#include "pario/advisor.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pario {
+
+std::uint64_t tile_run_count(Layout layout, std::uint64_t rows,
+                             std::uint64_t cols, std::uint64_t nr,
+                             std::uint64_t nc) {
+  // Column-major: one run per tile column (nc runs), except a full-height
+  // tile, whose adjacent column runs coalesce into one.  Row-major is the
+  // mirror image.
+  if (layout == Layout::kColMajor) {
+    return nr == rows ? 1 : nc;
+  }
+  return nc == cols ? 1 : nr;
+}
+
+void LayoutAdvisor::observe(const std::string& array, std::uint64_t rows,
+                            std::uint64_t cols, std::uint64_t tile_rows,
+                            std::uint64_t tile_cols, std::uint64_t times) {
+  AccessPattern& p = arrays_[array];
+  p.rows = rows;
+  p.cols = cols;
+  p.calls_col_major +=
+      times * tile_run_count(Layout::kColMajor, rows, cols, tile_rows,
+                             tile_cols);
+  p.calls_row_major +=
+      times * tile_run_count(Layout::kRowMajor, rows, cols, tile_rows,
+                             tile_cols);
+}
+
+std::uint64_t LayoutAdvisor::estimated_calls(const std::string& array,
+                                             Layout layout) const {
+  auto it = arrays_.find(array);
+  if (it == arrays_.end()) return 0;
+  return layout == Layout::kColMajor ? it->second.calls_col_major
+                                     : it->second.calls_row_major;
+}
+
+Layout LayoutAdvisor::recommend(const std::string& array) const {
+  auto it = arrays_.find(array);
+  if (it == arrays_.end()) return Layout::kColMajor;
+  return it->second.calls_row_major < it->second.calls_col_major
+             ? Layout::kRowMajor
+             : Layout::kColMajor;
+}
+
+double LayoutAdvisor::improvement(const std::string& array) const {
+  auto it = arrays_.find(array);
+  if (it == arrays_.end()) return 1.0;
+  const auto lo = std::min(it->second.calls_col_major,
+                           it->second.calls_row_major);
+  const auto hi = std::max(it->second.calls_col_major,
+                           it->second.calls_row_major);
+  return lo == 0 ? 1.0
+                 : static_cast<double>(hi) / static_cast<double>(lo);
+}
+
+std::string LayoutAdvisor::report() const {
+  std::string out =
+      "array            col-major calls  row-major calls  recommend\n";
+  char line[160];
+  for (const auto& [name, p] : arrays_) {
+    std::snprintf(line, sizeof line, "%-16s %15llu  %15llu  %s (%.1fx)\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(p.calls_col_major),
+                  static_cast<unsigned long long>(p.calls_row_major),
+                  to_string(recommend(name)), improvement(name));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace pario

@@ -1,0 +1,61 @@
+// pario/advisor.hpp — automatic file-layout selection.
+//
+// The paper (§4.4) notes the FFT layout optimization "can sometimes be
+// detected by parallelizing compilers", citing Kandemir-Ramanujam-
+// Choudhary (ICPP'97): analyze each loop nest's access pattern of every
+// disk-resident array at compile time, then pick the file layout that
+// minimizes strided I/O.  LayoutAdvisor is that analysis over observed
+// (or declared) tile accesses: feed it the tile shapes a program uses
+// against each out-of-core array, and it recommends row- or column-major
+// per array and quantifies the I/O calls saved.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "pario/ooc_array.hpp"
+
+namespace pario {
+
+/// I/O requests needed to move one (nr x nc) tile of a (rows x cols)
+/// array under the given layout, counting coalescing of adjacent
+/// full-length runs — the closed form of OutOfCoreArray::tile_extents.
+std::uint64_t tile_run_count(Layout layout, std::uint64_t rows,
+                             std::uint64_t cols, std::uint64_t nr,
+                             std::uint64_t nc);
+
+class LayoutAdvisor {
+ public:
+  /// Declare/observe that the program moves `times` tiles of shape
+  /// (tile_rows x tile_cols) against `array` (of rows x cols elements).
+  void observe(const std::string& array, std::uint64_t rows,
+               std::uint64_t cols, std::uint64_t tile_rows,
+               std::uint64_t tile_cols, std::uint64_t times = 1);
+
+  /// Total I/O calls all observed accesses of `array` would need.
+  std::uint64_t estimated_calls(const std::string& array,
+                                Layout layout) const;
+
+  /// The layout minimizing the array's total I/O calls (ties favour
+  /// column-major, Fortran's default).
+  Layout recommend(const std::string& array) const;
+
+  /// How many times fewer I/O calls the recommended layout needs vs the
+  /// alternative (1.0 = layout doesn't matter).
+  double improvement(const std::string& array) const;
+
+  /// Human-readable per-array summary.
+  std::string report() const;
+
+ private:
+  struct AccessPattern {
+    std::uint64_t rows = 0;
+    std::uint64_t cols = 0;
+    std::uint64_t calls_col_major = 0;
+    std::uint64_t calls_row_major = 0;
+  };
+  std::map<std::string, AccessPattern> arrays_;
+};
+
+}  // namespace pario

@@ -1,0 +1,104 @@
+#include "pario/datatype.hpp"
+
+#include <cassert>
+
+namespace pario {
+
+DataType::DataType(
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> pieces,
+    std::uint64_t extent)
+    : pieces_(std::move(pieces)), extent_(extent) {
+  [[maybe_unused]] std::uint64_t prev_end = 0;
+  for (const auto& [off, len] : pieces_) {
+    assert(len > 0);
+    assert(off >= prev_end && "pieces must be ascending, non-overlapping");
+    prev_end = off + len;
+    (void)prev_end;
+    size_ += len;
+  }
+  assert(extent_ >= prev_end);
+}
+
+DataType DataType::contiguous(std::uint64_t bytes) {
+  assert(bytes > 0);
+  return DataType({{0, bytes}}, bytes);
+}
+
+DataType DataType::vector(std::uint64_t count, std::uint64_t blocklen,
+                          std::uint64_t stride) {
+  assert(count > 0 && blocklen > 0 && stride >= blocklen);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> pieces;
+  pieces.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    pieces.emplace_back(i * stride, blocklen);
+  }
+  // MPI extent: from the first byte to the end of the last block.
+  return DataType(std::move(pieces), (count - 1) * stride + blocklen);
+}
+
+DataType DataType::indexed(
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> pieces) {
+  assert(!pieces.empty());
+  const std::uint64_t extent = pieces.back().first + pieces.back().second;
+  return DataType(std::move(pieces), extent);
+}
+
+DataType DataType::resized(std::uint64_t new_extent) const {
+  DataType d = *this;
+  assert(new_extent >= (pieces_.empty()
+                            ? 0
+                            : pieces_.back().first + pieces_.back().second));
+  d.extent_ = new_extent;
+  return d;
+}
+
+std::vector<Extent> DataType::flatten(std::uint64_t file_offset,
+                                      std::uint64_t buf_offset) const {
+  std::vector<Extent> out;
+  out.reserve(pieces_.size());
+  std::uint64_t buf = buf_offset;
+  for (const auto& [off, len] : pieces_) {
+    out.push_back(Extent{file_offset + off, len, buf});
+    buf += len;
+  }
+  return out;
+}
+
+std::vector<Extent> FileView::map(std::uint64_t view_offset,
+                                  std::uint64_t length) const {
+  std::vector<Extent> out;
+  if (length == 0) return out;
+  const std::uint64_t tsize = type_.size();
+  std::uint64_t remaining = length;
+  std::uint64_t vpos = view_offset;
+  std::uint64_t buf = 0;
+  while (remaining > 0) {
+    const std::uint64_t instance = vpos / tsize;
+    const std::uint64_t within = vpos % tsize;
+    // Walk this instance's pieces, skipping `within` payload bytes.
+    auto instance_extents =
+        type_.flatten(disp_ + instance * type_.extent());
+    std::uint64_t skip = within;
+    for (const Extent& e : instance_extents) {
+      if (remaining == 0) break;
+      if (skip >= e.length) {
+        skip -= e.length;
+        continue;
+      }
+      const std::uint64_t take = std::min(e.length - skip, remaining);
+      out.push_back(Extent{e.file_offset + skip, take, buf});
+      buf += take;
+      vpos += take;
+      remaining -= take;
+      skip = 0;
+    }
+  }
+  return coalesce(std::move(out));
+}
+
+std::uint64_t FileView::physical_of(std::uint64_t view_offset) const {
+  auto one = map(view_offset, 1);
+  return one.front().file_offset;
+}
+
+}  // namespace pario

@@ -1,0 +1,52 @@
+// pario/extent.hpp — scattered-access descriptors shared by the library.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace pario {
+
+/// One piece of a scattered file access: file range + where it sits in the
+/// caller's (flattened) local buffer.
+struct Extent {
+  std::uint64_t file_offset = 0;
+  std::uint64_t length = 0;
+  std::uint64_t buf_offset = 0;
+
+  std::uint64_t file_end() const noexcept { return file_offset + length; }
+  bool operator==(const Extent&) const = default;
+};
+
+/// Sort by file offset and merge pieces that are contiguous in BOTH the
+/// file and the buffer (so a single I/O call plus a single copy serves
+/// them).  Returns the coalesced list.
+inline std::vector<Extent> coalesce(std::vector<Extent> pieces) {
+  if (pieces.empty()) return pieces;
+  std::sort(pieces.begin(), pieces.end(),
+            [](const Extent& a, const Extent& b) {
+              return a.file_offset < b.file_offset;
+            });
+  std::vector<Extent> out;
+  out.push_back(pieces.front());
+  for (std::size_t i = 1; i < pieces.size(); ++i) {
+    Extent& last = out.back();
+    const Extent& cur = pieces[i];
+    if (cur.file_offset == last.file_end() &&
+        cur.buf_offset == last.buf_offset + last.length) {
+      last.length += cur.length;
+    } else {
+      out.push_back(cur);
+    }
+  }
+  return out;
+}
+
+/// Total bytes described.
+inline std::uint64_t total_length(const std::vector<Extent>& pieces) {
+  std::uint64_t n = 0;
+  for (const auto& e : pieces) n += e.length;
+  return n;
+}
+
+}  // namespace pario

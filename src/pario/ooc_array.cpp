@@ -1,0 +1,55 @@
+#include "pario/ooc_array.hpp"
+
+namespace pario {
+
+std::vector<Extent> OutOfCoreArray::tile_extents(std::uint64_t r0,
+                                                 std::uint64_t c0,
+                                                 std::uint64_t nr,
+                                                 std::uint64_t nc) const {
+  assert(r0 + nr <= rows_ && c0 + nc <= cols_);
+  std::vector<Extent> out;
+  if (layout_ == Layout::kColMajor) {
+    // One run per column; buffer is column-major within the tile.
+    out.reserve(nc);
+    for (std::uint64_t c = 0; c < nc; ++c) {
+      out.push_back(Extent{offset_of(r0, c0 + c), nr * es_, c * nr * es_});
+    }
+  } else {
+    out.reserve(nr);
+    for (std::uint64_t r = 0; r < nr; ++r) {
+      out.push_back(Extent{offset_of(r0 + r, c0), nc * es_, r * nc * es_});
+    }
+  }
+  return coalesce(std::move(out));
+}
+
+simkit::Task<void> OutOfCoreArray::read_tile(hw::NodeId client,
+                                             std::uint64_t r0,
+                                             std::uint64_t c0,
+                                             std::uint64_t nr,
+                                             std::uint64_t nc,
+                                             std::span<std::byte> out) {
+  const bool with_data = !out.empty() && fs_->is_backed(file_);
+  assert(!with_data || out.size() == nr * nc * es_);
+  for (const Extent& e : tile_extents(r0, c0, nr, nc)) {
+    std::span<std::byte> view;  // no ternary in co_await (GCC 12)
+    if (with_data) view = out.subspan(e.buf_offset, e.length);
+    co_await fs_->pread(client, file_, e.file_offset, e.length, view);
+    ++io_calls_;
+  }
+}
+
+simkit::Task<void> OutOfCoreArray::write_tile(
+    hw::NodeId client, std::uint64_t r0, std::uint64_t c0, std::uint64_t nr,
+    std::uint64_t nc, std::span<const std::byte> data) {
+  const bool with_data = !data.empty() && fs_->is_backed(file_);
+  assert(!with_data || data.size() == nr * nc * es_);
+  for (const Extent& e : tile_extents(r0, c0, nr, nc)) {
+    std::span<const std::byte> view;
+    if (with_data) view = data.subspan(e.buf_offset, e.length);
+    co_await fs_->pwrite(client, file_, e.file_offset, e.length, view);
+    ++io_calls_;
+  }
+}
+
+}  // namespace pario

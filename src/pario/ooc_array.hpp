@@ -1,0 +1,97 @@
+// pario/ooc_array.hpp — 2-D out-of-core arrays with explicit file layout.
+//
+// The FFT experiment's "layout optimization" is exactly this: a disk-
+// resident matrix stored column-major serves tall tiles in a few large
+// contiguous reads but wide tiles in many small strided ones.  Changing
+// one array's file layout makes both sides of an out-of-core transpose
+// contiguous (paper §4.4, ref [7] automates the choice in a compiler).
+//
+// Tile buffers are in *file order*: the file's fastest-varying dimension
+// is fastest in the buffer (column-major file => column-major tile).
+// Callers convert with numeric::transpose when they need the other order.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pario/extent.hpp"
+#include "pfs/fs.hpp"
+#include "simkit/task.hpp"
+
+namespace pario {
+
+enum class Layout : std::uint8_t { kRowMajor, kColMajor };
+
+constexpr const char* to_string(Layout l) {
+  return l == Layout::kRowMajor ? "row-major" : "col-major";
+}
+
+class OutOfCoreArray {
+ public:
+  /// Create the backing file and describe the array geometry.
+  static OutOfCoreArray create(pfs::StripedFs& fs, const std::string& name,
+                               std::uint64_t rows, std::uint64_t cols,
+                               std::uint32_t elem_size, Layout layout,
+                               bool backed = false) {
+    return OutOfCoreArray(fs, fs.create(name, backed), rows, cols, elem_size,
+                          layout);
+  }
+
+  OutOfCoreArray(pfs::StripedFs& fs, pfs::FileId file, std::uint64_t rows,
+                 std::uint64_t cols, std::uint32_t elem_size, Layout layout)
+      : fs_(&fs),
+        file_(file),
+        rows_(rows),
+        cols_(cols),
+        es_(elem_size),
+        layout_(layout) {}
+
+  pfs::FileId file() const noexcept { return file_; }
+  std::uint64_t rows() const noexcept { return rows_; }
+  std::uint64_t cols() const noexcept { return cols_; }
+  std::uint32_t elem_size() const noexcept { return es_; }
+  Layout layout() const noexcept { return layout_; }
+  std::uint64_t total_bytes() const noexcept { return rows_ * cols_ * es_; }
+
+  /// Byte offset of element (r, c) in the file.
+  std::uint64_t offset_of(std::uint64_t r, std::uint64_t c) const {
+    assert(r < rows_ && c < cols_);
+    return layout_ == Layout::kRowMajor ? (r * cols_ + c) * es_
+                                        : (c * rows_ + r) * es_;
+  }
+
+  /// File extents of the tile [r0, r0+nr) x [c0, c0+nc), with buf_offsets
+  /// laid out in file order, already coalesced.  The extent count is the
+  /// whole layout story: a col-major array yields nc extents of nr
+  /// elements each (or 1 if the tile spans whole columns); row-major the
+  /// transpose of that.
+  std::vector<Extent> tile_extents(std::uint64_t r0, std::uint64_t c0,
+                                   std::uint64_t nr, std::uint64_t nc) const;
+
+  /// Tile I/O: one positioned call per (coalesced) extent — exactly what a
+  /// straightforward out-of-core code does.
+  simkit::Task<void> read_tile(hw::NodeId client, std::uint64_t r0,
+                               std::uint64_t c0, std::uint64_t nr,
+                               std::uint64_t nc,
+                               std::span<std::byte> out = {});
+  simkit::Task<void> write_tile(hw::NodeId client, std::uint64_t r0,
+                                std::uint64_t c0, std::uint64_t nr,
+                                std::uint64_t nc,
+                                std::span<const std::byte> data = {});
+
+  std::uint64_t io_calls() const noexcept { return io_calls_; }
+
+ private:
+  pfs::StripedFs* fs_;
+  pfs::FileId file_;
+  std::uint64_t rows_;
+  std::uint64_t cols_;
+  std::uint32_t es_;
+  Layout layout_;
+  std::uint64_t io_calls_ = 0;
+};
+
+}  // namespace pario

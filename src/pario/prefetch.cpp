@@ -1,0 +1,60 @@
+#include "pario/prefetch.hpp"
+
+#include <cassert>
+
+namespace pario {
+
+Prefetcher::Prefetcher(IoInterface& io, std::uint64_t start,
+                       std::uint64_t chunk, std::uint64_t total_bytes,
+                       bool backed)
+    : io_(io),
+      start_(start),
+      chunk_(chunk),
+      total_(total_bytes),
+      count_(chunk == 0 ? 0 : (total_bytes + chunk - 1) / chunk),
+      backed_(backed) {
+  if (backed_) {
+    buf_[0].resize(chunk_);
+    buf_[1].resize(chunk_);
+  }
+  // Prime the pipeline with the first chunk.
+  if (count_ > 0) issue(0);
+}
+
+void Prefetcher::issue(std::uint64_t index) {
+  assert(index == issued_);
+  const std::uint64_t slot = index % 2;
+  const std::uint64_t len = len_of(index);
+  inflight_[slot] = io_.iread(
+      start_ + index * chunk_, len,
+      backed_ ? std::span<std::byte>(buf_[slot]).subspan(0, len)
+              : std::span<std::byte>{});
+  ++issued_;
+}
+
+simkit::Task<std::span<const std::byte>> Prefetcher::next() {
+  if (done()) co_return std::span<const std::byte>{};
+  simkit::Engine& eng = io_.engine();
+  const std::uint64_t slot = delivered_ % 2;
+  const std::uint64_t len = len_of(delivered_);
+
+  const simkit::Time t0 = eng.now();
+  co_await inflight_[slot].join();
+  wait_ += eng.now() - t0;
+
+  // Overlap depth one: as soon as chunk k is here, launch k+1.
+  if (issued_ < count_) issue(issued_);
+
+  // Stage-to-user copy.
+  const simkit::Time t1 = eng.now();
+  co_await io_.machine().mem_copy(len);
+  copy_ += eng.now() - t1;
+
+  ++delivered_;
+  last_len_ = len;
+  co_return backed_
+      ? std::span<const std::byte>(buf_[slot]).subspan(0, len)
+      : std::span<const std::byte>{};
+}
+
+}  // namespace pario

@@ -1,0 +1,123 @@
+#include "pario/sieve.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace pario {
+namespace {
+
+struct Window {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  std::vector<Extent> pieces;
+};
+
+/// Greedy left-to-right windowing: extend while the covering span stays
+/// within max_window; a piece larger than the window gets its own.
+std::vector<Window> make_windows(std::vector<Extent> pieces,
+                                 std::uint64_t max_window) {
+  std::sort(pieces.begin(), pieces.end(),
+            [](const Extent& a, const Extent& b) {
+              return a.file_offset < b.file_offset;
+            });
+  std::vector<Window> windows;
+  for (const auto& e : pieces) {
+    if (!windows.empty() &&
+        e.file_end() - windows.back().lo <= max_window) {
+      windows.back().hi = std::max(windows.back().hi, e.file_end());
+      windows.back().pieces.push_back(e);
+    } else {
+      windows.push_back(Window{e.file_offset, e.file_end(), {e}});
+    }
+  }
+  return windows;
+}
+
+}  // namespace
+
+simkit::Task<void> sieved_read(pfs::StripedFs& fs, hw::NodeId client,
+                               pfs::FileId file, std::vector<Extent> pieces,
+                               std::span<std::byte> out,
+                               std::uint64_t max_window, SieveStats* stats) {
+  const bool with_data = !out.empty() && fs.is_backed(file);
+  std::vector<std::byte> window_buf;
+  for (const Window& w : make_windows(std::move(pieces), max_window)) {
+    const std::uint64_t span_len = w.hi - w.lo;
+    if (with_data) window_buf.resize(span_len);
+    std::span<std::byte> window_view;  // no ternary in co_await (GCC 12)
+    if (with_data) window_view = window_buf;
+    co_await fs.pread(client, file, w.lo, span_len, window_view);
+    std::uint64_t useful = 0;
+    for (const auto& e : w.pieces) {
+      if (with_data) {
+        std::memcpy(out.data() + e.buf_offset,
+                    window_buf.data() + (e.file_offset - w.lo), e.length);
+      }
+      useful += e.length;
+    }
+    co_await fs.machine().mem_copy(useful);  // extraction pass
+    if (stats) {
+      ++stats->io_calls;
+      stats->moved_bytes += span_len;
+      stats->useful_bytes += useful;
+    }
+  }
+}
+
+simkit::Task<void> sieved_write(pfs::StripedFs& fs, hw::NodeId client,
+                                pfs::FileId file, std::vector<Extent> pieces,
+                                std::span<const std::byte> data,
+                                std::uint64_t max_window, SieveStats* stats) {
+  const bool with_data = !data.empty() && fs.is_backed(file);
+  std::vector<std::byte> window_buf;
+  for (const Window& w : make_windows(std::move(pieces), max_window)) {
+    const std::uint64_t span_len = w.hi - w.lo;
+    // Read-modify-write: fetch the window unless the pieces tile it fully.
+    std::uint64_t useful = 0;
+    for (const auto& e : w.pieces) useful += e.length;
+    const bool full_cover = useful == span_len;
+    if (with_data) window_buf.assign(span_len, std::byte{0});
+    std::span<std::byte> window_view;
+    if (with_data) window_view = window_buf;
+    if (!full_cover) {
+      co_await fs.pread(client, file, w.lo, span_len, window_view);
+      if (stats) {
+        ++stats->io_calls;
+        stats->moved_bytes += span_len;
+      }
+    }
+    for (const auto& e : w.pieces) {
+      if (with_data) {
+        std::memcpy(window_buf.data() + (e.file_offset - w.lo),
+                    data.data() + e.buf_offset, e.length);
+      }
+    }
+    co_await fs.machine().mem_copy(useful);  // merge pass
+    co_await fs.pwrite(client, file, w.lo, span_len,
+                       std::span<const std::byte>(window_view));
+    if (stats) {
+      ++stats->io_calls;
+      stats->moved_bytes += span_len;
+      stats->useful_bytes += useful;
+    }
+  }
+}
+
+simkit::Task<void> direct_read(pfs::StripedFs& fs, hw::NodeId client,
+                               pfs::FileId file,
+                               const std::vector<Extent>& pieces,
+                               std::span<std::byte> out, SieveStats* stats) {
+  const bool with_data = !out.empty() && fs.is_backed(file);
+  for (const auto& e : pieces) {
+    std::span<std::byte> piece_view;
+    if (with_data) piece_view = out.subspan(e.buf_offset, e.length);
+    co_await fs.pread(client, file, e.file_offset, e.length, piece_view);
+    if (stats) {
+      ++stats->io_calls;
+      stats->moved_bytes += e.length;
+      stats->useful_bytes += e.length;
+    }
+  }
+}
+
+}  // namespace pario

@@ -1,0 +1,49 @@
+// pario/sieve.hpp — data sieving (single-process access optimization).
+//
+// Instead of one I/O call per scattered piece, read a large contiguous
+// window covering many pieces and extract them in memory (writes do
+// read-modify-write on the window).  Useful bytes vs moved bytes is the
+// classic sieving trade-off; stats expose it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "pario/extent.hpp"
+#include "pfs/fs.hpp"
+#include "simkit/task.hpp"
+
+namespace pario {
+
+struct SieveStats {
+  std::uint64_t io_calls = 0;
+  std::uint64_t moved_bytes = 0;   // bytes through the file system
+  std::uint64_t useful_bytes = 0;  // bytes the caller asked for
+};
+
+/// Read scattered pieces via sieving windows of at most `max_window`
+/// bytes.  With data: `out` is the flattened local buffer indexed by
+/// buf_offset.
+simkit::Task<void> sieved_read(pfs::StripedFs& fs, hw::NodeId client,
+                               pfs::FileId file, std::vector<Extent> pieces,
+                               std::span<std::byte> out = {},
+                               std::uint64_t max_window = 4 << 20,
+                               SieveStats* stats = nullptr);
+
+/// Write scattered pieces via read-modify-write sieving windows.
+simkit::Task<void> sieved_write(pfs::StripedFs& fs, hw::NodeId client,
+                                pfs::FileId file, std::vector<Extent> pieces,
+                                std::span<const std::byte> data = {},
+                                std::uint64_t max_window = 4 << 20,
+                                SieveStats* stats = nullptr);
+
+/// Baseline for comparison: one positioned call per piece.
+simkit::Task<void> direct_read(pfs::StripedFs& fs, hw::NodeId client,
+                               pfs::FileId file,
+                               const std::vector<Extent>& pieces,
+                               std::span<std::byte> out = {},
+                               SieveStats* stats = nullptr);
+
+}  // namespace pario

@@ -1,0 +1,369 @@
+#include "pario/twophase.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "mprt/collectives.hpp"
+
+namespace pario {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Extent metadata exchange: every rank learns every rank's (sorted) piece
+// list.  gatherv to rank 0 + broadcast of the concatenated table — the
+// same global-view step MPI-IO implementations perform.
+// ---------------------------------------------------------------------------
+
+std::vector<std::byte> serialize_extents(const std::vector<Extent>& v) {
+  std::vector<std::byte> out(v.size() * 16);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    std::uint64_t pair[2] = {v[i].file_offset, v[i].length};
+    std::memcpy(out.data() + i * 16, pair, 16);
+  }
+  return out;
+}
+
+std::vector<Extent> deserialize_extents(std::span<const std::byte> bytes) {
+  std::vector<Extent> v(bytes.size() / 16);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    std::uint64_t pair[2];
+    std::memcpy(pair, bytes.data() + i * 16, 16);
+    v[i] = Extent{pair[0], pair[1], 0};
+  }
+  return v;
+}
+
+simkit::Task<std::vector<std::vector<Extent>>> allgather_extents(
+    mprt::Comm& c, const std::vector<Extent>& mine) {
+  const int p = c.size();
+  auto my_bytes = serialize_extents(mine);
+  auto gathered = co_await mprt::gatherv(c, 0, my_bytes.size(), my_bytes);
+
+  // Root concatenates [P x u64 counts][all extent pairs] and broadcasts.
+  std::vector<std::byte> table;
+  if (c.rank() == 0) {
+    table.resize(static_cast<std::size_t>(p) * 8);
+    for (int r = 0; r < p; ++r) {
+      const std::uint64_t n = gathered[static_cast<std::size_t>(r)].payload
+                                  .size() / 16;
+      std::memcpy(table.data() + static_cast<std::size_t>(r) * 8, &n, 8);
+    }
+    for (int r = 0; r < p; ++r) {
+      auto& pay = gathered[static_cast<std::size_t>(r)].payload;
+      table.insert(table.end(), pay.begin(), pay.end());
+    }
+  }
+  std::uint64_t table_size = table.size();
+  std::span<std::byte> size_view(reinterpret_cast<std::byte*>(&table_size),
+                                 8);
+  co_await mprt::bcast(c, 0, 8, size_view);
+  table.resize(table_size);
+  co_await mprt::bcast(c, 0, table_size, table);
+
+  std::vector<std::vector<Extent>> all(static_cast<std::size_t>(p));
+  std::size_t cursor = static_cast<std::size_t>(p) * 8;
+  for (int r = 0; r < p; ++r) {
+    std::uint64_t n = 0;
+    std::memcpy(&n, table.data() + static_cast<std::size_t>(r) * 8, 8);
+    all[static_cast<std::size_t>(r)] = deserialize_extents(
+        std::span<const std::byte>(table).subspan(cursor, n * 16));
+    cursor += n * 16;
+  }
+  co_return all;
+}
+
+struct Domains {
+  std::uint64_t lo = 0;
+  std::uint64_t chunk = 0;  // size of each rank's file domain
+  std::uint64_t hi = 0;
+
+  std::pair<std::uint64_t, std::uint64_t> of(int rank) const {
+    const std::uint64_t d_lo =
+        lo + chunk * static_cast<std::uint64_t>(rank);
+    return {std::min(d_lo, hi), std::min(d_lo + chunk, hi)};
+  }
+};
+
+Domains partition(const std::vector<std::vector<Extent>>& all, int p,
+                  std::uint64_t stripe_unit) {
+  std::uint64_t lo = ~std::uint64_t{0}, hi = 0;
+  for (const auto& v : all) {
+    for (const auto& e : v) {
+      lo = std::min(lo, e.file_offset);
+      hi = std::max(hi, e.file_end());
+    }
+  }
+  if (hi <= lo) return {0, 0, 0};
+  // Stripe-aligned domains keep each aggregator talking to a stable
+  // subset of I/O nodes.
+  std::uint64_t chunk = (hi - lo + static_cast<std::uint64_t>(p) - 1) /
+                        static_cast<std::uint64_t>(p);
+  chunk = (chunk + stripe_unit - 1) / stripe_unit * stripe_unit;
+  return {lo, chunk, hi};
+}
+
+}  // namespace
+
+std::vector<Extent> TwoPhase::intersect(const std::vector<Extent>& pieces,
+                                        std::uint64_t lo, std::uint64_t hi) {
+  std::vector<Extent> out;
+  for (const auto& e : pieces) {
+    const std::uint64_t s = std::max(e.file_offset, lo);
+    const std::uint64_t t = std::min(e.file_end(), hi);
+    if (s < t) {
+      out.push_back(Extent{s, t - s, e.buf_offset + (s - e.file_offset)});
+    }
+  }
+  return out;
+}
+
+std::vector<Extent> TwoPhase::merge_runs(std::vector<Extent> pieces) {
+  if (pieces.empty()) return pieces;
+  std::sort(pieces.begin(), pieces.end(),
+            [](const Extent& a, const Extent& b) {
+              return a.file_offset < b.file_offset;
+            });
+  std::vector<Extent> out;
+  out.push_back(Extent{pieces[0].file_offset, pieces[0].length, 0});
+  for (std::size_t i = 1; i < pieces.size(); ++i) {
+    Extent& last = out.back();
+    if (pieces[i].file_offset <= last.file_end()) {
+      last.length = std::max(last.file_end(), pieces[i].file_end()) -
+                    last.file_offset;
+    } else {
+      out.push_back(Extent{pieces[i].file_offset, pieces[i].length, 0});
+    }
+  }
+  return out;
+}
+
+simkit::Task<void> TwoPhase::write(mprt::Comm& comm, pfs::StripedFs& fs,
+                                   pfs::FileId file, std::vector<Extent> mine,
+                                   std::span<const std::byte> local_data,
+                                   TwoPhaseStats* stats,
+                                   TwoPhaseOptions options) {
+  simkit::Engine& eng = comm.engine();
+  const int p = comm.size();
+  std::sort(mine.begin(), mine.end(), [](const Extent& a, const Extent& b) {
+    return a.file_offset != b.file_offset ? a.file_offset < b.file_offset
+                                          : a.buf_offset < b.buf_offset;
+  });
+
+  const simkit::Time t_meta = eng.now();
+  auto all = co_await allgather_extents(comm, mine);
+  all[static_cast<std::size_t>(comm.rank())] = mine;  // keep buf offsets
+  // Ranks beyond the aggregator count own empty file domains and only
+  // participate in the exchange (ROMIO's collective-buffering nodes).
+  const int aggs = options.aggregators > 0 && options.aggregators <= p
+                       ? options.aggregators
+                       : p;
+  const Domains dom =
+      partition(all, aggs, fs.stripe_map(file).stripe_unit());
+  if (stats) stats->exchange_time += eng.now() - t_meta;
+  if (dom.chunk == 0) co_return;
+
+  // ---- exchange phase: ship my pieces to their domain owners ----------
+  const simkit::Time t_x = eng.now();
+  const bool with_data = !local_data.empty();
+  std::vector<std::uint64_t> send_bytes(static_cast<std::size_t>(p), 0);
+  std::vector<std::vector<std::byte>> payload_store(
+      static_cast<std::size_t>(p));
+  std::vector<std::span<const std::byte>> payload_views(
+      static_cast<std::size_t>(p));
+  std::uint64_t packed = 0;
+  for (int d = 0; d < p; ++d) {
+    const auto [dlo, dhi] = dom.of(d);
+    auto subs = intersect(mine, dlo, dhi);
+    const std::uint64_t bytes = total_length(subs);
+    send_bytes[static_cast<std::size_t>(d)] = bytes;
+    packed += bytes;
+    if (with_data && bytes > 0) {
+      auto& buf = payload_store[static_cast<std::size_t>(d)];
+      buf.reserve(bytes);
+      for (const auto& s : subs) {
+        buf.insert(buf.end(), local_data.begin() + s.buf_offset,
+                   local_data.begin() + s.buf_offset + s.length);
+      }
+      payload_views[static_cast<std::size_t>(d)] = buf;
+    }
+  }
+  co_await comm.machine().mem_copy(packed);  // pack pass
+  // NOTE: payload_views stays a named lvalue — passing a temporary vector
+  // through co_await trips a GCC 12 coroutine temporary-lifetime bug.
+  // All-empty views are equivalent to "no data".
+  auto received = co_await mprt::alltoallv(comm, send_bytes, payload_views);
+
+  // ---- I/O phase: assemble my domain and write it in large runs -------
+  // Aggregator-side data handling keys off the FILE being backed, not off
+  // this rank's own buffer: a rank with no pieces of its own still owns a
+  // domain and must land other ranks' real bytes.
+  const bool assemble = fs.is_backed(file);
+  const auto [my_lo, my_hi] = dom.of(comm.rank());
+  std::vector<Extent> domain_pieces;
+  for (int s = 0; s < p; ++s) {
+    auto subs = intersect(all[static_cast<std::size_t>(s)], my_lo, my_hi);
+    domain_pieces.insert(domain_pieces.end(), subs.begin(), subs.end());
+  }
+  auto runs = merge_runs(domain_pieces);
+  std::uint64_t unpacked = 0;
+  std::vector<std::vector<std::byte>> run_bufs(runs.size());
+  if (assemble) {
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      run_bufs[i].resize(runs[i].length);
+    }
+    // Per-source sequential cursors over received payloads.
+    for (int s = 0; s < p; ++s) {
+      auto subs = intersect(all[static_cast<std::size_t>(s)], my_lo, my_hi);
+      const auto& pay = received[static_cast<std::size_t>(s)].payload;
+      std::size_t cursor = 0;
+      for (const auto& sub : subs) {
+        // Locate the run containing this sub-extent.
+        auto it = std::upper_bound(
+            runs.begin(), runs.end(), sub.file_offset,
+            [](std::uint64_t off, const Extent& r) {
+              return off < r.file_offset;
+            });
+        const auto run_idx = static_cast<std::size_t>(
+            std::distance(runs.begin(), std::prev(it)));
+        if (pay.size() >= cursor + sub.length) {
+          std::memcpy(run_bufs[run_idx].data() +
+                          (sub.file_offset - runs[run_idx].file_offset),
+                      pay.data() + cursor, sub.length);
+        }
+        cursor += sub.length;
+        unpacked += sub.length;
+      }
+    }
+  } else {
+    for (int s = 0; s < p; ++s) {
+      unpacked += total_length(
+          intersect(all[static_cast<std::size_t>(s)], my_lo, my_hi));
+    }
+  }
+  co_await comm.machine().mem_copy(unpacked);  // unpack pass
+  if (stats) stats->exchange_time += eng.now() - t_x;
+
+  const simkit::Time t_io = eng.now();
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    // Named view, no ternary in the co_await argument list (GCC 12).
+    std::span<const std::byte> run_view;
+    if (assemble) run_view = run_bufs[i];
+    co_await fs.pwrite(comm.node(), file, runs[i].file_offset,
+                       runs[i].length, run_view);
+    if (stats) {
+      ++stats->io_calls;
+      stats->io_bytes += runs[i].length;
+    }
+  }
+  if (stats) stats->io_time += eng.now() - t_io;
+
+  co_await mprt::barrier(comm);  // collective completion
+}
+
+simkit::Task<void> TwoPhase::read(mprt::Comm& comm, pfs::StripedFs& fs,
+                                  pfs::FileId file, std::vector<Extent> mine,
+                                  std::span<std::byte> local_out,
+                                  TwoPhaseStats* stats,
+                                  TwoPhaseOptions options) {
+  simkit::Engine& eng = comm.engine();
+  const int p = comm.size();
+  std::sort(mine.begin(), mine.end(), [](const Extent& a, const Extent& b) {
+    return a.file_offset != b.file_offset ? a.file_offset < b.file_offset
+                                          : a.buf_offset < b.buf_offset;
+  });
+
+  const simkit::Time t_meta = eng.now();
+  auto all = co_await allgather_extents(comm, mine);
+  all[static_cast<std::size_t>(comm.rank())] = mine;
+  const int aggs = options.aggregators > 0 && options.aggregators <= p
+                       ? options.aggregators
+                       : p;
+  const Domains dom =
+      partition(all, aggs, fs.stripe_map(file).stripe_unit());
+  if (stats) stats->exchange_time += eng.now() - t_meta;
+  if (dom.chunk == 0) co_return;
+
+  // Aggregator-side data handling keys off the FILE being backed (see the
+  // note in write()); only the final scatter depends on local_out.
+  const bool serve_data = fs.is_backed(file);
+
+  // ---- I/O phase: read my domain's needed runs -------------------------
+  const auto [my_lo, my_hi] = dom.of(comm.rank());
+  std::vector<Extent> domain_pieces;
+  for (int s = 0; s < p; ++s) {
+    auto subs = intersect(all[static_cast<std::size_t>(s)], my_lo, my_hi);
+    domain_pieces.insert(domain_pieces.end(), subs.begin(), subs.end());
+  }
+  auto runs = merge_runs(domain_pieces);
+  std::vector<std::vector<std::byte>> run_bufs(runs.size());
+  const simkit::Time t_io = eng.now();
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (serve_data) run_bufs[i].resize(runs[i].length);
+    std::span<std::byte> run_view;
+    if (serve_data) run_view = run_bufs[i];
+    co_await fs.pread(comm.node(), file, runs[i].file_offset,
+                      runs[i].length, run_view);
+    if (stats) {
+      ++stats->io_calls;
+      stats->io_bytes += runs[i].length;
+    }
+  }
+  if (stats) stats->io_time += eng.now() - t_io;
+
+  // ---- exchange phase: ship pieces to their requesters -----------------
+  const simkit::Time t_x = eng.now();
+  std::vector<std::uint64_t> send_bytes(static_cast<std::size_t>(p), 0);
+  std::vector<std::vector<std::byte>> payload_store(
+      static_cast<std::size_t>(p));
+  std::vector<std::span<const std::byte>> payload_views(
+      static_cast<std::size_t>(p));
+  std::uint64_t packed = 0;
+  for (int s = 0; s < p; ++s) {
+    auto subs = intersect(all[static_cast<std::size_t>(s)], my_lo, my_hi);
+    const std::uint64_t bytes = total_length(subs);
+    send_bytes[static_cast<std::size_t>(s)] = bytes;
+    packed += bytes;
+    if (serve_data && bytes > 0) {
+      auto& buf = payload_store[static_cast<std::size_t>(s)];
+      buf.reserve(bytes);
+      for (const auto& sub : subs) {
+        auto it = std::upper_bound(
+            runs.begin(), runs.end(), sub.file_offset,
+            [](std::uint64_t off, const Extent& r) {
+              return off < r.file_offset;
+            });
+        const auto run_idx = static_cast<std::size_t>(
+            std::distance(runs.begin(), std::prev(it)));
+        const auto* src = run_bufs[run_idx].data() +
+                          (sub.file_offset - runs[run_idx].file_offset);
+        buf.insert(buf.end(), src, src + sub.length);
+      }
+      payload_views[static_cast<std::size_t>(s)] = buf;
+    }
+  }
+  co_await comm.machine().mem_copy(packed);  // pack pass
+  // Named lvalue: see the GCC 12 note in write().
+  auto received = co_await mprt::alltoallv(comm, send_bytes, payload_views);
+
+  // Scatter replies into my local buffer, per-domain sequential order.
+  std::uint64_t unpacked = 0;
+  for (int d = 0; d < p; ++d) {
+    const auto [dlo, dhi] = dom.of(d);
+    auto subs = intersect(mine, dlo, dhi);
+    const auto& pay = received[static_cast<std::size_t>(d)].payload;
+    std::size_t cursor = 0;
+    for (const auto& sub : subs) {
+      if (!local_out.empty() && pay.size() >= cursor + sub.length) {
+        std::memcpy(local_out.data() + sub.buf_offset, pay.data() + cursor,
+                    sub.length);
+      }
+      cursor += sub.length;
+      unpacked += sub.length;
+    }
+  }
+  co_await comm.machine().mem_copy(unpacked);  // unpack pass
+  if (stats) stats->exchange_time += eng.now() - t_x;
+}
+
+}  // namespace pario

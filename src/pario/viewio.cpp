@@ -1,0 +1,49 @@
+#include "pario/viewio.hpp"
+
+namespace pario {
+
+simkit::Task<void> view_read(mprt::Comm& comm, pfs::StripedFs& fs,
+                             pfs::FileId file, const FileView& view,
+                             std::uint64_t view_offset, std::uint64_t length,
+                             ViewStrategy strategy,
+                             std::span<std::byte> out) {
+  std::vector<Extent> extents = view.map(view_offset, length);
+  switch (strategy) {
+    case ViewStrategy::kIndependent:
+      co_await direct_read(fs, comm.node(), file, extents, out);
+      break;
+    case ViewStrategy::kSieved:
+      co_await sieved_read(fs, comm.node(), file, std::move(extents), out);
+      break;
+    case ViewStrategy::kCollective:
+      co_await TwoPhase::read(comm, fs, file, std::move(extents), out);
+      break;
+  }
+}
+
+simkit::Task<void> view_write(mprt::Comm& comm, pfs::StripedFs& fs,
+                              pfs::FileId file, const FileView& view,
+                              std::uint64_t view_offset,
+                              std::uint64_t length, ViewStrategy strategy,
+                              std::span<const std::byte> data) {
+  std::vector<Extent> extents = view.map(view_offset, length);
+  switch (strategy) {
+    case ViewStrategy::kIndependent:
+      for (const Extent& e : extents) {
+        std::span<const std::byte> piece;
+        if (!data.empty()) piece = data.subspan(e.buf_offset, e.length);
+        co_await fs.pwrite(comm.node(), file, e.file_offset, e.length,
+                           piece);
+      }
+      break;
+    case ViewStrategy::kSieved:
+      co_await sieved_write(fs, comm.node(), file, std::move(extents),
+                            data);
+      break;
+    case ViewStrategy::kCollective:
+      co_await TwoPhase::write(comm, fs, file, std::move(extents), data);
+      break;
+  }
+}
+
+}  // namespace pario

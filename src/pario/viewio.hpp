@@ -1,0 +1,43 @@
+// pario/viewio.hpp — MPI-IO-style file-view I/O.
+//
+// Glue between FileView (datatype.hpp) and the access strategies: read or
+// write a logical window of a view, choosing per call between independent
+// positioned I/O, data sieving, or two-phase collective I/O — the three
+// options an MPI-IO implementation juggles.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "mprt/comm.hpp"
+#include "pario/datatype.hpp"
+#include "pario/sieve.hpp"
+#include "pario/twophase.hpp"
+#include "pfs/fs.hpp"
+#include "simkit/task.hpp"
+
+namespace pario {
+
+enum class ViewStrategy : std::uint8_t {
+  kIndependent,  // one positioned call per physical extent
+  kSieved,       // covering-window reads / read-modify-write
+  kCollective,   // two-phase across the communicator
+};
+
+/// Read logical [view_offset, +length) of `view` into `out` (buffer
+/// offsets follow the logical stream).  kCollective requires every rank
+/// of `comm` to call collectively with its own view/window.
+simkit::Task<void> view_read(mprt::Comm& comm, pfs::StripedFs& fs,
+                             pfs::FileId file, const FileView& view,
+                             std::uint64_t view_offset, std::uint64_t length,
+                             ViewStrategy strategy,
+                             std::span<std::byte> out = {});
+
+/// Write the logical window from `data`.
+simkit::Task<void> view_write(mprt::Comm& comm, pfs::StripedFs& fs,
+                              pfs::FileId file, const FileView& view,
+                              std::uint64_t view_offset,
+                              std::uint64_t length, ViewStrategy strategy,
+                              std::span<const std::byte> data = {});
+
+}  // namespace pario

@@ -1,0 +1,95 @@
+#include "pfs/diskarm.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace pfs {
+
+simkit::Task<void> DiskArm::serve(std::uint64_t phys, std::uint64_t len,
+                                  hw::AccessKind kind) {
+  co_await Acquire{*this, phys};
+  const simkit::Duration t = model_.access(phys, len, kind);
+  ++services_;
+  co_await eng_.delay(t);
+  release();
+}
+
+std::size_t DiskArm::pick_next() const {
+  if (!scan_) {
+    // FIFO: oldest arrival.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < queue_.size(); ++i) {
+      if (queue_[i].seq < queue_[best].seq) best = i;
+    }
+    return best;
+  }
+  // SCAN: nearest request at/above the head in the sweep direction;
+  // reverse at the edge.
+  const std::uint64_t head = model_.head_position();
+  std::size_t best = queue_.size();
+  if (sweep_up_) {
+    std::uint64_t best_pos = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      if (queue_[i].phys >= head && queue_[i].phys < best_pos) {
+        best_pos = queue_[i].phys;
+        best = i;
+      }
+    }
+    if (best != queue_.size()) return best;
+    // Edge: reverse — farthest-down request first (sweep back).
+    std::uint64_t max_pos = 0;
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      if (queue_[i].phys >= max_pos) {  // >=: pick something even at 0
+        max_pos = queue_[i].phys;
+        best = i;
+      }
+    }
+    return best;
+  }
+  std::uint64_t best_pos = 0;
+  bool found = false;
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    if (queue_[i].phys <= head &&
+        (!found || queue_[i].phys > best_pos)) {
+      best_pos = queue_[i].phys;
+      best = i;
+      found = true;
+    }
+  }
+  if (found) return best;
+  std::uint64_t min_pos = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    if (queue_[i].phys <= min_pos) {
+      min_pos = queue_[i].phys;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void DiskArm::release() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  if (scan_) {
+    // Direction bookkeeping: flip when no request remains ahead.
+    const std::uint64_t head = model_.head_position();
+    const bool any_up = std::any_of(queue_.begin(), queue_.end(),
+                                    [&](const Waiter& w) {
+                                      return w.phys >= head;
+                                    });
+    const bool any_down = std::any_of(queue_.begin(), queue_.end(),
+                                      [&](const Waiter& w) {
+                                        return w.phys <= head;
+                                      });
+    if (sweep_up_ && !any_up && any_down) sweep_up_ = false;
+    if (!sweep_up_ && !any_down && any_up) sweep_up_ = true;
+  }
+  const std::size_t next = pick_next();
+  const auto h = queue_[next].h;
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(next));
+  eng_.schedule_at(eng_.now(), h);
+}
+
+}  // namespace pfs

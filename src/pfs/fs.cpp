@@ -1,0 +1,226 @@
+#include "pfs/fs.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "simkit/combinators.hpp"
+
+namespace pfs {
+
+StripedFs::StripedFs(hw::Machine& machine)
+    : machine_(machine), eng_(machine.engine()), io_(machine.config().io) {
+  const auto& cfg = machine.config();
+  nodes_.reserve(cfg.io_nodes);
+  for (std::size_t i = 0; i < cfg.io_nodes; ++i) {
+    nodes_.push_back(std::make_unique<IoNode>(eng_, machine.io_node(i), io_,
+                                              cfg.disk));
+  }
+}
+
+FileId StripedFs::create(std::string name, bool backed) {
+  const auto id = static_cast<FileId>(files_.size());
+  // Start each file's round-robin on a different server so single-stripe
+  // files don't all pile onto node 0 — PFS did the same.
+  const auto first =
+      static_cast<std::uint32_t>(id % nodes_.size());
+  files_.push_back(std::make_unique<FileMeta>(
+      std::move(name), backed,
+      StripeMap(io_.stripe_unit_bytes,
+                static_cast<std::uint32_t>(nodes_.size()), first)));
+  return id;
+}
+
+simkit::Task<FileHandle> StripedFs::open(hw::NodeId client, FileId file,
+                                         IoObserver* observer) {
+  assert(file < files_.size());
+  const simkit::Time t0 = eng_.now();
+  co_await eng_.delay(simkit::milliseconds(io_.client_syscall_ms));
+  // Metadata round-trip to the file's first server.
+  IoNode& meta = *nodes_[files_[file]->map.server_of(0)];
+  auto& net = machine_.network();
+  co_await net.transfer(client, meta.node_id(), kHeaderBytes);
+  co_await eng_.delay(simkit::milliseconds(io_.server_overhead_ms));
+  co_await net.transfer(meta.node_id(), client, kHeaderBytes);
+  FileHandle fh(this, file, client, observer);
+  if (observer) {
+    observer->record(OpKind::kOpen, t0, eng_.now() - t0, 0);
+  }
+  co_return fh;
+}
+
+simkit::Task<void> StripedFs::piece_read(hw::NodeId client, FileId file,
+                                         StripePiece piece) {
+  IoNode& node = *nodes_[piece.server];
+  auto& net = machine_.network();
+  co_await net.transfer(client, node.node_id(), kHeaderBytes);
+  co_await node.process(hw::AccessKind::kRead, file, piece.local_offset,
+                        piece.length);
+  co_await net.transfer(node.node_id(), client, piece.length);
+}
+
+simkit::Task<void> StripedFs::piece_write(hw::NodeId client, FileId file,
+                                          StripePiece piece) {
+  IoNode& node = *nodes_[piece.server];
+  auto& net = machine_.network();
+  co_await net.transfer(client, node.node_id(),
+                        kHeaderBytes + piece.length);
+  co_await node.process(hw::AccessKind::kWrite, file, piece.local_offset,
+                        piece.length);
+}
+
+simkit::Task<void> StripedFs::pread(hw::NodeId client, FileId file,
+                                    std::uint64_t offset, std::uint64_t len,
+                                    std::span<std::byte> out) {
+  assert(file < files_.size());
+  assert(out.empty() || out.size() == len);
+  FileMeta& meta = *files_[file];
+  co_await eng_.delay(simkit::milliseconds(io_.client_syscall_ms));
+  if (len == 0) co_return;
+  std::vector<simkit::Task<void>> ops;
+  for (const StripePiece& piece : meta.map.split(offset, len)) {
+    ops.push_back(piece_read(client, file, piece));
+  }
+  co_await simkit::when_all(eng_, std::move(ops));
+  // Content materializes at completion time (holes read as zeros).
+  if (meta.backed && !out.empty()) meta.store.read(offset, out);
+}
+
+simkit::Task<void> StripedFs::pwrite(hw::NodeId client, FileId file,
+                                     std::uint64_t offset, std::uint64_t len,
+                                     std::span<const std::byte> data) {
+  assert(file < files_.size());
+  assert(data.empty() || data.size() == len);
+  FileMeta& meta = *files_[file];
+  // Content lands at issue time; timing completes later.  (Simulated
+  // applications synchronize reads after writes, as the real ones did.)
+  if (meta.backed && !data.empty()) meta.store.write(offset, data);
+  meta.size = std::max(meta.size, offset + len);
+  co_await eng_.delay(simkit::milliseconds(io_.client_syscall_ms));
+  if (len == 0) co_return;
+  std::vector<simkit::Task<void>> ops;
+  for (const StripePiece& piece : meta.map.split(offset, len)) {
+    ops.push_back(piece_write(client, file, piece));
+  }
+  co_await simkit::when_all(eng_, std::move(ops));
+}
+
+simkit::Task<void> StripedFs::flush(hw::NodeId client, FileId file) {
+  co_await eng_.delay(simkit::milliseconds(io_.client_syscall_ms));
+  (void)client;
+  std::vector<simkit::Task<void>> ops;
+  for (auto& node : nodes_) ops.push_back(node->drain(file));
+  co_await simkit::when_all(eng_, std::move(ops));
+}
+
+simkit::Task<void> StripedFs::close(hw::NodeId client, FileId file) {
+  // Close semantics: drain write-behind data, then a metadata round-trip.
+  std::vector<simkit::Task<void>> ops;
+  for (auto& node : nodes_) ops.push_back(node->drain(file));
+  co_await simkit::when_all(eng_, std::move(ops));
+  co_await eng_.delay(simkit::milliseconds(io_.client_syscall_ms));
+  IoNode& meta = *nodes_[files_[file]->map.server_of(0)];
+  auto& net = machine_.network();
+  co_await net.transfer(client, meta.node_id(), kHeaderBytes);
+  co_await net.transfer(meta.node_id(), client, kHeaderBytes);
+}
+
+simkit::Task<void> StripedFs::truncate(hw::NodeId client, FileId file,
+                                       std::uint64_t new_size) {
+  co_await eng_.delay(simkit::milliseconds(io_.client_syscall_ms));
+  IoNode& meta = *nodes_[files_[file]->map.server_of(0)];
+  auto& net = machine_.network();
+  co_await net.transfer(client, meta.node_id(), kHeaderBytes);
+  co_await eng_.delay(simkit::milliseconds(io_.server_overhead_ms));
+  co_await net.transfer(meta.node_id(), client, kHeaderBytes);
+  files_[file]->size = new_size;
+}
+
+void StripedFs::poke(FileId file, std::uint64_t offset,
+                     std::span<const std::byte> data) {
+  FileMeta& meta = *files_.at(file);
+  assert(meta.backed);
+  meta.store.write(offset, data);
+  meta.size = std::max(meta.size, offset + data.size());
+}
+
+void StripedFs::peek(FileId file, std::uint64_t offset,
+                     std::span<std::byte> out) const {
+  files_.at(file)->store.read(offset, out);
+}
+
+std::uint64_t StripedFs::total_disk_reads() const {
+  std::uint64_t n = 0;
+  for (const auto& node : nodes_) n += node->disk_reads();
+  return n;
+}
+
+std::uint64_t StripedFs::total_disk_writes() const {
+  std::uint64_t n = 0;
+  for (const auto& node : nodes_) n += node->disk_writes();
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// FileHandle
+// ---------------------------------------------------------------------------
+
+simkit::Task<void> FileHandle::traced(OpKind kind, std::uint64_t bytes,
+                                      simkit::Task<void> op) {
+  simkit::Engine& eng = fs_->machine().engine();
+  const simkit::Time t0 = eng.now();
+  co_await std::move(op);
+  if (observer_) observer_->record(kind, t0, eng.now() - t0, bytes);
+}
+
+simkit::Task<void> FileHandle::seek(std::uint64_t pos) {
+  simkit::Engine& eng = fs_->machine().engine();
+  const simkit::Time t0 = eng.now();
+  co_await eng.delay(
+      simkit::milliseconds(fs_->params().client_syscall_ms));
+  pos_ = pos;
+  if (observer_) observer_->record(OpKind::kSeek, t0, eng.now() - t0, 0);
+}
+
+simkit::Task<void> FileHandle::read(std::uint64_t len,
+                                    std::span<std::byte> out) {
+  const std::uint64_t at = pos_;
+  pos_ += len;
+  co_await traced(OpKind::kRead, len, fs_->pread(client_, file_, at, len,
+                                                 out));
+}
+
+simkit::Task<void> FileHandle::write(std::uint64_t len,
+                                     std::span<const std::byte> data) {
+  const std::uint64_t at = pos_;
+  pos_ += len;
+  co_await traced(OpKind::kWrite, len,
+                  fs_->pwrite(client_, file_, at, len, data));
+}
+
+simkit::Task<void> FileHandle::pread(std::uint64_t offset, std::uint64_t len,
+                                     std::span<std::byte> out) {
+  co_await traced(OpKind::kRead, len,
+                  fs_->pread(client_, file_, offset, len, out));
+}
+
+simkit::Task<void> FileHandle::pwrite(std::uint64_t offset, std::uint64_t len,
+                                      std::span<const std::byte> data) {
+  co_await traced(OpKind::kWrite, len,
+                  fs_->pwrite(client_, file_, offset, len, data));
+}
+
+simkit::ProcHandle FileHandle::iread(std::uint64_t offset, std::uint64_t len,
+                                     std::span<std::byte> out) {
+  return fs_->machine().engine().spawn(
+      fs_->pread(client_, file_, offset, len, out), "iread");
+}
+
+simkit::Task<void> FileHandle::flush() {
+  co_await traced(OpKind::kFlush, 0, fs_->flush(client_, file_));
+}
+
+simkit::Task<void> FileHandle::close() {
+  co_await traced(OpKind::kClose, 0, fs_->close(client_, file_));
+}
+
+}  // namespace pfs

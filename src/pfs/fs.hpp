@@ -1,0 +1,156 @@
+// pfs/fs.hpp — the striped parallel file system (PFS / PIOFS model) and
+// its client-side file handle.
+//
+// A StripedFs stripes each file round-robin across the machine's I/O nodes
+// in stripe units (64 KB on PFS, 32 KB on PIOFS).  Client operations pay a
+// per-call syscall cost, split the byte range into stripe pieces, move
+// request/data over the network, and contend at the I/O nodes.  Files can
+// be content-backed (real bytes through a SparseStore) or timing-only.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "pfs/ionode.hpp"
+#include "pfs/layout.hpp"
+#include "pfs/store.hpp"
+#include "pfs/types.hpp"
+#include "simkit/engine.hpp"
+#include "simkit/task.hpp"
+
+namespace pfs {
+
+class StripedFs;
+
+/// Per-process open file: cursor + optional tracing.  Cheap value type.
+class FileHandle {
+ public:
+  FileHandle() = default;
+  FileHandle(StripedFs* fs, FileId file, hw::NodeId client,
+             IoObserver* observer)
+      : fs_(fs), file_(file), client_(client), observer_(observer) {}
+
+  bool valid() const noexcept { return fs_ != nullptr; }
+  FileId file() const noexcept { return file_; }
+  hw::NodeId client() const noexcept { return client_; }
+  std::uint64_t tell() const noexcept { return pos_; }
+  void set_observer(IoObserver* obs) noexcept { observer_ = obs; }
+
+  /// Reposition the cursor (a traced, client-local operation).
+  simkit::Task<void> seek(std::uint64_t pos);
+
+  /// Read/write `len` bytes at the cursor, advancing it.
+  simkit::Task<void> read(std::uint64_t len, std::span<std::byte> out = {});
+  simkit::Task<void> write(std::uint64_t len,
+                           std::span<const std::byte> data = {});
+
+  /// Positioned read/write (no cursor change).
+  simkit::Task<void> pread(std::uint64_t offset, std::uint64_t len,
+                           std::span<std::byte> out = {});
+  simkit::Task<void> pwrite(std::uint64_t offset, std::uint64_t len,
+                            std::span<const std::byte> data = {});
+
+  /// Asynchronous positioned read (PFS iread): returns immediately with a
+  /// handle; join it to wait for completion.  Not traced — callers that
+  /// overlap I/O (prefetching) account wait time themselves.
+  simkit::ProcHandle iread(std::uint64_t offset, std::uint64_t len,
+                           std::span<std::byte> out = {});
+
+  /// Wait until all buffered (write-behind) data of this file is on disk.
+  simkit::Task<void> flush();
+  simkit::Task<void> close();
+
+ private:
+  simkit::Task<void> traced(OpKind kind, std::uint64_t bytes,
+                            simkit::Task<void> op);
+
+  StripedFs* fs_ = nullptr;
+  FileId file_ = kInvalidFile;
+  hw::NodeId client_ = 0;
+  IoObserver* observer_ = nullptr;
+  std::uint64_t pos_ = 0;
+};
+
+class StripedFs {
+ public:
+  explicit StripedFs(hw::Machine& machine);
+
+  hw::Machine& machine() noexcept { return machine_; }
+  const hw::IoSubsysParams& params() const noexcept { return io_; }
+  std::size_t io_node_count() const noexcept { return nodes_.size(); }
+  IoNode& io_node(std::size_t i) { return *nodes_.at(i); }
+
+  /// Create a file.  `backed` files store real bytes (SparseStore); others
+  /// are sized but hole-only (timing runs at 37 GB scale without RAM).
+  FileId create(std::string name, bool backed = false);
+
+  /// Open an existing file (timed metadata round-trip to its first server).
+  simkit::Task<FileHandle> open(hw::NodeId client, FileId file,
+                                IoObserver* observer = nullptr);
+
+  // Raw timed operations (FileHandle wraps these with cursor + tracing).
+  simkit::Task<void> pread(hw::NodeId client, FileId file,
+                           std::uint64_t offset, std::uint64_t len,
+                           std::span<std::byte> out = {});
+  simkit::Task<void> pwrite(hw::NodeId client, FileId file,
+                            std::uint64_t offset, std::uint64_t len,
+                            std::span<const std::byte> data = {});
+  simkit::Task<void> flush(hw::NodeId client, FileId file);
+  simkit::Task<void> close(hw::NodeId client, FileId file);
+
+  /// Shrink (or declare) the file size — a metadata round-trip, used by
+  /// balanced I/O when a donor gives away its tail.
+  simkit::Task<void> truncate(hw::NodeId client, FileId file,
+                              std::uint64_t new_size);
+
+  std::uint64_t file_size(FileId file) const {
+    return files_.at(file)->size;
+  }
+  const std::string& file_name(FileId file) const {
+    return files_.at(file)->name;
+  }
+  bool is_backed(FileId file) const { return files_.at(file)->backed; }
+  const StripeMap& stripe_map(FileId file) const {
+    return files_.at(file)->map;
+  }
+
+  /// Direct content access (test/diagnostic; no simulated time).
+  void poke(FileId file, std::uint64_t offset,
+            std::span<const std::byte> data);
+  void peek(FileId file, std::uint64_t offset, std::span<std::byte> out) const;
+
+  /// Aggregate disk statistics across all I/O nodes.
+  std::uint64_t total_disk_reads() const;
+  std::uint64_t total_disk_writes() const;
+
+  /// Request header cost on the wire (request descriptors are small).
+  static constexpr std::uint64_t kHeaderBytes = 64;
+
+ private:
+  struct FileMeta {
+    std::string name;
+    bool backed = false;
+    std::uint64_t size = 0;
+    StripeMap map;
+    SparseStore store;
+    FileMeta(std::string n, bool b, StripeMap m)
+        : name(std::move(n)), backed(b), map(m) {}
+  };
+
+  simkit::Task<void> piece_read(hw::NodeId client, FileId file,
+                                StripePiece piece);
+  simkit::Task<void> piece_write(hw::NodeId client, FileId file,
+                                 StripePiece piece);
+
+  hw::Machine& machine_;
+  simkit::Engine& eng_;
+  hw::IoSubsysParams io_;
+  std::vector<std::unique_ptr<IoNode>> nodes_;
+  std::vector<std::unique_ptr<FileMeta>> files_;
+};
+
+}  // namespace pfs

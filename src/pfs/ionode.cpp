@@ -1,0 +1,109 @@
+#include "pfs/ionode.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pfs {
+
+namespace {
+constexpr std::uint64_t cache_blocks(const hw::IoSubsysParams& io) {
+  const std::uint64_t blocks =
+      io.cache_bytes_per_io_node / io.stripe_unit_bytes;
+  return std::max<std::uint64_t>(blocks, 4);
+}
+}  // namespace
+
+IoNode::IoNode(simkit::Engine& eng, hw::NodeId self,
+               const hw::IoSubsysParams& io, const hw::DiskParams& disk)
+    : eng_(eng),
+      self_(self),
+      io_(io),
+      front_(eng, 1),
+      dirty_slots_(eng, cache_blocks(io)),
+      cache_(cache_blocks(io)) {
+  disks_.reserve(io_.disks_per_io_node);
+  for (std::uint32_t i = 0; i < io_.disks_per_io_node; ++i) {
+    disks_.push_back(
+        std::make_unique<DiskArm>(eng, disk, io_.scan_scheduling));
+  }
+}
+
+std::uint64_t IoNode::phys_of(FileId file, std::uint64_t local_offset) {
+  auto& segs = segments_[file];
+  const std::uint64_t idx = local_offset / kSegmentBytes;
+  while (segs.size() <= idx) {
+    segs.push_back(next_segment_);
+    next_segment_ += kSegmentBytes;
+  }
+  return segs[idx] + local_offset % kSegmentBytes;
+}
+
+simkit::Task<void> IoNode::process(hw::AccessKind kind, FileId file,
+                                   std::uint64_t local_offset,
+                                   std::uint64_t length) {
+  assert(length > 0 &&
+         length <= io_.stripe_unit_bytes &&
+         "requests must be stripe-unit-bounded (client splits them)");
+  ++served_;
+  const simkit::Time t0 = eng_.now();
+
+  // 1. Daemon CPU: strictly serialized per-node, the per-call cost.
+  co_await front_.use_for(simkit::milliseconds(io_.server_overhead_ms));
+
+  const BlockKey key{file, local_offset / io_.stripe_unit_bytes};
+
+  if (kind == hw::AccessKind::kRead) {
+    if (!cache_.lookup(key)) {
+      co_await disk_for(file).serve(phys_of(file, local_offset), length,
+                                    hw::AccessKind::kRead);
+      ++disk_reads_;
+      // Only a full stripe unit read populates the cache (block-grained).
+      if (length == io_.stripe_unit_bytes) cache_.insert(key, false);
+    }
+  } else if (io_.write_behind) {
+    if (cache_.is_dirty(key)) {
+      // Absorbed into an already-dirty block: no new slot, no new flush.
+      cache_.insert(key, true);
+    } else {
+      co_await dirty_slots_.acquire();  // backpressure when flusher lags
+      cache_.insert(key, true);
+      ++dirty_count_[file];
+      eng_.spawn(flush_block(file, local_offset, length, key), "flush");
+    }
+  } else {
+    co_await disk_for(file).serve(phys_of(file, local_offset), length,
+                                  hw::AccessKind::kWrite);
+    ++disk_writes_;
+    cache_.insert(key, false);
+  }
+  busy_ += eng_.now() - t0;
+}
+
+simkit::Task<void> IoNode::flush_block(FileId file, std::uint64_t local_offset,
+                                       std::uint64_t length, BlockKey key) {
+  co_await disk_for(file).serve(phys_of(file, local_offset), length,
+                                hw::AccessKind::kWrite);
+  ++disk_writes_;
+  cache_.mark_clean(key);
+  dirty_slots_.release();
+  auto it = dirty_count_.find(file);
+  if (it != dirty_count_.end() && --it->second == 0) {
+    dirty_count_.erase(it);
+    auto trig = drain_triggers_.find(file);
+    if (trig != drain_triggers_.end()) {
+      trig->second->fire(eng_);
+      drain_triggers_.erase(trig);
+    }
+  }
+}
+
+simkit::Task<void> IoNode::drain(FileId file) {
+  while (dirty_count_.count(file) != 0) {
+    auto& trig = drain_triggers_[file];
+    if (!trig) trig = std::make_shared<simkit::Trigger>();
+    auto local = trig;  // keep alive across the wait
+    co_await local->wait();
+  }
+}
+
+}  // namespace pfs

@@ -1,0 +1,92 @@
+// pfs/ionode.hpp — one I/O node: daemon front-end, disks, cache, flusher.
+//
+// Service model (per request, all FIFO):
+//   1. front-end daemon CPU: a unit resource held for server_overhead_ms —
+//      this is the per-call software cost that dominates unoptimized I/O
+//      in the paper (the more calls, the worse),
+//   2. block cache lookup (LRU, timing-only),
+//   3. on miss / synchronous write: the owning disk arm is acquired and a
+//      mechanical DiskModel prices the access (stateful head position, so
+//      interleaved far-apart requests pay seeks),
+//   4. write-behind (Paragon): writes complete once a dirty-cache slot is
+//      taken; a spawned flush process writes the block out asynchronously.
+//
+// There are no eternal server loops: every piece of work is a finite
+// coroutine, so a simulation drains exactly when all I/O (including
+// background flushes) has completed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "hw/disk.hpp"
+#include "hw/machine.hpp"
+#include "pfs/cache.hpp"
+#include "pfs/diskarm.hpp"
+#include "pfs/types.hpp"
+#include "simkit/engine.hpp"
+#include "simkit/resource.hpp"
+#include "simkit/trigger.hpp"
+
+namespace pfs {
+
+class IoNode {
+ public:
+  IoNode(simkit::Engine& eng, hw::NodeId self, const hw::IoSubsysParams& io,
+         const hw::DiskParams& disk);
+
+  hw::NodeId node_id() const noexcept { return self_; }
+
+  /// Full server-side handling of one stripe-unit-bounded request.
+  simkit::Task<void> process(hw::AccessKind kind, FileId file,
+                             std::uint64_t local_offset, std::uint64_t length);
+
+  /// Wait until all dirty blocks of `file` on this node have been flushed.
+  simkit::Task<void> drain(FileId file);
+
+  // -- statistics ---------------------------------------------------------
+  std::uint64_t requests_served() const noexcept { return served_; }
+  std::uint64_t disk_reads() const noexcept { return disk_reads_; }
+  std::uint64_t disk_writes() const noexcept { return disk_writes_; }
+  const BlockCache& cache() const noexcept { return cache_; }
+  simkit::Duration busy_time() const noexcept { return busy_; }
+
+ private:
+  // One file's per-node data lives on one local disk (PIOFS servers kept
+  // each file in a local AIX file system); distinct files spread across
+  // the node's disks.  This keeps a single shared file from enjoying
+  // intra-node striping the real system didn't provide.
+  DiskArm& disk_for(FileId file) { return *disks_[file % disks_.size()]; }
+
+  /// Physical placement: server-local file offsets are mapped onto the
+  /// disk through 8 MB segments from a bump allocator, so files are
+  /// near-contiguous locally and distinct files live far apart.
+  std::uint64_t phys_of(FileId file, std::uint64_t local_offset);
+
+  simkit::Task<void> flush_block(FileId file, std::uint64_t local_offset,
+                                 std::uint64_t length, BlockKey key);
+
+  static constexpr std::uint64_t kSegmentBytes = 8ULL << 20;
+
+  simkit::Engine& eng_;
+  hw::NodeId self_;
+  hw::IoSubsysParams io_;
+  simkit::Resource front_;        // daemon CPU (capacity 1)
+  simkit::Resource dirty_slots_;  // write-behind backpressure
+  std::vector<std::unique_ptr<DiskArm>> disks_;
+  BlockCache cache_;
+  std::map<FileId, std::vector<std::uint64_t>> segments_;
+  std::uint64_t next_segment_ = 0;
+
+  std::map<FileId, std::uint64_t> dirty_count_;
+  std::map<FileId, std::shared_ptr<simkit::Trigger>> drain_triggers_;
+
+  std::uint64_t served_ = 0;
+  std::uint64_t disk_reads_ = 0;
+  std::uint64_t disk_writes_ = 0;
+  simkit::Duration busy_ = 0.0;
+};
+
+}  // namespace pfs

@@ -1,0 +1,68 @@
+// pfs/layout.hpp — round-robin striping geometry.
+//
+// PFS (Paragon) and PIOFS (SP-2) both stripe files across I/O nodes in
+// fixed-size units (64 KB stripe unit / 32 KB BSU) in round-robin order.
+// StripeMap is pure geometry: it splits a byte range into per-server
+// pieces and computes each piece's server-local offset (the concatenation
+// of that server's stripes forms its local file).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace pfs {
+
+struct StripePiece {
+  std::uint32_t server;        // which I/O node (0..nservers-1)
+  std::uint64_t local_offset;  // offset within that server's local file
+  std::uint64_t file_offset;   // offset within the logical file
+  std::uint64_t length;        // piece length (never crosses a stripe unit)
+};
+
+class StripeMap {
+ public:
+  StripeMap(std::uint64_t stripe_unit, std::uint32_t nservers,
+            std::uint32_t first_server = 0)
+      : su_(stripe_unit), n_(nservers), first_(first_server) {
+    assert(stripe_unit > 0 && nservers > 0);
+  }
+
+  std::uint64_t stripe_unit() const noexcept { return su_; }
+  std::uint32_t servers() const noexcept { return n_; }
+
+  std::uint32_t server_of(std::uint64_t offset) const noexcept {
+    return static_cast<std::uint32_t>((offset / su_ + first_) % n_);
+  }
+
+  std::uint64_t local_offset_of(std::uint64_t offset) const noexcept {
+    const std::uint64_t stripe = offset / su_;
+    return (stripe / n_) * su_ + offset % su_;
+  }
+
+  /// Split [offset, offset+length) into stripe-unit-bounded pieces.
+  std::vector<StripePiece> split(std::uint64_t offset,
+                                 std::uint64_t length) const {
+    std::vector<StripePiece> out;
+    if (length == 0) return out;
+    out.reserve(length / su_ + 2);
+    std::uint64_t pos = offset;
+    std::uint64_t remaining = length;
+    while (remaining > 0) {
+      const std::uint64_t within = pos % su_;
+      const std::uint64_t take = std::min(remaining, su_ - within);
+      out.push_back(StripePiece{server_of(pos), local_offset_of(pos), pos,
+                                take});
+      pos += take;
+      remaining -= take;
+    }
+    return out;
+  }
+
+ private:
+  std::uint64_t su_;
+  std::uint32_t n_;
+  std::uint32_t first_;
+};
+
+}  // namespace pfs

@@ -1,0 +1,66 @@
+#include "pfs/store.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace pfs {
+
+void SparseStore::write(std::uint64_t offset,
+                        std::span<const std::byte> data) {
+  if (data.empty()) return;
+  const std::uint64_t end = offset + data.size();
+
+  // Find the first range that could overlap or touch [offset, end).
+  auto it = ranges_.upper_bound(offset);
+  if (it != ranges_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second.size() >= offset) it = prev;
+  }
+
+  // Merge all overlapping/touching ranges with the new data.
+  std::uint64_t merged_start = offset;
+  std::uint64_t merged_end = end;
+  std::vector<std::pair<std::uint64_t, std::vector<std::byte>>> absorbed;
+  while (it != ranges_.end() && it->first <= merged_end) {
+    merged_start = std::min(merged_start, it->first);
+    merged_end = std::max(merged_end, it->first + it->second.size());
+    resident_ -= it->second.size();
+    absorbed.emplace_back(it->first, std::move(it->second));
+    it = ranges_.erase(it);
+  }
+
+  std::vector<std::byte> merged(merged_end - merged_start);
+  for (auto& [abs_off, bytes] : absorbed) {
+    std::memcpy(merged.data() + (abs_off - merged_start), bytes.data(),
+                bytes.size());
+  }
+  // New data wins over absorbed content.
+  std::memcpy(merged.data() + (offset - merged_start), data.data(),
+              data.size());
+  resident_ += merged.size();
+  ranges_.emplace(merged_start, std::move(merged));
+}
+
+void SparseStore::read(std::uint64_t offset, std::span<std::byte> out) const {
+  if (out.empty()) return;
+  std::memset(out.data(), 0, out.size());
+  const std::uint64_t end = offset + out.size();
+
+  auto it = ranges_.upper_bound(offset);
+  if (it != ranges_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second.size() > offset) it = prev;
+  }
+  for (; it != ranges_.end() && it->first < end; ++it) {
+    const std::uint64_t r_start = it->first;
+    const std::uint64_t r_end = r_start + it->second.size();
+    const std::uint64_t copy_start = std::max(offset, r_start);
+    const std::uint64_t copy_end = std::min(end, r_end);
+    if (copy_start >= copy_end) continue;
+    std::memcpy(out.data() + (copy_start - offset),
+                it->second.data() + (copy_start - r_start),
+                copy_end - copy_start);
+  }
+}
+
+}  // namespace pfs

@@ -1,0 +1,42 @@
+// pfs/store.hpp — sparse byte store for content-backed files.
+//
+// Timing and content are deliberately decoupled in this simulator: the
+// event machinery prices every byte moved, while SparseStore holds actual
+// bytes only for files that request backing (correctness tests, the real
+// out-of-core FFT).  Unbacked files are sized but hole-only, so 37 GB
+// workloads cost no host memory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+namespace pfs {
+
+class SparseStore {
+ public:
+  /// Write bytes at offset (overwrites overlapping ranges).
+  void write(std::uint64_t offset, std::span<const std::byte> data);
+
+  /// Read into `out`; holes read as zero bytes.
+  void read(std::uint64_t offset, std::span<std::byte> out) const;
+
+  /// Total bytes physically stored (for memory accounting).
+  std::uint64_t resident_bytes() const noexcept { return resident_; }
+
+  bool empty() const noexcept { return ranges_.empty(); }
+  void clear() {
+    ranges_.clear();
+    resident_ = 0;
+  }
+
+ private:
+  // offset -> contiguous bytes; invariants: ranges never overlap and never
+  // touch (adjacent ranges are merged).
+  std::map<std::uint64_t, std::vector<std::byte>> ranges_;
+  std::uint64_t resident_ = 0;
+};
+
+}  // namespace pfs

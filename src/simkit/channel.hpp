@@ -1,0 +1,82 @@
+// simkit/channel.hpp — typed unbounded FIFO channel.
+//
+// The workhorse for request/reply protocols between simulated processes
+// (e.g. compute node -> I/O node server queues).  send() never blocks;
+// recv() suspends until an item is available.  Receivers are served FIFO.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "simkit/engine.hpp"
+
+namespace simkit {
+
+template <class T>
+class Channel {
+ public:
+  explicit Channel(Engine& eng) : eng_(eng) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  std::size_t size() const noexcept { return items_.size(); }
+  bool empty() const noexcept { return items_.empty(); }
+  std::size_t waiting_receivers() const noexcept { return recvers_.size(); }
+
+  void send(T v) {
+    if (!recvers_.empty()) {
+      RecvWaiter w = recvers_.front();
+      recvers_.pop_front();
+      *w.slot = std::move(v);
+      eng_.schedule_at(eng_.now(), w.h);
+    } else {
+      items_.push_back(std::move(v));
+    }
+  }
+
+  auto recv() {
+    struct Awaiter {
+      Channel& ch;
+      std::optional<T> value;
+      bool await_ready() noexcept {
+        // A queued item can be claimed immediately only if no earlier
+        // receiver is still waiting (FIFO among receivers).
+        if (!ch.items_.empty()) {
+          assert(ch.recvers_.empty());
+          value = std::move(ch.items_.front());
+          ch.items_.pop_front();
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        ch.recvers_.push_back({h, &value});
+      }
+      T await_resume() { return std::move(*value); }
+    };
+    return Awaiter{*this, std::nullopt};
+  }
+
+  /// Non-blocking receive.
+  std::optional<T> try_recv() {
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+ private:
+  struct RecvWaiter {
+    std::coroutine_handle<> h;
+    std::optional<T>* slot;
+  };
+
+  Engine& eng_;
+  std::deque<T> items_;
+  std::deque<RecvWaiter> recvers_;
+};
+
+}  // namespace simkit

@@ -1,0 +1,61 @@
+#include "simkit/engine.hpp"
+
+namespace simkit {
+
+detail::Detached Engine::drive(Task<void> body,
+                               std::shared_ptr<detail::ProcState> st) {
+  try {
+    co_await std::move(body);
+  } catch (...) {
+    st->error = std::current_exception();
+    failed_.push_back(st);
+  }
+  st->done = true;
+  st->finish_time = now_;
+  for (auto j : st->joiners) schedule_at(now_, j);
+  st->joiners.clear();
+}
+
+ProcHandle Engine::spawn(Task<void> body, std::string name) {
+  auto st = std::make_shared<detail::ProcState>();
+  st->name = std::move(name);
+  detail::Detached d = drive(std::move(body), st);
+  schedule_at(now_, d.handle);
+  return ProcHandle{st};
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  Ev ev = queue_.top();
+  queue_.pop();
+  now_ = ev.t;
+  ++processed_;
+  ev.h.resume();
+  return true;
+}
+
+void Engine::check_failures() {
+  for (auto& st : failed_) {
+    if (st->error && !st->error_consumed) {
+      st->error_consumed = true;
+      throw UnhandledProcessError(st->name, st->error);
+    }
+  }
+}
+
+void Engine::run(std::uint64_t max_events) {
+  while (step()) {
+    if (max_events != 0 && processed_ >= max_events) break;
+  }
+  check_failures();
+}
+
+bool Engine::run_until(Time deadline) {
+  while (!queue_.empty() && queue_.top().t <= deadline) step();
+  check_failures();
+  if (queue_.empty()) return true;
+  now_ = deadline;
+  return false;
+}
+
+}  // namespace simkit

@@ -1,0 +1,177 @@
+// simkit/engine.hpp — the discrete-event core.
+//
+// The Engine owns a time-ordered queue of coroutine resumptions.  All
+// simulated concurrency is cooperative: exactly one coroutine runs at a
+// time, and the simulated clock only advances between events.  Ties are
+// broken by schedule order, so simulations are fully deterministic.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "simkit/task.hpp"
+#include "simkit/time.hpp"
+
+namespace simkit {
+
+class Engine;
+
+/// Thrown by Engine::run when a spawned process failed with an exception
+/// that no joiner consumed.
+class UnhandledProcessError : public std::runtime_error {
+ public:
+  UnhandledProcessError(std::string process_name, std::exception_ptr cause)
+      : std::runtime_error("unhandled exception in simulated process '" +
+                           process_name + "'"),
+        process_name_(std::move(process_name)),
+        cause_(std::move(cause)) {}
+  const std::string& process_name() const noexcept { return process_name_; }
+  std::exception_ptr cause() const noexcept { return cause_; }
+
+ private:
+  std::string process_name_;
+  std::exception_ptr cause_;
+};
+
+namespace detail {
+
+/// Shared completion record for a spawned process.
+struct ProcState {
+  std::string name;
+  bool done = false;
+  std::exception_ptr error;
+  bool error_consumed = false;
+  Time finish_time = kTimeZero;
+  std::vector<std::coroutine_handle<>> joiners;
+};
+
+/// Fire-and-forget driver coroutine: starts suspended (the engine schedules
+/// it), self-destroys at completion.
+struct Detached {
+  struct promise_type {
+    Detached get_return_object() noexcept {
+      return Detached{
+          std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { std::terminate(); }
+  };
+  std::coroutine_handle<promise_type> handle;
+};
+
+}  // namespace detail
+
+/// Handle to a spawned process; join it from any coroutine.
+class ProcHandle {
+ public:
+  ProcHandle() = default;
+
+  bool done() const noexcept { return st_ && st_->done; }
+  bool failed() const noexcept { return st_ && st_->error != nullptr; }
+  Time finish_time() const noexcept { return st_ ? st_->finish_time : 0.0; }
+  const std::string& name() const { return st_->name; }
+
+  /// Awaitable that resumes when the process completes; rethrows the
+  /// process's exception in the joiner, if any.
+  auto join() {
+    struct Awaiter {
+      detail::ProcState* st;
+      bool await_ready() const noexcept { return st->done; }
+      void await_suspend(std::coroutine_handle<> h) {
+        st->joiners.push_back(h);
+      }
+      void await_resume() {
+        if (st->error) {
+          st->error_consumed = true;
+          std::rethrow_exception(st->error);
+        }
+      }
+    };
+    return Awaiter{st_.get()};
+  }
+
+ private:
+  friend class Engine;
+  explicit ProcHandle(std::shared_ptr<detail::ProcState> st)
+      : st_(std::move(st)) {}
+  std::shared_ptr<detail::ProcState> st_;
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Time now() const noexcept { return now_; }
+  std::uint64_t events_processed() const noexcept { return processed_; }
+
+  /// Schedule a raw coroutine resumption at absolute time t (>= now).
+  void schedule_at(Time t, std::coroutine_handle<> h) {
+    if (t < now_) t = now_;  // clamp: no time travel
+    queue_.push(Ev{t, next_seq_++, h});
+  }
+  void schedule_after(Duration dt, std::coroutine_handle<> h) {
+    schedule_at(now_ + dt, h);
+  }
+
+  /// Awaitable: suspend the current coroutine for dt simulated seconds.
+  auto delay(Duration dt) {
+    struct Awaiter {
+      Engine& eng;
+      Duration dt;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        eng.schedule_after(dt, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, dt};
+  }
+
+  /// Start a process at the current simulated time.
+  ProcHandle spawn(Task<void> body, std::string name = "proc");
+
+  /// Run until the event queue drains (or max_events, 0 = unlimited).
+  /// Throws UnhandledProcessError if a spawned process failed and nobody
+  /// joined it.
+  void run(std::uint64_t max_events = 0);
+
+  /// Run until simulated time `deadline` (events at exactly `deadline`
+  /// still run).  Returns true if the queue drained before the deadline.
+  bool run_until(Time deadline);
+
+  /// Process a single event; returns false if the queue is empty.
+  bool step();
+
+  bool idle() const noexcept { return queue_.empty(); }
+
+ private:
+  struct Ev {
+    Time t;
+    std::uint64_t seq;
+    std::coroutine_handle<> h;
+    bool operator>(const Ev& o) const noexcept {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+
+  detail::Detached drive(Task<void> body,
+                         std::shared_ptr<detail::ProcState> st);
+  void check_failures();
+
+  Time now_ = kTimeZero;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Ev, std::vector<Ev>, std::greater<>> queue_;
+  std::vector<std::shared_ptr<detail::ProcState>> failed_;
+};
+
+}  // namespace simkit

@@ -1,0 +1,11 @@
+// simkit/simkit.hpp — umbrella header for the discrete-event kernel.
+#pragma once
+
+#include "simkit/channel.hpp"
+#include "simkit/engine.hpp"
+#include "simkit/resource.hpp"
+#include "simkit/rng.hpp"
+#include "simkit/stats.hpp"
+#include "simkit/task.hpp"
+#include "simkit/time.hpp"
+#include "simkit/trigger.hpp"

@@ -1,0 +1,116 @@
+// simkit/stats.hpp — running statistics used throughout the tracer and
+// experiment harness.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace simkit {
+
+/// Welford's online mean/variance plus min/max/sum.
+class RunningStat {
+ public:
+  void add(double x) {
+    ++n_;
+    sum_ += x;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  std::uint64_t count() const noexcept { return n_; }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+
+  void merge(const RunningStat& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(o.n_);
+    const double delta = o.mean_ - mean_;
+    m2_ += o.m2_ + delta * delta * na * nb / (na + nb);
+    mean_ = (na * mean_ + nb * o.mean_) / (na + nb);
+    n_ += o.n_;
+    sum_ += o.sum_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket histogram on a log2 scale — adequate for latency and
+/// request-size distributions where orders of magnitude matter.
+class Log2Histogram {
+ public:
+  /// Buckets: [0,1), [1,2), [2,4), ... in units of `unit`.
+  explicit Log2Histogram(double unit = 1.0, std::size_t buckets = 40)
+      : unit_(unit), counts_(buckets, 0) {}
+
+  void add(double x) {
+    stat_.add(x);
+    const double v = x / unit_;
+    std::size_t b = 0;
+    if (v >= 1.0) {
+      b = static_cast<std::size_t>(std::ilogb(v)) + 1;
+      b = std::min(b, counts_.size() - 1);
+    }
+    ++counts_[b];
+  }
+
+  const std::vector<std::uint64_t>& counts() const noexcept { return counts_; }
+  const RunningStat& stat() const noexcept { return stat_; }
+
+  /// Merge another histogram with the same unit/bucket shape.
+  void merge(const Log2Histogram& o) {
+    for (std::size_t b = 0; b < counts_.size() && b < o.counts_.size();
+         ++b) {
+      counts_[b] += o.counts_[b];
+    }
+    stat_.merge(o.stat_);
+  }
+
+  /// Approximate quantile from the bucket boundaries (upper bound).
+  double quantile_upper_bound(double q) const {
+    const std::uint64_t total = stat_.count();
+    if (total == 0) return 0.0;
+    const auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(total));
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+      cum += counts_[b];
+      if (cum > target) {
+        return b == 0 ? unit_ : unit_ * std::ldexp(1.0, static_cast<int>(b));
+      }
+    }
+    return stat_.max();
+  }
+
+ private:
+  double unit_;
+  std::vector<std::uint64_t> counts_;
+  RunningStat stat_;
+};
+
+}  // namespace simkit

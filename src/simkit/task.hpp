@@ -1,0 +1,166 @@
+// simkit/task.hpp — lazy coroutine task type used for all simulated
+// processes and sub-operations.
+//
+// A Task<T> does not start executing until it is awaited (or handed to
+// Engine::spawn).  Completion resumes the awaiting coroutine by symmetric
+// transfer, which keeps same-instant causality: when a callee finishes at
+// simulated time t, its caller continues at time t before any other event.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace simkit {
+
+namespace detail {
+
+// Final awaiter shared by all Task promises: transfer control back to the
+// continuation if there is one, otherwise just suspend (the owner destroys
+// the frame).
+struct FinalAwaiter {
+  bool await_ready() const noexcept { return false; }
+  template <class Promise>
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> h) noexcept {
+    auto cont = h.promise().continuation;
+    return cont ? cont : std::noop_coroutine();
+  }
+  void await_resume() const noexcept {}
+};
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr error;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { error = std::current_exception(); }
+};
+
+}  // namespace detail
+
+/// Lazy, single-awaiter coroutine.  Move-only; owns its frame.
+template <class T = void>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value;
+
+    Task get_return_object() noexcept {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    template <class U>
+    void return_value(U&& v) {
+      value.emplace(std::forward<U>(v));
+    }
+  };
+
+  Task() noexcept = default;
+  Task(Task&& other) noexcept : h_(std::exchange(other.h_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      h_ = std::exchange(other.h_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const noexcept { return static_cast<bool>(h_); }
+
+  /// Awaiting a Task starts it and resumes the awaiter when it completes.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> cont) noexcept {
+        h.promise().continuation = cont;
+        return h;  // symmetric transfer: start the task now
+      }
+      T await_resume() {
+        auto& p = h.promise();
+        if (p.error) std::rethrow_exception(p.error);
+        return std::move(*p.value);
+      }
+    };
+    return Awaiter{h_};
+  }
+
+  /// For the engine: release ownership of the raw handle.
+  std::coroutine_handle<promise_type> release() noexcept {
+    return std::exchange(h_, {});
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) noexcept : h_(h) {}
+  void destroy() noexcept {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+  std::coroutine_handle<promise_type> h_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() noexcept {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_void() noexcept {}
+  };
+
+  Task() noexcept = default;
+  Task(Task&& other) noexcept : h_(std::exchange(other.h_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      h_ = std::exchange(other.h_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const noexcept { return static_cast<bool>(h_); }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> cont) noexcept {
+        h.promise().continuation = cont;
+        return h;
+      }
+      void await_resume() {
+        if (auto& e = h.promise().error) std::rethrow_exception(e);
+      }
+    };
+    return Awaiter{h_};
+  }
+
+  std::coroutine_handle<promise_type> release() noexcept {
+    return std::exchange(h_, {});
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) noexcept : h_(h) {}
+  void destroy() noexcept {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+  std::coroutine_handle<promise_type> h_;
+};
+
+}  // namespace simkit

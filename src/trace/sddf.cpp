@@ -1,0 +1,46 @@
+#include "trace/sddf.hpp"
+
+#include <cstdio>
+
+namespace trace {
+
+std::string to_sddf(const IoTracer& tracer, const SddfOptions& opts) {
+  std::string out;
+  out += "/* SDDF-A (ASCII) — " + opts.system + " I/O event trace */\n";
+  out += ";;\n";
+  out +=
+      "#1:\n"
+      "\"IO Event\" {{\n"
+      "  int    \"Processor Number\";\n"
+      "  double \"Timestamp\";\n"
+      "  int    \"Event Type\";\n"
+      "  char   \"Operation\"[];\n"
+      "  double \"Duration\";\n"
+      "  int    \"Byte Count\";\n"
+      "}};;\n";
+  char line[192];
+  for (const OpRecord& ev : tracer.events()) {
+    std::snprintf(line, sizeof line,
+                  "\"IO Event\" { %d, %.6f, %d, \"%s\", %.6f, %llu };;\n",
+                  opts.processor, ev.start,
+                  static_cast<int>(ev.kind),
+                  std::string(pfs::to_string(ev.kind)).c_str(), ev.duration,
+                  static_cast<unsigned long long>(ev.bytes));
+    out += line;
+  }
+  return out;
+}
+
+std::size_t sddf_record_count(const std::string& sddf) {
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  const std::string needle = "\"IO Event\" {";
+  while ((pos = sddf.find(needle, pos)) != std::string::npos) {
+    // Skip the descriptor (it uses double braces).
+    if (sddf.compare(pos + needle.size(), 1, "{") != 0) ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+}  // namespace trace

@@ -1,0 +1,29 @@
+// trace/sddf.hpp — Pablo SDDF-style trace export.
+//
+// The paper instruments applications with the Pablo I/O tracing library,
+// whose on-disk form is SDDF (Self-Describing Data Format): an ASCII
+// stream of record *descriptors* followed by tagged data records.  This
+// writer emits the I/O event stream of an IoTracer in that style, so the
+// simulated traces can be eyeballed (or post-processed) the way Pablo
+// traces were.
+#pragma once
+
+#include <string>
+
+#include "trace/tracer.hpp"
+
+namespace trace {
+
+struct SddfOptions {
+  std::string system = "iosim";
+  int processor = 0;  // rank the trace came from
+};
+
+/// Render the tracer's retained events (IoTracer(keep_events=true)) as an
+/// SDDF-style ASCII stream: one descriptor, one record per event.
+std::string to_sddf(const IoTracer& tracer, const SddfOptions& opts = {});
+
+/// Parse back the record count of an SDDF stream (validation helper).
+std::size_t sddf_record_count(const std::string& sddf);
+
+}  // namespace trace

@@ -1,0 +1,101 @@
+// trace/tracer.hpp — Pablo-style application-level I/O tracing.
+//
+// The paper instruments SCF 1.1 with the Pablo I/O tracing library and
+// reports per-operation summaries (Tables 2 and 3): operation count, total
+// time, volume, % of I/O time and % of execution time.  IoTracer collects
+// exactly that, per operation kind, with optional per-op event retention
+// for fine-grained analysis.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pfs/types.hpp"
+#include "simkit/stats.hpp"
+#include "simkit/time.hpp"
+
+namespace trace {
+
+struct OpRecord {
+  pfs::OpKind kind;
+  simkit::Time start;
+  simkit::Duration duration;
+  std::uint64_t bytes;
+};
+
+struct KindSummary {
+  std::uint64_t count = 0;
+  simkit::Duration time = 0.0;
+  std::uint64_t bytes = 0;
+  simkit::RunningStat latency;
+  /// Latency distribution on a log2 scale (unit 0.1 ms).
+  simkit::Log2Histogram latency_hist{1e-4, 32};
+};
+
+class IoTracer final : public pfs::IoObserver {
+ public:
+  /// keep_events: retain every OpRecord (memory ~ op count).  Aggregates
+  /// are always collected.
+  explicit IoTracer(bool keep_events = false) : keep_events_(keep_events) {}
+
+  void record(pfs::OpKind kind, simkit::Time start, simkit::Duration dur,
+              std::uint64_t bytes) override {
+    auto& s = byKind_[static_cast<std::size_t>(kind)];
+    ++s.count;
+    s.time += dur;
+    s.bytes += bytes;
+    s.latency.add(dur);
+    s.latency_hist.add(dur);
+    if (keep_events_) events_.push_back({kind, start, dur, bytes});
+  }
+
+  /// Merge another tracer (e.g. per-rank tracers into a job-wide one).
+  void merge(const IoTracer& other) {
+    for (std::size_t k = 0; k < byKind_.size(); ++k) {
+      byKind_[k].count += other.byKind_[k].count;
+      byKind_[k].time += other.byKind_[k].time;
+      byKind_[k].bytes += other.byKind_[k].bytes;
+      byKind_[k].latency.merge(other.byKind_[k].latency);
+      byKind_[k].latency_hist.merge(other.byKind_[k].latency_hist);
+    }
+    if (keep_events_) {
+      events_.insert(events_.end(), other.events_.begin(),
+                     other.events_.end());
+    }
+  }
+
+  const KindSummary& summary(pfs::OpKind k) const {
+    return byKind_[static_cast<std::size_t>(k)];
+  }
+  const std::vector<OpRecord>& events() const noexcept { return events_; }
+
+  std::uint64_t total_ops() const;
+  simkit::Duration total_io_time() const;
+  std::uint64_t total_bytes() const;
+
+  void clear();
+
+ private:
+  bool keep_events_;
+  std::array<KindSummary, static_cast<std::size_t>(pfs::OpKind::kCount)>
+      byKind_{};
+  std::vector<OpRecord> events_;
+};
+
+/// Render the paper's Table 2/3 layout: one row per operation kind plus an
+/// "All I/O" footer, with % of I/O time and % of execution time columns.
+std::string format_io_summary(const IoTracer& tracer,
+                              simkit::Duration exec_time,
+                              const std::string& title);
+
+/// Same data as CSV (kind,count,time_s,bytes,pct_io,pct_exec).
+std::string io_summary_csv(const IoTracer& tracer,
+                           simkit::Duration exec_time);
+
+/// Per-operation latency quantiles (mean / approx p50 / approx p99 / max)
+/// — the distributional view Pablo's analysis tools computed.
+std::string format_latency_quantiles(const IoTracer& tracer);
+
+}  // namespace trace

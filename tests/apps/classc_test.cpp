@@ -1,0 +1,45 @@
+// Tests for BTIO Class C.
+#include <gtest/gtest.h>
+
+#include "apps/btio.hpp"
+
+namespace apps {
+namespace {
+
+TEST(BtioClassC, GridAndVolume) {
+  BtioConfig cfg;
+  cfg.problem_class = 'C';
+  EXPECT_EQ(cfg.grid_n(), 162u);
+  EXPECT_EQ(cfg.dump_bytes(), 162ull * 162 * 162 * 40);  // ~170 MB
+}
+
+TEST(BtioClassC, RunsAndDwarfsClassA) {
+  BtioConfig a;
+  a.nprocs = 36;
+  a.collective = true;
+  a.scale = 0.05;  // 2 dumps
+  BtioConfig c = a;
+  c.problem_class = 'C';
+  const RunResult ra = run_btio(a);
+  const RunResult rc = run_btio(c);
+  // (162/64)^3 ~ 16x the cells: both I/O volume and compute scale.
+  EXPECT_NEAR(static_cast<double>(rc.io_bytes) /
+                  static_cast<double>(ra.io_bytes),
+              16.2, 0.5);
+  EXPECT_GT(rc.exec_time, 8.0 * ra.exec_time);
+}
+
+TEST(BtioClassC, CollectiveStillWins) {
+  BtioConfig cfg;
+  cfg.problem_class = 'C';
+  cfg.nprocs = 16;
+  cfg.scale = 0.05;
+  cfg.collective = false;
+  const RunResult unopt = run_btio(cfg);
+  cfg.collective = true;
+  const RunResult opt = run_btio(cfg);
+  EXPECT_LT(opt.io_time, unopt.io_time * 0.5);
+}
+
+}  // namespace
+}  // namespace apps

@@ -1,0 +1,127 @@
+// Tests for the SCF 3.0 (semi-direct, balanced I/O) workload model.
+#include "apps/scf3.hpp"
+
+#include <gtest/gtest.h>
+
+namespace apps {
+namespace {
+
+Scf30Config base_cfg() {
+  Scf30Config cfg;
+  cfg.nprocs = 8;
+  cfg.io_nodes = 16;
+  cfg.n_basis = 108;
+  cfg.iterations = 4;
+  cfg.scale = 0.1;
+  return cfg;
+}
+
+TEST(Scf30, FullRecomputeScalesWithProcessors) {
+  Scf30Config a = base_cfg();
+  a.cached_percent = 0.0;
+  Scf30Config b = a;
+  b.nprocs = 32;
+  const RunResult ra = run_scf30(a);
+  const RunResult rb = run_scf30(b);
+  // Figure 4: at 0% cached, more processors help a lot.
+  EXPECT_GT(ra.exec_time / rb.exec_time, 2.0);
+}
+
+TEST(Scf30, FullDiskInsensitiveToProcessors) {
+  // Figure 4's regime: the MEDIUM input's cached files exceed the I/O
+  // nodes' caches (sequential re-scans defeat LRU), so disk reads gate
+  // every iteration; Fock assembly is cheap relative to evaluation.
+  Scf30Config a = base_cfg();
+  a.cached_percent = 100.0;
+  a.n_basis = 180;  // cached files well beyond the I/O-node caches
+  a.scale = 1.0;
+  a.iterations = 10;  // amortize the (perfectly scaling) first iteration
+  a.fock_flops_per_integral = 20.0;
+  a.nprocs = 16;
+  Scf30Config b = a;
+  b.nprocs = 64;
+  const RunResult ra = run_scf30(a);
+  const RunResult rb = run_scf30(b);
+  // 4x the processors must buy much less than 4x (paper: "increasing the
+  // number of processors does not make a significant difference").
+  EXPECT_LT(ra.exec_time / rb.exec_time, 2.0);
+}
+
+TEST(Scf30, CachingBeatsRecomputeOnThisPlatform) {
+  // Paper: "increasing the percentage of integrals stored on disk gave
+  // better performance" (disk read < re-evaluation cost).
+  Scf30Config lo = base_cfg();
+  lo.cached_percent = 0.0;
+  Scf30Config hi = base_cfg();
+  hi.cached_percent = 100.0;
+  EXPECT_LT(run_scf30(hi).exec_time, run_scf30(lo).exec_time);
+}
+
+TEST(Scf30, IoNodesMatterLittle) {
+  Scf30Config a = base_cfg();
+  a.cached_percent = 75.0;
+  Scf30Config b = a;
+  b.io_nodes = 64;
+  const RunResult ra = run_scf30(a);
+  const RunResult rb = run_scf30(b);
+  // Figure 4: 16 vs 64 I/O nodes is a second-order effect for SCF 3.0.
+  EXPECT_LT(ra.exec_time / rb.exec_time, 1.35);
+}
+
+TEST(Scf30, CachedFractionControlsVolume) {
+  Scf30Config half = base_cfg();
+  half.cached_percent = 50.0;
+  Scf30Config full = base_cfg();
+  full.cached_percent = 100.0;
+  const RunResult rh = run_scf30(half);
+  const RunResult rf = run_scf30(full);
+  const double ratio =
+      static_cast<double>(rf.io_bytes) / static_cast<double>(rh.io_bytes);
+  EXPECT_NEAR(ratio, 2.0, 0.25);
+}
+
+TEST(Scf30, BalancedIoReducesExecWithSkew) {
+  // Read-gated regime: big cached volume, cheap Fock assembly, strong
+  // skew — the largest private file gates every iteration.
+  Scf30Config on = base_cfg();
+  on.cached_percent = 100.0;
+  on.imbalance = 0.35;
+  on.scale = 1.0;  // per-rank files well above the 1 MB balance floor
+  on.io_nodes = 64;  // ample disks: each client's own scan is the gate
+  on.iterations = 12;  // many read passes amortize the balancing cost
+  on.fock_flops_per_integral = 5.0;
+  on.balanced_io = true;
+  Scf30Config off = on;
+  off.balanced_io = false;
+  const RunResult r_on = run_scf30(on);
+  const RunResult r_off = run_scf30(off);
+  EXPECT_LT(r_on.exec_time, r_off.exec_time);
+}
+
+TEST(Scf30, SortedCachingMakesRecomputationCheaper) {
+  // Caching the EXPENSIVE integrals (the paper's ordering) leaves only
+  // cheap ones to recompute each iteration.
+  Scf30Config sorted_cfg = base_cfg();
+  sorted_cfg.cached_percent = 75.0;
+  sorted_cfg.sorted_caching = true;
+  Scf30Config random_cfg = sorted_cfg;
+  random_cfg.sorted_caching = false;
+  const RunResult s = run_scf30(sorted_cfg);
+  const RunResult r = run_scf30(random_cfg);
+  EXPECT_LT(s.compute_time, r.compute_time);
+  EXPECT_LT(s.exec_time, r.exec_time);
+  // Same I/O either way: the fraction on disk is unchanged.
+  EXPECT_EQ(s.io_bytes, r.io_bytes);
+}
+
+TEST(Scf30, ZeroCachedDoesNoDataIo) {
+  Scf30Config cfg = base_cfg();
+  cfg.cached_percent = 0.0;
+  const RunResult r = run_scf30(cfg);
+  EXPECT_EQ(r.trace.summary(pfs::OpKind::kRead).bytes, 0u);
+  EXPECT_EQ(r.trace.summary(pfs::OpKind::kWrite).bytes, 0u);
+  EXPECT_GT(r.compute_time, 0.0);
+}
+
+}  // namespace
+}  // namespace apps

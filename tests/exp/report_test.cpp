@@ -1,0 +1,89 @@
+// Tests for the utilization report and table rendering.
+#include "exp/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/table.hpp"
+#include "hw/machine.hpp"
+#include "simkit/engine.hpp"
+
+namespace expt {
+namespace {
+
+struct Rig {
+  simkit::Engine eng;
+  hw::Machine machine;
+  pfs::StripedFs fs;
+  Rig() : machine(eng, hw::MachineConfig::paragon_small(4, 2)), fs(machine) {}
+};
+
+TEST(Report, CountsMatchAfterAWorkload) {
+  Rig rig;
+  const pfs::FileId f = rig.fs.create("u");
+  rig.eng.spawn([](Rig& r, pfs::FileId f) -> simkit::Task<void> {
+    co_await r.fs.pread(r.machine.compute_node(0), f, 0, 1 << 20);
+  }(rig, f));
+  rig.eng.run();
+  const auto u0 = io_node_utilization(rig.fs, 0, rig.eng.now());
+  const auto u1 = io_node_utilization(rig.fs, 1, rig.eng.now());
+  // 1 MB in 64 KB stripes round-robin over 2 nodes: 8 requests each.
+  EXPECT_EQ(u0.requests, 8u);
+  EXPECT_EQ(u1.requests, 8u);
+  EXPECT_GT(u0.busy_fraction, 0.0);
+  EXPECT_LE(u0.busy_fraction, 1.0);
+}
+
+TEST(Report, RendersAllNodesPlusAggregate) {
+  Rig rig;
+  const pfs::FileId f = rig.fs.create("u");
+  rig.eng.spawn([](Rig& r, pfs::FileId f) -> simkit::Task<void> {
+    co_await r.fs.pwrite(r.machine.compute_node(0), f, 0, 256 * 1024);
+  }(rig, f));
+  rig.eng.run();
+  const std::string rep = utilization_report(rig.fs, rig.eng.now());
+  EXPECT_NE(rep.find("| 0 "), std::string::npos);
+  EXPECT_NE(rep.find("| 1 "), std::string::npos);
+  EXPECT_NE(rep.find("| all "), std::string::npos);
+  EXPECT_NE(rep.find("busy"), std::string::npos);
+}
+
+TEST(Report, BalancedStripingHasLowImbalance) {
+  Rig rig;
+  const pfs::FileId f = rig.fs.create("bal");
+  rig.eng.spawn([](Rig& r, pfs::FileId f) -> simkit::Task<void> {
+    co_await r.fs.pread(r.machine.compute_node(0), f, 0, 4 << 20);
+  }(rig, f));
+  rig.eng.run();
+  EXPECT_NEAR(io_imbalance(rig.fs), 1.0, 0.05);
+}
+
+TEST(Report, HotSpottedAccessHasHighImbalance) {
+  Rig rig;
+  const pfs::FileId f = rig.fs.create("hot");
+  rig.eng.spawn([](Rig& r, pfs::FileId f) -> simkit::Task<void> {
+    // Hammer the same 64 KB stripe (one node) repeatedly.
+    for (int i = 0; i < 32; ++i) {
+      co_await r.fs.pread(r.machine.compute_node(0), f, 0, 4096);
+    }
+  }(rig, f));
+  rig.eng.run();
+  EXPECT_GT(io_imbalance(rig.fs), 5.0);
+}
+
+TEST(Table, CsvEscapesNothingButJoins) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"x", "y"});
+  EXPECT_EQ(t.csv(), "a,b\n1,2\nx,y\n");
+}
+
+TEST(Table, StrAlignsColumns) {
+  Table t({"name", "v"});
+  t.add_row({"long-name-here", "1"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("| name "), std::string::npos);
+  EXPECT_NE(s.find("| long-name-here | 1 |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace expt

@@ -1,0 +1,81 @@
+// Tests for Machine node numbering, presets, compute timing.
+#include "hw/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simkit/engine.hpp"
+
+namespace hw {
+namespace {
+
+TEST(Machine, NodeNumbering) {
+  simkit::Engine eng;
+  Machine m(eng, MachineConfig::paragon_small(8, 2));
+  EXPECT_EQ(m.compute_node(0), 0u);
+  EXPECT_EQ(m.compute_node(7), 7u);
+  EXPECT_EQ(m.io_node(0), 8u);
+  EXPECT_EQ(m.io_node(1), 9u);
+  EXPECT_FALSE(m.is_io_node(7));
+  EXPECT_TRUE(m.is_io_node(8));
+  EXPECT_TRUE(m.is_io_node(9));
+}
+
+TEST(Machine, NetworkCoversAllNodes) {
+  simkit::Engine eng;
+  Machine m(eng, MachineConfig::paragon_large(64, 16));
+  EXPECT_GE(m.network().node_count(), 80u);
+}
+
+TEST(Machine, ComputeTimeMatchesMflops) {
+  simkit::Engine eng;
+  auto cfg = MachineConfig::paragon_small(2, 2);
+  cfg.cpu_mflops = 25.0;
+  Machine m(eng, cfg);
+  double t = -1.0;
+  eng.spawn([](simkit::Engine& e, Machine& m, double& out)
+                -> simkit::Task<void> {
+    co_await m.compute(50e6);  // 50 MFLOP at 25 MFLOPS = 2 s
+    out = e.now();
+  }(eng, m, t));
+  eng.run();
+  EXPECT_NEAR(t, 2.0, 1e-9);
+  EXPECT_NEAR(m.compute_time(50e6), 2.0, 1e-12);
+}
+
+TEST(Machine, MemCopyTimeMatchesRate) {
+  simkit::Engine eng;
+  auto cfg = MachineConfig::paragon_small(2, 2);
+  cfg.mem_copy_mb_per_s = 30.0;
+  Machine m(eng, cfg);
+  double t = -1.0;
+  eng.spawn([](simkit::Engine& e, Machine& m, double& out)
+                -> simkit::Task<void> {
+    co_await m.mem_copy(30'000'000);
+    out = e.now();
+  }(eng, m, t));
+  eng.run();
+  EXPECT_NEAR(t, 1.0, 1e-9);
+}
+
+TEST(MachineConfig, PresetsMatchPaperPlatforms) {
+  const auto ps = MachineConfig::paragon_small(56, 4);
+  EXPECT_EQ(ps.io.stripe_unit_bytes, 64u * 1024u);
+  EXPECT_EQ(ps.mem_bytes_per_node, 32ULL << 20);
+  EXPECT_EQ(ps.topology, TopologyKind::kMesh2D);
+
+  const auto sp = MachineConfig::sp2(64);
+  EXPECT_EQ(sp.io_nodes, 4u);
+  EXPECT_EQ(sp.io.stripe_unit_bytes, 32u * 1024u);
+  EXPECT_EQ(sp.io.disks_per_io_node, 4u);
+  EXPECT_EQ(sp.topology, TopologyKind::kMultistageSwitch);
+  EXPECT_EQ(sp.mem_bytes_per_node, 256ULL << 20);
+}
+
+TEST(MachineConfig, ParagonWriteBehindSp2Not) {
+  // Thakur et al. (1996): Paragon faster on writes, SP-2 faster on reads.
+  EXPECT_TRUE(MachineConfig::paragon_large(16, 12).io.write_behind);
+  EXPECT_FALSE(MachineConfig::sp2(16).io.write_behind);
+}
+
+}  // namespace
+}  // namespace hw

@@ -1,0 +1,125 @@
+// Tests for topology geometry and endpoint-contention transfers.
+#include "hw/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "simkit/engine.hpp"
+
+namespace hw {
+namespace {
+
+TEST(MeshTopology, ManhattanHops) {
+  MeshTopology m(4, 14);
+  EXPECT_EQ(m.hops(0, 0), 0u);
+  EXPECT_EQ(m.hops(0, 3), 3u);   // same row
+  EXPECT_EQ(m.hops(0, 4), 1u);   // next row
+  EXPECT_EQ(m.hops(0, 55), 3u + 13u);  // opposite corner
+  EXPECT_EQ(m.node_count(), 56u);
+}
+
+TEST(SwitchTopology, ConstantHops) {
+  SwitchTopology s(80, 3);
+  EXPECT_EQ(s.hops(0, 0), 0u);
+  EXPECT_EQ(s.hops(0, 79), 3u);
+  EXPECT_EQ(s.hops(5, 6), 3u);
+}
+
+NetParams fast_params() {
+  NetParams p;
+  p.link_mb_per_s = 100.0;
+  p.per_hop_latency_us = 1.0;
+  p.sw_overhead_us = 10.0;
+  return p;
+}
+
+TEST(Network, UncontendedTransferTiming) {
+  simkit::Engine eng;
+  Network net(eng, std::make_unique<MeshTopology>(4, 4), fast_params());
+  double done_at = -1.0;
+  eng.spawn([](simkit::Engine& e, Network& n, double& out)
+                -> simkit::Task<void> {
+    co_await n.transfer(0, 3, 1'000'000);  // 3 hops, 1 MB
+    out = e.now();
+  }(eng, net, done_at));
+  eng.run();
+  // sw 10us + src serialization 10ms + 3us prop + dst serialization 10ms
+  EXPECT_NEAR(done_at, 10e-6 + 0.01 + 3e-6 + 0.01, 1e-9);
+}
+
+TEST(Network, LocalTransferPaysOneCopy) {
+  simkit::Engine eng;
+  Network net(eng, std::make_unique<MeshTopology>(4, 4), fast_params());
+  double done_at = -1.0;
+  eng.spawn([](simkit::Engine& e, Network& n, double& out)
+                -> simkit::Task<void> {
+    co_await n.transfer(2, 2, 1'000'000);
+    out = e.now();
+  }(eng, net, done_at));
+  eng.run();
+  EXPECT_NEAR(done_at, 10e-6 + 0.01, 1e-9);
+}
+
+TEST(Network, ReceiverNicContentionSerializes) {
+  // Many senders to one destination: completions must spread out by at
+  // least the receiver serialization time each.
+  simkit::Engine eng;
+  Network net(eng, std::make_unique<MeshTopology>(4, 4), fast_params());
+  std::vector<double> done;
+  constexpr int kSenders = 6;
+  for (int s = 0; s < kSenders; ++s) {
+    eng.spawn([](simkit::Engine& e, Network& n, std::vector<double>& out,
+                 NodeId src) -> simkit::Task<void> {
+      co_await n.transfer(src, 15, 2'000'000);  // 20 ms at the NIC
+      out.push_back(e.now());
+    }(eng, net, done, static_cast<NodeId>(s)));
+  }
+  eng.run();
+  ASSERT_EQ(done.size(), static_cast<std::size_t>(kSenders));
+  std::sort(done.begin(), done.end());
+  for (std::size_t i = 1; i < done.size(); ++i) {
+    EXPECT_GE(done[i] - done[i - 1], 0.02 - 1e-9);
+  }
+  // Total time ~ kSenders * 20 ms: the shared endpoint is the bottleneck.
+  EXPECT_GE(done.back(), kSenders * 0.02 - 1e-9);
+}
+
+TEST(Network, DisjointPairsProceedInParallel) {
+  simkit::Engine eng;
+  Network net(eng, std::make_unique<MeshTopology>(4, 4), fast_params());
+  std::vector<double> done;
+  eng.spawn([](simkit::Engine& e, Network& n, std::vector<double>& out)
+                -> simkit::Task<void> {
+    co_await n.transfer(0, 1, 2'000'000);
+    out.push_back(e.now());
+  }(eng, net, done));
+  eng.spawn([](simkit::Engine& e, Network& n, std::vector<double>& out)
+                -> simkit::Task<void> {
+    co_await n.transfer(2, 3, 2'000'000);
+    out.push_back(e.now());
+  }(eng, net, done));
+  eng.run();
+  ASSERT_EQ(done.size(), 2u);
+  // Both finish at the uncontended time: ~40.011 ms.
+  EXPECT_NEAR(done[0], done[1], 1e-9);
+  EXPECT_LT(done[0], 0.05);
+}
+
+TEST(Network, BaseTransferTimeMatchesUncontendedRun) {
+  simkit::Engine eng;
+  Network net(eng, std::make_unique<MeshTopology>(4, 4), fast_params());
+  const auto est = net.base_transfer_time(0, 5, 500'000);
+  double done_at = -1.0;
+  eng.spawn([](simkit::Engine& e, Network& n, double& out)
+                -> simkit::Task<void> {
+    co_await n.transfer(0, 5, 500'000);
+    out = e.now();
+  }(eng, net, done_at));
+  eng.run();
+  EXPECT_NEAR(done_at, est, 1e-9);
+}
+
+}  // namespace
+}  // namespace hw

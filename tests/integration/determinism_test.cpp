@@ -1,0 +1,80 @@
+// The simulator's core promise: identical configurations replay
+// bit-identically — across every application and the full I/O stack.
+#include <gtest/gtest.h>
+
+#include "apps/ast.hpp"
+#include "apps/btio.hpp"
+#include "apps/fft_app.hpp"
+#include "apps/scf.hpp"
+#include "apps/scf3.hpp"
+
+namespace apps {
+namespace {
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.exec_time, b.exec_time);  // exact, not NEAR: determinism
+  EXPECT_EQ(a.io_time, b.io_time);
+  EXPECT_EQ(a.compute_time, b.compute_time);
+  EXPECT_EQ(a.io_bytes, b.io_bytes);
+  EXPECT_EQ(a.io_calls, b.io_calls);
+}
+
+TEST(Determinism, Scf11) {
+  ScfConfig cfg;
+  cfg.version = ScfVersion::kPassionPrefetch;
+  cfg.nprocs = 8;
+  cfg.n_basis = 108;
+  cfg.iterations = 5;
+  cfg.scale = 0.1;
+  expect_identical(run_scf11(cfg), run_scf11(cfg));
+}
+
+TEST(Determinism, Scf30) {
+  Scf30Config cfg;
+  cfg.nprocs = 8;
+  cfg.cached_percent = 60.0;
+  cfg.n_basis = 108;
+  cfg.iterations = 5;
+  cfg.scale = 0.1;
+  expect_identical(run_scf30(cfg), run_scf30(cfg));
+}
+
+TEST(Determinism, Fft) {
+  FftConfig cfg;
+  cfg.n = 512;
+  cfg.nprocs = 4;
+  cfg.io_nodes = 2;
+  cfg.mem_bytes = 1 << 20;
+  expect_identical(run_fft(cfg), run_fft(cfg));
+}
+
+TEST(Determinism, Btio) {
+  BtioConfig cfg;
+  cfg.nprocs = 9;
+  cfg.collective = true;
+  cfg.scale = 0.05;
+  expect_identical(run_btio(cfg), run_btio(cfg));
+}
+
+TEST(Determinism, Ast) {
+  AstConfig cfg;
+  cfg.grid = 512;
+  cfg.nprocs = 8;
+  cfg.collective = false;
+  cfg.scale = 0.05;
+  expect_identical(run_ast(cfg), run_ast(cfg));
+}
+
+TEST(Determinism, FftDataBackedOutputsIdentical) {
+  FftConfig cfg;
+  cfg.n = 32;
+  cfg.nprocs = 2;
+  cfg.io_nodes = 2;
+  cfg.mem_bytes = 32 * 1024;
+  std::vector<std::byte> input(32 * 32 * 16, std::byte{0x5A});
+  EXPECT_EQ(run_fft_collect_output(cfg, input),
+            run_fft_collect_output(cfg, input));
+}
+
+}  // namespace
+}  // namespace apps

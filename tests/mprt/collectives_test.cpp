@@ -1,0 +1,195 @@
+// Tests for barrier / bcast / gatherv / alltoallv / allreduce, including
+// parameterized sweeps over non-power-of-two rank counts.
+#include "mprt/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "simkit/engine.hpp"
+
+namespace mprt {
+namespace {
+
+class CollectiveSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveSweep, BarrierSynchronizesAllRanks) {
+  const int p = GetParam();
+  simkit::Engine eng;
+  hw::Machine machine(
+      eng, hw::MachineConfig::paragon_small(static_cast<std::size_t>(p), 2));
+  std::vector<double> after(static_cast<std::size_t>(p), -1.0);
+  double max_before = 0.0;
+  Cluster::execute(machine, p, [&](Comm& c) -> simkit::Task<void> {
+    // Ranks arrive at wildly different times.
+    co_await c.engine().delay(0.01 * c.rank());
+    max_before = std::max(max_before, c.engine().now());
+    co_await barrier(c);
+    after[static_cast<std::size_t>(c.rank())] = c.engine().now();
+  });
+  for (double t : after) EXPECT_GE(t, max_before);
+}
+
+TEST_P(CollectiveSweep, BcastDeliversRootPayload) {
+  const int p = GetParam();
+  simkit::Engine eng;
+  hw::Machine machine(
+      eng, hw::MachineConfig::paragon_small(static_cast<std::size_t>(p), 2));
+  const Rank root = p > 2 ? 2 : 0;
+  std::vector<std::vector<std::byte>> got(static_cast<std::size_t>(p));
+  Cluster::execute(machine, p, [&](Comm& c) -> simkit::Task<void> {
+    std::vector<std::byte> buf(16);
+    if (c.rank() == root) {
+      for (std::size_t i = 0; i < buf.size(); ++i) {
+        buf[i] = static_cast<std::byte>(0xA0 + i);
+      }
+    }
+    co_await bcast(c, root, buf.size(), buf);
+    got[static_cast<std::size_t>(c.rank())] = buf;
+  });
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(got[static_cast<std::size_t>(r)][0], std::byte{0xA0})
+        << "rank " << r;
+    EXPECT_EQ(got[static_cast<std::size_t>(r)][15], std::byte{0xAF});
+  }
+}
+
+TEST_P(CollectiveSweep, GathervCollectsAllBlocks) {
+  const int p = GetParam();
+  simkit::Engine eng;
+  hw::Machine machine(
+      eng, hw::MachineConfig::paragon_small(static_cast<std::size_t>(p), 2));
+  std::vector<Message> at_root;
+  Cluster::execute(machine, p, [&](Comm& c) -> simkit::Task<void> {
+    std::vector<std::byte> mine(static_cast<std::size_t>(c.rank()) + 1,
+                                static_cast<std::byte>(c.rank()));
+    auto msgs = co_await gatherv(c, 0, mine.size(), mine);
+    if (c.rank() == 0) at_root = std::move(msgs);
+  });
+  ASSERT_EQ(at_root.size(), static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    const auto& m = at_root[static_cast<std::size_t>(r)];
+    EXPECT_EQ(m.src, r);
+    EXPECT_EQ(m.bytes, static_cast<std::uint64_t>(r) + 1);
+    EXPECT_EQ(m.payload.size(), static_cast<std::size_t>(r) + 1);
+    if (!m.payload.empty()) {
+      EXPECT_EQ(m.payload[0], static_cast<std::byte>(r));
+    }
+  }
+}
+
+TEST_P(CollectiveSweep, AlltoallvExchangesPersonalizedData) {
+  const int p = GetParam();
+  simkit::Engine eng;
+  hw::Machine machine(
+      eng, hw::MachineConfig::paragon_small(static_cast<std::size_t>(p), 2));
+  std::vector<bool> ok(static_cast<std::size_t>(p), false);
+  Cluster::execute(machine, p, [&](Comm& c) -> simkit::Task<void> {
+    const int r = c.rank();
+    // Rank r sends byte value (r*16+d) to destination d, length r+d+1.
+    std::vector<std::vector<std::byte>> bufs(static_cast<std::size_t>(p));
+    std::vector<std::uint64_t> sizes(static_cast<std::size_t>(p));
+    std::vector<std::span<const std::byte>> views(
+        static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d) {
+      auto& b = bufs[static_cast<std::size_t>(d)];
+      b.assign(static_cast<std::size_t>(r + d + 1),
+               static_cast<std::byte>(r * 16 + d));
+      sizes[static_cast<std::size_t>(d)] = b.size();
+      views[static_cast<std::size_t>(d)] = b;
+    }
+    auto msgs = co_await alltoallv(c, sizes, views);
+    bool all_good = msgs.size() == static_cast<std::size_t>(p);
+    for (int s = 0; s < p && all_good; ++s) {
+      const auto& m = msgs[static_cast<std::size_t>(s)];
+      all_good = m.src == s &&
+                 m.payload.size() == static_cast<std::size_t>(s + r + 1) &&
+                 m.payload[0] == static_cast<std::byte>(s * 16 + r);
+    }
+    ok[static_cast<std::size_t>(r)] = all_good;
+  });
+  for (int r = 0; r < p; ++r) EXPECT_TRUE(ok[static_cast<std::size_t>(r)]);
+}
+
+TEST_P(CollectiveSweep, AllreduceSumMatchesClosedForm) {
+  const int p = GetParam();
+  simkit::Engine eng;
+  hw::Machine machine(
+      eng, hw::MachineConfig::paragon_small(static_cast<std::size_t>(p), 2));
+  std::vector<std::vector<double>> results(static_cast<std::size_t>(p));
+  Cluster::execute(machine, p, [&](Comm& c) -> simkit::Task<void> {
+    std::vector<double> v{static_cast<double>(c.rank()),
+                          1.0, static_cast<double>(c.rank() * c.rank())};
+    co_await allreduce(c, v, ReduceOp::kSum);
+    results[static_cast<std::size_t>(c.rank())] = v;
+  });
+  const double n = p;
+  const double sum_r = n * (n - 1) / 2.0;
+  const double sum_r2 = (n - 1) * n * (2 * n - 1) / 6.0;
+  for (int r = 0; r < p; ++r) {
+    const auto& v = results[static_cast<std::size_t>(r)];
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_DOUBLE_EQ(v[0], sum_r);
+    EXPECT_DOUBLE_EQ(v[1], n);
+    EXPECT_DOUBLE_EQ(v[2], sum_r2);
+  }
+}
+
+TEST_P(CollectiveSweep, AllreduceMinMax) {
+  const int p = GetParam();
+  simkit::Engine eng;
+  hw::Machine machine(
+      eng, hw::MachineConfig::paragon_small(static_cast<std::size_t>(p), 2));
+  std::vector<double> mins, maxs;
+  Cluster::execute(machine, p, [&](Comm& c) -> simkit::Task<void> {
+    std::vector<double> lo{static_cast<double>(c.rank())};
+    std::vector<double> hi{static_cast<double>(c.rank())};
+    co_await allreduce(c, lo, ReduceOp::kMin);
+    co_await allreduce(c, hi, ReduceOp::kMax);
+    if (c.rank() == 0) {
+      mins = lo;
+      maxs = hi;
+    }
+  });
+  EXPECT_DOUBLE_EQ(mins[0], 0.0);
+  EXPECT_DOUBLE_EQ(maxs[0], static_cast<double>(p - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollectiveSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 13, 16));
+
+TEST(Collectives, BarrierCostGrowsLogarithmically) {
+  auto barrier_time = [](int p) {
+    simkit::Engine eng;
+    hw::Machine machine(eng, hw::MachineConfig::paragon_small(
+                                 static_cast<std::size_t>(p), 2));
+    return Cluster::execute(machine, p, [](Comm& c) -> simkit::Task<void> {
+      co_await barrier(c);
+    });
+  };
+  const double t4 = barrier_time(4);
+  const double t32 = barrier_time(32);
+  EXPECT_GT(t32, t4);
+  EXPECT_LT(t32, 8.0 * t4);  // log growth, not linear
+}
+
+TEST(Collectives, ConsecutiveCollectivesDoNotCrossTalk) {
+  simkit::Engine eng;
+  hw::Machine machine(eng, hw::MachineConfig::paragon_small(4, 2));
+  std::vector<double> out(4, 0.0);
+  Cluster::execute(machine, 4, [&](Comm& c) -> simkit::Task<void> {
+    for (int round = 0; round < 5; ++round) {
+      std::vector<double> v{1.0};
+      co_await allreduce(c, v, ReduceOp::kSum);
+      out[static_cast<std::size_t>(c.rank())] += v[0];
+      co_await barrier(c);
+    }
+  });
+  for (double v : out) EXPECT_DOUBLE_EQ(v, 20.0);  // 5 rounds x sum 4
+}
+
+}  // namespace
+}  // namespace mprt

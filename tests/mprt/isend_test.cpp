@@ -1,0 +1,97 @@
+// Tests for nonblocking sends.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "mprt/comm.hpp"
+#include "simkit/engine.hpp"
+
+namespace mprt {
+namespace {
+
+TEST(Isend, ReturnsBeforeTransferCompletes) {
+  simkit::Engine eng;
+  hw::Machine machine(eng, hw::MachineConfig::paragon_small(4, 2));
+  double issue_time = -1.0, wait_time = -1.0;
+  Cluster::execute(machine, 2, [&](Comm& c) -> simkit::Task<void> {
+    if (c.rank() == 0) {
+      auto req = c.isend(1, 0, 10'000'000);  // ~0.14 s on the wire
+      issue_time = c.engine().now();
+      co_await req.join();
+      wait_time = c.engine().now();
+    } else {
+      (void)co_await c.recv(0, 0);
+    }
+  });
+  EXPECT_LT(issue_time, 1e-9);        // issue is immediate
+  EXPECT_GT(wait_time, 0.1);          // completion pays the transfer
+}
+
+TEST(Isend, BufferMayBeReusedImmediately) {
+  simkit::Engine eng;
+  hw::Machine machine(eng, hw::MachineConfig::paragon_small(4, 2));
+  std::vector<std::byte> received[2];
+  Cluster::execute(machine, 2, [&](Comm& c) -> simkit::Task<void> {
+    if (c.rank() == 0) {
+      std::vector<std::byte> buf(64, std::byte{1});
+      auto r1 = c.isend(1, 0, buf.size(), buf);
+      // Clobber the buffer before the transfer has even started.
+      std::fill(buf.begin(), buf.end(), std::byte{2});
+      auto r2 = c.isend(1, 0, buf.size(), buf);
+      std::fill(buf.begin(), buf.end(), std::byte{9});
+      std::vector<simkit::ProcHandle> reqs{r1, r2};
+      co_await waitall(std::move(reqs));
+    } else {
+      received[0] = (co_await c.recv(0, 0)).payload;
+      received[1] = (co_await c.recv(0, 0)).payload;
+    }
+  });
+  ASSERT_EQ(received[0].size(), 64u);
+  EXPECT_EQ(received[0][0], std::byte{1});  // captured at isend time
+  EXPECT_EQ(received[1][0], std::byte{2});
+}
+
+TEST(Isend, OverlapsMultipleTransfers) {
+  // Four isends to distinct destinations overlap; total time is far less
+  // than four serial sends.
+  auto run = [](bool nonblocking) {
+    simkit::Engine eng;
+    hw::Machine machine(eng, hw::MachineConfig::paragon_small(8, 2));
+    return Cluster::execute(machine, 5, [&](Comm& c) -> simkit::Task<void> {
+      if (c.rank() == 0) {
+        if (nonblocking) {
+          std::vector<simkit::ProcHandle> reqs;
+          for (int d = 1; d <= 4; ++d) {
+            reqs.push_back(c.isend(d, 0, 5'000'000));
+          }
+          co_await waitall(std::move(reqs));
+        } else {
+          for (int d = 1; d <= 4; ++d) co_await c.send(d, 0, 5'000'000);
+        }
+      } else {
+        (void)co_await c.recv(0, 0);
+      }
+    });
+  };
+  const double blocking = run(false);
+  const double overlapped = run(true);
+  // The sender NIC still serializes its side, but receiver-side
+  // serialization and latency overlap: a clear win, not 4x.
+  EXPECT_LT(overlapped, blocking * 0.85);
+}
+
+TEST(Waitall, EmptySetCompletesImmediately) {
+  simkit::Engine eng;
+  hw::Machine machine(eng, hw::MachineConfig::paragon_small(2, 2));
+  double t = -1.0;
+  Cluster::execute(machine, 1, [&](Comm& c) -> simkit::Task<void> {
+    std::vector<simkit::ProcHandle> none;
+    co_await waitall(std::move(none));
+    t = c.engine().now();
+  });
+  EXPECT_DOUBLE_EQ(t, 0.0);
+}
+
+}  // namespace
+}  // namespace mprt

@@ -1,0 +1,150 @@
+// Tests for the FFT kernels against the O(N^2) DFT and analytic cases.
+#include "numeric/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "simkit/rng.hpp"
+
+namespace numeric {
+namespace {
+
+double max_err(std::span<const Complex> a, std::span<const Complex> b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+std::vector<Complex> random_signal(std::size_t n, std::uint64_t seed) {
+  simkit::Rng rng(seed);
+  std::vector<Complex> v(n);
+  for (auto& x : v) x = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  return v;
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<Complex> v(8, Complex(0, 0));
+  v[0] = Complex(1, 0);
+  fft(v);
+  for (const auto& x : v) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-12);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, PureToneConcentratesInOneBin) {
+  const std::size_t n = 64;
+  std::vector<Complex> v(n);
+  const std::size_t k = 5;
+  for (std::size_t t = 0; t < n; ++t) {
+    const double a = 2.0 * std::numbers::pi * static_cast<double>(k * t) /
+                     static_cast<double>(n);
+    v[t] = Complex(std::cos(a), std::sin(a));
+  }
+  fft(v);
+  EXPECT_NEAR(std::abs(v[k]), static_cast<double>(n), 1e-9);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != k) {
+      EXPECT_LT(std::abs(v[i]), 1e-9);
+    }
+  }
+}
+
+class FftSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSweep, MatchesReferenceDft) {
+  const std::size_t n = GetParam();
+  auto v = random_signal(n, 17 + n);
+  auto ref = dft_reference(v);
+  fft(v);
+  EXPECT_LT(max_err(v, ref), 1e-8 * static_cast<double>(n));
+}
+
+TEST_P(FftSweep, RoundTripIdentity) {
+  const std::size_t n = GetParam();
+  auto v = random_signal(n, 99 + n);
+  const auto orig = v;
+  fft(v);
+  ifft(v);
+  EXPECT_LT(max_err(v, orig), 1e-10 * static_cast<double>(n));
+}
+
+TEST_P(FftSweep, Linearity) {
+  const std::size_t n = GetParam();
+  auto a = random_signal(n, 1), b = random_signal(n, 2);
+  std::vector<Complex> sum(n);
+  for (std::size_t i = 0; i < n; ++i) sum[i] = 2.0 * a[i] + b[i];
+  fft(a);
+  fft(b);
+  fft(std::span<Complex>(sum));
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_LT(std::abs(sum[i] - (2.0 * a[i] + b[i])), 1e-9);
+  }
+}
+
+TEST_P(FftSweep, ParsevalEnergyConservation) {
+  const std::size_t n = GetParam();
+  auto v = random_signal(n, 7);
+  double time_energy = 0.0;
+  for (const auto& x : v) time_energy += std::norm(x);
+  fft(v);
+  double freq_energy = 0.0;
+  for (const auto& x : v) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-9 * time_energy);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftSweep,
+                         ::testing::Values<std::size_t>(1, 2, 4, 8, 32, 128,
+                                                        512, 1024));
+
+TEST(Fft2d, MatchesSeparableReference) {
+  const std::size_t rows = 8, cols = 16;
+  auto m = random_signal(rows * cols, 5);
+  auto ref = m;
+  // Reference: DFT rows then DFT cols.
+  for (std::size_t r = 0; r < rows; ++r) {
+    auto row = dft_reference(
+        std::span<const Complex>(ref).subspan(r * cols, cols));
+    std::copy(row.begin(), row.end(), ref.begin() + r * cols);
+  }
+  for (std::size_t c = 0; c < cols; ++c) {
+    std::vector<Complex> col(rows);
+    for (std::size_t r = 0; r < rows; ++r) col[r] = ref[r * cols + c];
+    auto out = dft_reference(col);
+    for (std::size_t r = 0; r < rows; ++r) ref[r * cols + c] = out[r];
+  }
+  fft_2d(m, rows, cols);
+  EXPECT_LT(max_err(m, ref), 1e-8);
+}
+
+TEST(Fft2d, RoundTrip) {
+  const std::size_t rows = 16, cols = 16;
+  auto m = random_signal(rows * cols, 21);
+  const auto orig = m;
+  fft_2d(m, rows, cols, false);
+  fft_2d(m, rows, cols, true);
+  const double scale = static_cast<double>(rows * cols);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_LT(std::abs(m[i] / scale - orig[i]), 1e-10);
+  }
+}
+
+TEST(FftFlops, GrowsNLogN) {
+  EXPECT_DOUBLE_EQ(fft_flops(1), 0.0);
+  EXPECT_DOUBLE_EQ(fft_flops(1024), 5.0 * 1024 * 10);
+}
+
+TEST(IsPowerOfTwo, Basics) {
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(4096));
+  EXPECT_FALSE(is_power_of_two(48));
+}
+
+}  // namespace
+}  // namespace numeric

@@ -1,0 +1,61 @@
+// Tests for transpose kernels.
+#include "numeric/transpose.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace numeric {
+namespace {
+
+TEST(Transpose, RectangularCorrectness) {
+  const std::size_t rows = 3, cols = 5;
+  std::vector<int> in(rows * cols);
+  std::iota(in.begin(), in.end(), 0);
+  std::vector<int> out(rows * cols, -1);
+  transpose<int>(in, out, rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      EXPECT_EQ(out[c * rows + r], in[r * cols + c]);
+    }
+  }
+}
+
+TEST(Transpose, DoubleTransposeIsIdentity) {
+  const std::size_t rows = 17, cols = 33;  // non-multiples of the block
+  std::vector<double> in(rows * cols);
+  std::iota(in.begin(), in.end(), 0.0);
+  std::vector<double> mid(rows * cols), back(rows * cols);
+  transpose<double>(in, mid, rows, cols, 8);
+  transpose<double>(mid, back, cols, rows, 8);
+  EXPECT_EQ(back, in);
+}
+
+TEST(Transpose, BlockSizeDoesNotChangeResult) {
+  const std::size_t rows = 20, cols = 12;
+  std::vector<int> in(rows * cols);
+  std::iota(in.begin(), in.end(), 7);
+  std::vector<int> a(rows * cols), b(rows * cols);
+  transpose<int>(in, a, rows, cols, 1);
+  transpose<int>(in, b, rows, cols, 64);
+  EXPECT_EQ(a, b);
+}
+
+TEST(TransposeSquare, InPlace) {
+  const std::size_t n = 9;
+  std::vector<int> m(n * n);
+  std::iota(m.begin(), m.end(), 0);
+  auto copy = m;
+  transpose_square<int>(m, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      EXPECT_EQ(m[r * n + c], copy[c * n + r]);
+    }
+  }
+  transpose_square<int>(m, n);
+  EXPECT_EQ(m, copy);
+}
+
+}  // namespace
+}  // namespace numeric

@@ -1,0 +1,102 @@
+// Tests for the layout advisor — including cross-checks against the real
+// extent geometry of OutOfCoreArray.
+#include "pario/advisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "hw/machine.hpp"
+#include "pfs/fs.hpp"
+#include "simkit/engine.hpp"
+
+namespace pario {
+namespace {
+
+TEST(TileRunCount, MatchesClosedForm) {
+  // Full-height tile of a col-major array: one coalesced run.
+  EXPECT_EQ(tile_run_count(Layout::kColMajor, 256, 256, 256, 16), 1u);
+  // Interior tile: one run per column.
+  EXPECT_EQ(tile_run_count(Layout::kColMajor, 256, 256, 32, 16), 16u);
+  // Row-major mirror image.
+  EXPECT_EQ(tile_run_count(Layout::kRowMajor, 256, 256, 16, 256), 1u);
+  EXPECT_EQ(tile_run_count(Layout::kRowMajor, 256, 256, 16, 32), 16u);
+}
+
+class RunCountSweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, std::uint64_t>> {};
+
+TEST_P(RunCountSweep, AgreesWithRealExtentGeometry) {
+  const auto [nr, nc] = GetParam();
+  simkit::Engine eng;
+  hw::Machine machine(eng, hw::MachineConfig::paragon_small(2, 2));
+  pfs::StripedFs fs(machine);
+  for (Layout layout : {Layout::kColMajor, Layout::kRowMajor}) {
+    auto arr = OutOfCoreArray::create(fs, "x", 128, 64, 8, layout);
+    EXPECT_EQ(tile_run_count(layout, 128, 64, nr, nc),
+              arr.tile_extents(0, 0, nr, nc).size())
+        << to_string(layout) << " tile " << nr << "x" << nc;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RunCountSweep,
+    ::testing::Values(std::make_tuple(128ull, 8ull),
+                      std::make_tuple(8ull, 64ull),
+                      std::make_tuple(128ull, 64ull),
+                      std::make_tuple(16ull, 16ull),
+                      std::make_tuple(1ull, 64ull),
+                      std::make_tuple(128ull, 1ull)));
+
+TEST(LayoutAdvisor, ReproducesTheFftRecommendation) {
+  // The paper's FFT: array A is read in full-height column panels (steps
+  // 1 and 2); array B is written/read in full-width row panels (transpose
+  // target and step 3).  The advisor must keep A column-major and flip B
+  // to row-major — exactly the paper's optimization.
+  constexpr std::uint64_t kN = 1024, kPanel = 128;
+  LayoutAdvisor adv;
+  adv.observe("A", kN, kN, kN, kPanel, /*times=*/kN / kPanel * 2);
+  adv.observe("B", kN, kN, kPanel, kN, /*times=*/kN / kPanel * 2);
+  EXPECT_EQ(adv.recommend("A"), Layout::kColMajor);
+  EXPECT_EQ(adv.recommend("B"), Layout::kRowMajor);
+  EXPECT_GT(adv.improvement("B"), 100.0);  // kN runs vs 1 run per tile
+}
+
+TEST(LayoutAdvisor, MixedAccessPicksTheDominantDirection) {
+  LayoutAdvisor adv;
+  // 10 row-panel accesses vs 2 column-panel accesses on the same array.
+  adv.observe("M", 512, 512, 64, 512, 10);
+  adv.observe("M", 512, 512, 512, 64, 2);
+  EXPECT_EQ(adv.recommend("M"), Layout::kRowMajor);
+}
+
+TEST(LayoutAdvisor, SquareTilesAreLayoutNeutral) {
+  LayoutAdvisor adv;
+  adv.observe("S", 512, 512, 64, 64, 8);
+  EXPECT_EQ(adv.estimated_calls("S", Layout::kColMajor),
+            adv.estimated_calls("S", Layout::kRowMajor));
+  EXPECT_DOUBLE_EQ(adv.improvement("S"), 1.0);
+  EXPECT_EQ(adv.recommend("S"), Layout::kColMajor);  // Fortran default
+}
+
+TEST(LayoutAdvisor, UnknownArrayDefaults) {
+  LayoutAdvisor adv;
+  EXPECT_EQ(adv.recommend("nope"), Layout::kColMajor);
+  EXPECT_EQ(adv.estimated_calls("nope", Layout::kRowMajor), 0u);
+  EXPECT_DOUBLE_EQ(adv.improvement("nope"), 1.0);
+}
+
+TEST(LayoutAdvisor, ReportListsEveryArray) {
+  LayoutAdvisor adv;
+  adv.observe("alpha", 128, 128, 128, 16);
+  adv.observe("beta", 128, 128, 16, 128);
+  const std::string r = adv.report();
+  EXPECT_NE(r.find("alpha"), std::string::npos);
+  EXPECT_NE(r.find("beta"), std::string::npos);
+  EXPECT_NE(r.find("row-major"), std::string::npos);
+  EXPECT_NE(r.find("col-major"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pario

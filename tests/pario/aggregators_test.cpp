@@ -1,0 +1,121 @@
+// Tests for two-phase aggregator tuning (ROMIO cb_nodes).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "mprt/comm.hpp"
+#include "pario/twophase.hpp"
+#include "pfs/fs.hpp"
+#include "simkit/engine.hpp"
+
+namespace pario {
+namespace {
+
+constexpr std::uint64_t kRec = 1024;
+constexpr std::uint64_t kRecs = 32;
+
+std::vector<Extent> interleaved(int rank, int p) {
+  std::vector<Extent> out;
+  for (std::uint64_t i = 0; i < kRecs; ++i) {
+    out.push_back(Extent{(static_cast<std::uint64_t>(rank) +
+                          i * static_cast<std::uint64_t>(p)) *
+                             kRec,
+                         kRec, i * kRec});
+  }
+  return out;
+}
+
+TEST(Aggregators, DataIdenticalWithFewerAggregators) {
+  auto run = [](int aggs) {
+    simkit::Engine eng;
+    hw::Machine machine(eng, hw::MachineConfig::paragon_small(8, 2));
+    pfs::StripedFs fs(machine);
+    const pfs::FileId f = fs.create("agg", /*backed=*/true);
+    mprt::Cluster::execute(machine, 8, [&](mprt::Comm& c)
+                                           -> simkit::Task<void> {
+      auto mine = interleaved(c.rank(), c.size());
+      std::vector<std::byte> data(kRec * kRecs,
+                                  static_cast<std::byte>(c.rank() + 1));
+      TwoPhaseOptions opt;
+      opt.aggregators = aggs;
+      co_await TwoPhase::write(c, fs, f, std::move(mine), data, nullptr,
+                               opt);
+    });
+    std::vector<std::byte> whole(kRec * kRecs * 8);
+    fs.peek(f, 0, whole);
+    return whole;
+  };
+  const auto all = run(0);
+  EXPECT_EQ(run(2), all);
+  EXPECT_EQ(run(1), all);
+  EXPECT_EQ(run(5), all);  // non-divisor count
+}
+
+TEST(Aggregators, OnlyAggregatorsTouchTheFileSystem) {
+  simkit::Engine eng;
+  hw::Machine machine(eng, hw::MachineConfig::paragon_small(8, 2));
+  pfs::StripedFs fs(machine);
+  const pfs::FileId f = fs.create("agg2");
+  TwoPhaseStats per_rank[8];
+  mprt::Cluster::execute(machine, 8, [&](mprt::Comm& c)
+                                         -> simkit::Task<void> {
+    TwoPhaseOptions opt;
+    opt.aggregators = 2;
+    co_await TwoPhase::write(c, fs, f, interleaved(c.rank(), c.size()), {},
+                             &per_rank[c.rank()], opt);
+  });
+  for (int r = 0; r < 8; ++r) {
+    if (r < 2) {
+      EXPECT_GT(per_rank[r].io_calls, 0u) << "aggregator " << r;
+    } else {
+      EXPECT_EQ(per_rank[r].io_calls, 0u) << "non-aggregator " << r;
+    }
+  }
+}
+
+TEST(Aggregators, RoundTripWithFewAggregators) {
+  simkit::Engine eng;
+  hw::Machine machine(eng, hw::MachineConfig::paragon_small(8, 2));
+  pfs::StripedFs fs(machine);
+  const pfs::FileId f = fs.create("agg3", true);
+  int good = 0;
+  mprt::Cluster::execute(machine, 8, [&](mprt::Comm& c)
+                                         -> simkit::Task<void> {
+    auto mine = interleaved(c.rank(), c.size());
+    std::vector<std::byte> data(kRec * kRecs,
+                                static_cast<std::byte>(c.rank() + 40));
+    TwoPhaseOptions opt;
+    opt.aggregators = 3;
+    co_await TwoPhase::write(c, fs, f, mine, data, nullptr, opt);
+    std::vector<std::byte> back(data.size());
+    co_await TwoPhase::read(c, fs, f, mine, back, nullptr, opt);
+    if (back == data) ++good;
+  });
+  EXPECT_EQ(good, 8);
+}
+
+TEST(Aggregators, MatchingIoNodesCanBeatAllRanksAggregating) {
+  // 16 ranks funneling through 2 I/O nodes: 2 aggregators issue 2 large
+  // sequential streams instead of 16 interleaved ones.
+  auto run = [](int aggs) {
+    simkit::Engine eng;
+    hw::Machine machine(eng, hw::MachineConfig::paragon_small(16, 2));
+    pfs::StripedFs fs(machine);
+    const pfs::FileId f = fs.create("agg4");
+    return mprt::Cluster::execute(machine, 16, [&](mprt::Comm& c)
+                                                    -> simkit::Task<void> {
+      TwoPhaseOptions opt;
+      opt.aggregators = aggs;
+      // Collective READ: cold disks expose the access-stream structure.
+      co_await TwoPhase::read(c, fs, f, interleaved(c.rank(), c.size()),
+                              {}, nullptr, opt);
+    });
+  };
+  const double all_ranks = run(0);
+  const double two = run(2);
+  EXPECT_LT(two, all_ranks * 1.2);  // never much worse
+}
+
+}  // namespace
+}  // namespace pario

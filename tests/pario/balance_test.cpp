@@ -1,0 +1,149 @@
+// Tests for balanced I/O planning and the collective redistribution.
+#include "pario/balance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "mprt/comm.hpp"
+#include "pfs/fs.hpp"
+#include "simkit/engine.hpp"
+
+namespace pario {
+namespace {
+
+std::vector<std::uint64_t> apply_moves(const std::vector<std::uint64_t>& sizes,
+                                 const std::vector<BalanceMove>& moves) {
+  auto out = sizes;
+  for (const auto& m : moves) {
+    out[static_cast<std::size_t>(m.from)] -= m.bytes;
+    out[static_cast<std::size_t>(m.to)] += m.bytes;
+  }
+  return out;
+}
+
+TEST(PlanBalance, AlreadyBalancedNeedsNoMoves) {
+  EXPECT_TRUE(plan_balance({100 << 20, 100 << 20, 100 << 20}).empty());
+}
+
+TEST(PlanBalance, WithinTolerancePasses) {
+  // 10% of 100 MB = 10 MB tolerance.
+  const std::uint64_t mb = 1 << 20;
+  EXPECT_TRUE(plan_balance({105 * mb, 95 * mb, 100 * mb}).empty());
+}
+
+TEST(PlanBalance, LopsidedGetsBalanced) {
+  const std::uint64_t mb = 1 << 20;
+  std::vector<std::uint64_t> sizes{400 * mb, 0, 0, 0};
+  auto moves = plan_balance(sizes);
+  EXPECT_FALSE(moves.empty());
+  auto out = apply_moves(sizes, moves);
+  const std::uint64_t mean = 100 * mb;
+  for (auto s : out) {
+    const auto dev = s > mean ? s - mean : mean - s;
+    EXPECT_LE(dev, mean / 10 + 1);
+  }
+  // Conservation.
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), std::uint64_t{0}),
+            400 * mb);
+}
+
+TEST(PlanBalance, AbsoluteToleranceDominatesForSmallFiles) {
+  // Mean 2 MB -> 10% = 0.2 MB but the 1 MB floor applies.
+  const std::uint64_t mb = 1 << 20;
+  EXPECT_TRUE(plan_balance({3 * mb, 1 * mb, 2 * mb, 2 * mb}).empty());
+  EXPECT_FALSE(plan_balance({5 * mb, 0, 2 * mb, 1 * mb}).empty());
+}
+
+TEST(PlanBalance, DeterministicPlan) {
+  const std::uint64_t mb = 1 << 20;
+  std::vector<std::uint64_t> sizes{50 * mb, 200 * mb, 10 * mb, 140 * mb};
+  EXPECT_EQ(plan_balance(sizes), plan_balance(sizes));
+}
+
+class PlanBalanceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanBalanceSweep, ConvergesForPseudoRandomSizes) {
+  const int p = GetParam();
+  std::vector<std::uint64_t> sizes(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i) {
+    sizes[static_cast<std::size_t>(i)] =
+        (static_cast<std::uint64_t>(i) * 7919 % 97) << 20;
+  }
+  const auto total =
+      std::accumulate(sizes.begin(), sizes.end(), std::uint64_t{0});
+  auto moves = plan_balance(sizes);
+  auto out = apply_moves(sizes, moves);
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), std::uint64_t{0}),
+            total);
+  const std::uint64_t mean = total / static_cast<std::uint64_t>(p);
+  const std::uint64_t tol =
+      std::max<std::uint64_t>(mean / 10, 1 << 20) + 1;
+  for (auto s : out) {
+    const auto dev = s > mean ? s - mean : mean - s;
+    EXPECT_LE(dev, tol);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, PlanBalanceSweep,
+                         ::testing::Values(2, 3, 5, 8, 16, 32));
+
+TEST(BalanceFiles, CollectiveRedistributionEvensOutSizes) {
+  simkit::Engine eng;
+  hw::Machine machine(eng, hw::MachineConfig::paragon_large(4, 12));
+  pfs::StripedFs fs(machine);
+  std::vector<pfs::FileId> files;
+  for (int r = 0; r < 4; ++r) {
+    files.push_back(fs.create("integrals_" + std::to_string(r)));
+  }
+  std::vector<std::uint64_t> final_sizes;
+  mprt::Cluster::execute(machine, 4, [&](mprt::Comm& c)
+                                         -> simkit::Task<void> {
+    const auto f = files[static_cast<std::size_t>(c.rank())];
+    // Skewed write phase: rank r writes (r+1) * 8 MB.
+    co_await fs.pwrite(c.node(), f, 0,
+                       (static_cast<std::uint64_t>(c.rank()) + 1) * (8 << 20));
+    auto sizes = co_await balance_files(c, fs, f);
+    if (c.rank() == 0) final_sizes = sizes;
+  });
+  ASSERT_EQ(final_sizes.size(), 4u);
+  const std::uint64_t total = (1 + 2 + 3 + 4) * (8ULL << 20);
+  EXPECT_EQ(std::accumulate(final_sizes.begin(), final_sizes.end(),
+                            std::uint64_t{0}),
+            total);
+  const std::uint64_t mean = total / 4;
+  for (int r = 0; r < 4; ++r) {
+    const auto s = final_sizes[static_cast<std::size_t>(r)];
+    const auto dev = s > mean ? s - mean : mean - s;
+    EXPECT_LE(dev, std::max<std::uint64_t>(mean / 10, 1 << 20) + 1)
+        << "rank " << r;
+    // Bookkeeping matches the actual file-system state.
+    EXPECT_EQ(fs.file_size(files[static_cast<std::size_t>(r)]), s);
+  }
+}
+
+TEST(BalanceFiles, NoOpWhenAlreadyBalanced) {
+  simkit::Engine eng;
+  hw::Machine machine(eng, hw::MachineConfig::paragon_large(4, 12));
+  pfs::StripedFs fs(machine);
+  std::vector<pfs::FileId> files;
+  for (int r = 0; r < 4; ++r) {
+    files.push_back(fs.create("f" + std::to_string(r)));
+  }
+  double balance_time = 0.0;
+  mprt::Cluster::execute(machine, 4, [&](mprt::Comm& c)
+                                         -> simkit::Task<void> {
+    const auto f = files[static_cast<std::size_t>(c.rank())];
+    co_await fs.pwrite(c.node(), f, 0, 8 << 20);
+    const simkit::Time t0 = c.engine().now();
+    (void)co_await balance_files(c, fs, f);
+    if (c.rank() == 0) balance_time = c.engine().now() - t0;
+  });
+  // Only plan exchange, no data movement: well under a second.
+  EXPECT_LT(balance_time, 0.5);
+}
+
+}  // namespace
+}  // namespace pario

@@ -1,0 +1,44 @@
+// Tests for extent coalescing.
+#include "pario/extent.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pario {
+namespace {
+
+TEST(Coalesce, MergesFileAndBufferContiguous) {
+  std::vector<Extent> v{{0, 10, 0}, {10, 10, 10}, {20, 10, 20}};
+  auto out = coalesce(v);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (Extent{0, 30, 0}));
+}
+
+TEST(Coalesce, KeepsFileGaps) {
+  std::vector<Extent> v{{0, 10, 0}, {15, 10, 10}};
+  auto out = coalesce(v);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(Coalesce, KeepsBufferGaps) {
+  // File-contiguous but the buffer destinations are not: cannot merge.
+  std::vector<Extent> v{{0, 10, 0}, {10, 10, 50}};
+  auto out = coalesce(v);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(Coalesce, SortsByFileOffset) {
+  std::vector<Extent> v{{20, 10, 20}, {0, 10, 0}, {10, 10, 10}};
+  auto out = coalesce(v);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].length, 30u);
+}
+
+TEST(Coalesce, EmptyInput) { EXPECT_TRUE(coalesce({}).empty()); }
+
+TEST(TotalLength, Sums) {
+  EXPECT_EQ(total_length({{0, 5, 0}, {100, 7, 5}}), 12u);
+  EXPECT_EQ(total_length({}), 0u);
+}
+
+}  // namespace
+}  // namespace pario

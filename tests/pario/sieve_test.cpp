@@ -1,0 +1,148 @@
+// Tests for data sieving.
+#include "pario/sieve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "pfs/fs.hpp"
+#include "simkit/engine.hpp"
+
+namespace pario {
+namespace {
+
+struct Rig {
+  simkit::Engine eng;
+  hw::Machine machine;
+  pfs::StripedFs fs;
+  Rig() : machine(eng, hw::MachineConfig::paragon_small(4, 2)), fs(machine) {}
+};
+
+std::vector<Extent> strided_pieces(int n, std::uint64_t piece,
+                                   std::uint64_t stride) {
+  std::vector<Extent> v;
+  for (int i = 0; i < n; ++i) {
+    v.push_back(Extent{static_cast<std::uint64_t>(i) * stride, piece,
+                       static_cast<std::uint64_t>(i) * piece});
+  }
+  return v;
+}
+
+TEST(SievedRead, ContentMatchesDirect) {
+  Rig rig;
+  const pfs::FileId f = rig.fs.create("s", true);
+  std::vector<std::byte> file_data(64 * 1024);
+  for (std::size_t i = 0; i < file_data.size(); ++i) {
+    file_data[i] = static_cast<std::byte>(i % 241);
+  }
+  rig.fs.poke(f, 0, file_data);
+  auto pieces = strided_pieces(16, 512, 3000);
+  std::vector<std::byte> sieved(16 * 512), direct(16 * 512);
+  rig.eng.spawn([](Rig& r, pfs::FileId f, std::vector<Extent> p,
+                   std::span<std::byte> a,
+                   std::span<std::byte> b) -> simkit::Task<void> {
+    co_await sieved_read(r.fs, r.machine.compute_node(0), f, p, a, 1 << 20);
+    co_await direct_read(r.fs, r.machine.compute_node(0), f, p, b);
+  }(rig, f, pieces, sieved, direct));
+  rig.eng.run();
+  EXPECT_EQ(sieved, direct);
+  EXPECT_EQ(sieved[0], file_data[0]);
+  EXPECT_EQ(sieved[512], file_data[3000]);
+}
+
+TEST(SievedRead, FewerCallsMoreBytes) {
+  Rig rig;
+  const pfs::FileId f = rig.fs.create("s2");
+  auto pieces = strided_pieces(64, 256, 8192);
+  SieveStats sieve_stats, direct_stats;
+  rig.eng.spawn([](Rig& r, pfs::FileId f, std::vector<Extent> p,
+                   SieveStats& s, SieveStats& d) -> simkit::Task<void> {
+    co_await sieved_read(r.fs, r.machine.compute_node(0), f, p, {}, 1 << 20,
+                         &s);
+    co_await direct_read(r.fs, r.machine.compute_node(0), f, p, {}, &d);
+  }(rig, f, pieces, sieve_stats, direct_stats));
+  rig.eng.run();
+  EXPECT_LT(sieve_stats.io_calls, direct_stats.io_calls / 4);
+  EXPECT_GT(sieve_stats.moved_bytes, sieve_stats.useful_bytes);
+  EXPECT_EQ(sieve_stats.useful_bytes, direct_stats.useful_bytes);
+}
+
+TEST(SievedRead, FasterThanDirectForDenseStrides) {
+  auto run = [](bool sieve) {
+    Rig rig;
+    const pfs::FileId f = rig.fs.create("s3");
+    auto pieces = strided_pieces(128, 512, 4096);  // 12.5% density
+    rig.eng.spawn([](Rig& r, pfs::FileId f, std::vector<Extent> p,
+                     bool sv) -> simkit::Task<void> {
+      if (sv) {
+        co_await sieved_read(r.fs, r.machine.compute_node(0), f, p, {},
+                             1 << 20);
+      } else {
+        co_await direct_read(r.fs, r.machine.compute_node(0), f, p);
+      }
+    }(rig, f, pieces, sieve));
+    rig.eng.run();
+    return rig.eng.now();
+  };
+  EXPECT_LT(run(true), run(false) * 0.5);
+}
+
+TEST(SievedRead, WindowLimitRespected) {
+  Rig rig;
+  const pfs::FileId f = rig.fs.create("s4");
+  auto pieces = strided_pieces(32, 1024, 64 * 1024);  // spans 2 MB
+  SieveStats stats;
+  rig.eng.spawn([](Rig& r, pfs::FileId f, std::vector<Extent> p,
+                   SieveStats& s) -> simkit::Task<void> {
+    co_await sieved_read(r.fs, r.machine.compute_node(0), f, p, {},
+                         /*max_window=*/256 * 1024, &s);
+  }(rig, f, pieces, stats));
+  rig.eng.run();
+  // 2 MB span with 256 KB windows: at least 8 windows.
+  EXPECT_GE(stats.io_calls, 8u);
+  // No window may exceed the limit (moved bytes per call bounded).
+  EXPECT_LE(stats.moved_bytes, stats.io_calls * 256 * 1024);
+}
+
+TEST(SievedWrite, ReadModifyWritePreservesSurroundings) {
+  Rig rig;
+  const pfs::FileId f = rig.fs.create("w", true);
+  std::vector<std::byte> base(32 * 1024, std::byte{0xAA});
+  rig.fs.poke(f, 0, base);
+  // Overwrite two small pieces.
+  std::vector<Extent> pieces{{1000, 100, 0}, {9000, 100, 100}};
+  std::vector<std::byte> newdata(200, std::byte{0xBB});
+  rig.eng.spawn([](Rig& r, pfs::FileId f, std::vector<Extent> p,
+                   std::span<const std::byte> d) -> simkit::Task<void> {
+    co_await sieved_write(r.fs, r.machine.compute_node(0), f, p, d, 1 << 20);
+  }(rig, f, pieces, newdata));
+  rig.eng.run();
+  std::vector<std::byte> out(32 * 1024);
+  rig.fs.peek(f, 0, out);
+  EXPECT_EQ(out[999], std::byte{0xAA});
+  EXPECT_EQ(out[1000], std::byte{0xBB});
+  EXPECT_EQ(out[1099], std::byte{0xBB});
+  EXPECT_EQ(out[1100], std::byte{0xAA});
+  EXPECT_EQ(out[9050], std::byte{0xBB});
+  EXPECT_EQ(out[9100], std::byte{0xAA});
+}
+
+TEST(SievedWrite, FullCoverSkipsPreRead) {
+  Rig rig;
+  const pfs::FileId f = rig.fs.create("w2");
+  // Pieces tile [0, 4096) completely: no read-modify-write needed.
+  std::vector<Extent> pieces{{0, 2048, 0}, {2048, 2048, 2048}};
+  SieveStats stats;
+  rig.eng.spawn([](Rig& r, pfs::FileId f, std::vector<Extent> p,
+                   SieveStats& s) -> simkit::Task<void> {
+    co_await sieved_write(r.fs, r.machine.compute_node(0), f, p, {}, 1 << 20,
+                          &s);
+  }(rig, f, pieces, stats));
+  rig.eng.run();
+  EXPECT_EQ(stats.io_calls, 1u);  // one write, no pre-read
+  EXPECT_EQ(stats.moved_bytes, 4096u);
+}
+
+}  // namespace
+}  // namespace pario

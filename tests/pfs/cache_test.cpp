@@ -1,0 +1,79 @@
+// Tests for the LRU block cache with dirty pinning.
+#include "pfs/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pfs {
+namespace {
+
+BlockKey k(FileId f, std::uint64_t b) { return BlockKey{f, b}; }
+
+TEST(BlockCache, MissThenHit) {
+  BlockCache c(4);
+  EXPECT_FALSE(c.lookup(k(0, 0)));
+  c.insert(k(0, 0), false);
+  EXPECT_TRUE(c.lookup(k(0, 0)));
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(BlockCache, LruEviction) {
+  BlockCache c(2);
+  c.insert(k(0, 0), false);
+  c.insert(k(0, 1), false);
+  EXPECT_TRUE(c.lookup(k(0, 0)));  // 0 becomes MRU
+  c.insert(k(0, 2), false);        // evicts 1 (LRU)
+  EXPECT_TRUE(c.contains(k(0, 0)));
+  EXPECT_FALSE(c.contains(k(0, 1)));
+  EXPECT_TRUE(c.contains(k(0, 2)));
+}
+
+TEST(BlockCache, DirtyBlocksAreNotEvicted) {
+  BlockCache c(2);
+  c.insert(k(0, 0), true);   // dirty, pinned
+  c.insert(k(0, 1), false);
+  c.insert(k(0, 2), false);  // must evict 1, not the dirty 0
+  EXPECT_TRUE(c.contains(k(0, 0)));
+  EXPECT_FALSE(c.contains(k(0, 1)));
+  EXPECT_TRUE(c.contains(k(0, 2)));
+}
+
+TEST(BlockCache, InsertFailsWhenAllPinned) {
+  BlockCache c(2);
+  c.insert(k(0, 0), true);
+  c.insert(k(0, 1), true);
+  EXPECT_FALSE(c.insert(k(0, 2), false));
+  c.mark_clean(k(0, 0));
+  EXPECT_TRUE(c.insert(k(0, 2), false));
+  EXPECT_FALSE(c.contains(k(0, 0)));
+}
+
+TEST(BlockCache, ReinsertRefreshesAndMergesDirty) {
+  BlockCache c(2);
+  c.insert(k(0, 0), false);
+  EXPECT_FALSE(c.is_dirty(k(0, 0)));
+  c.insert(k(0, 0), true);
+  EXPECT_TRUE(c.is_dirty(k(0, 0)));
+  c.insert(k(0, 0), false);  // dirty persists until mark_clean
+  EXPECT_TRUE(c.is_dirty(k(0, 0)));
+  c.mark_clean(k(0, 0));
+  EXPECT_FALSE(c.is_dirty(k(0, 0)));
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(BlockCache, DistinguishesFiles) {
+  BlockCache c(4);
+  c.insert(k(1, 7), false);
+  EXPECT_FALSE(c.contains(k(2, 7)));
+  EXPECT_TRUE(c.contains(k(1, 7)));
+}
+
+TEST(BlockCache, CapacityRespectedUnderChurn) {
+  BlockCache c(8);
+  for (std::uint64_t i = 0; i < 1000; ++i) c.insert(k(0, i), false);
+  EXPECT_LE(c.size(), 8u);
+  EXPECT_TRUE(c.contains(k(0, 999)));
+}
+
+}  // namespace
+}  // namespace pfs

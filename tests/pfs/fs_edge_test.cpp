@@ -1,0 +1,139 @@
+// Edge-case tests for the striped file system.
+#include <gtest/gtest.h>
+
+#include "hw/machine.hpp"
+#include "pfs/fs.hpp"
+#include "simkit/engine.hpp"
+
+namespace pfs {
+namespace {
+
+struct Rig {
+  simkit::Engine eng;
+  hw::Machine machine;
+  StripedFs fs;
+  explicit Rig(hw::MachineConfig cfg = hw::MachineConfig::paragon_small(4, 2))
+      : machine(eng, std::move(cfg)), fs(machine) {}
+};
+
+TEST(FsEdge, ZeroLengthOpsCostOnlySyscall) {
+  Rig rig;
+  const FileId f = rig.fs.create("z");
+  double t = -1;
+  rig.eng.spawn([](Rig& r, FileId f, double& out) -> simkit::Task<void> {
+    co_await r.fs.pread(r.machine.compute_node(0), f, 0, 0);
+    co_await r.fs.pwrite(r.machine.compute_node(0), f, 0, 0);
+    out = r.eng.now();
+  }(rig, f, t));
+  rig.eng.run();
+  EXPECT_GT(t, 0.0);
+  EXPECT_LT(t, 0.01);  // two syscalls, nothing else
+  EXPECT_EQ(rig.fs.file_size(f), 0u);
+}
+
+TEST(FsEdge, FilesRotateFirstServer) {
+  Rig rig;
+  const FileId a = rig.fs.create("a");
+  const FileId b = rig.fs.create("b");
+  // With 2 I/O nodes, consecutive files start striping on different nodes.
+  EXPECT_NE(rig.fs.stripe_map(a).server_of(0),
+            rig.fs.stripe_map(b).server_of(0));
+}
+
+TEST(FsEdge, FlushWithNoDirtyDataIsCheap) {
+  Rig rig;
+  const FileId f = rig.fs.create("nf");
+  double t = -1;
+  rig.eng.spawn([](Rig& r, FileId f, double& out) -> simkit::Task<void> {
+    co_await r.fs.flush(r.machine.compute_node(0), f);
+    out = r.eng.now();
+  }(rig, f, t));
+  rig.eng.run();
+  EXPECT_LT(t, 0.01);
+}
+
+TEST(FsEdge, ReadOfNeverWrittenBackedFileIsZeros) {
+  Rig rig;
+  const FileId f = rig.fs.create("holes", /*backed=*/true);
+  std::vector<std::byte> out(4096, std::byte{0xFF});
+  rig.eng.spawn([](Rig& r, FileId f, std::span<std::byte> o)
+                    -> simkit::Task<void> {
+    co_await r.fs.pread(r.machine.compute_node(0), f, 12345, o.size(), o);
+  }(rig, f, out));
+  rig.eng.run();
+  for (auto b : out) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(FsEdge, InterleavedFilesDoNotCorruptEachOther) {
+  Rig rig;
+  const FileId a = rig.fs.create("ia", true);
+  const FileId b = rig.fs.create("ib", true);
+  rig.eng.spawn([](Rig& r, FileId a, FileId b) -> simkit::Task<void> {
+    std::vector<std::byte> da(8192, std::byte{0xAA});
+    std::vector<std::byte> db(8192, std::byte{0xBB});
+    const auto n = r.machine.compute_node(0);
+    for (int i = 0; i < 4; ++i) {
+      co_await r.fs.pwrite(n, a, static_cast<std::uint64_t>(i) * 8192, 8192,
+                           da);
+      co_await r.fs.pwrite(n, b, static_cast<std::uint64_t>(i) * 8192, 8192,
+                           db);
+    }
+  }(rig, a, b));
+  rig.eng.run();
+  std::vector<std::byte> ga(32768), gb(32768);
+  rig.fs.peek(a, 0, ga);
+  rig.fs.peek(b, 0, gb);
+  for (auto x : ga) ASSERT_EQ(x, std::byte{0xAA});
+  for (auto x : gb) ASSERT_EQ(x, std::byte{0xBB});
+}
+
+TEST(FsEdge, OpenCloseRoundTripCostsAreBounded) {
+  Rig rig;
+  const FileId f = rig.fs.create("oc");
+  double t = -1;
+  rig.eng.spawn([](Rig& r, FileId f, double& out) -> simkit::Task<void> {
+    FileHandle h = co_await r.fs.open(r.machine.compute_node(0), f);
+    co_await h.close();
+    out = r.eng.now();
+  }(rig, f, t));
+  rig.eng.run();
+  EXPECT_GT(t, 0.0005);  // syscalls + round trips are not free
+  EXPECT_LT(t, 0.05);    // but they are metadata-cheap
+}
+
+TEST(FsEdge, ManyFilesSpreadAcrossDisksOfANode) {
+  // On the SP-2 (4 disks per node), four files map to four different
+  // local disks — concurrent independent streams don't fight one arm.
+  Rig one_file(hw::MachineConfig::sp2(4));
+  Rig four_files(hw::MachineConfig::sp2(4));
+  {
+    const FileId f = one_file.fs.create("f0");
+    for (int c = 0; c < 4; ++c) {
+      one_file.eng.spawn([](Rig& r, FileId f, int c) -> simkit::Task<void> {
+        co_await r.fs.pread(r.machine.compute_node(
+                                static_cast<std::size_t>(c)),
+                            f, static_cast<std::uint64_t>(c) << 24,
+                            2 << 20);
+      }(one_file, f, c));
+    }
+    one_file.eng.run();
+  }
+  {
+    std::vector<FileId> fs;
+    for (int i = 0; i < 4; ++i) {
+      fs.push_back(four_files.fs.create("f" + std::to_string(i)));
+    }
+    for (int c = 0; c < 4; ++c) {
+      four_files.eng.spawn([](Rig& r, FileId f, int c) -> simkit::Task<void> {
+        co_await r.fs.pread(r.machine.compute_node(
+                                static_cast<std::size_t>(c)),
+                            f, 0, 2 << 20);
+      }(four_files, fs[static_cast<std::size_t>(c)], c));
+    }
+    four_files.eng.run();
+  }
+  EXPECT_LT(four_files.eng.now(), one_file.eng.now());
+}
+
+}  // namespace
+}  // namespace pfs

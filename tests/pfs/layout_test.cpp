@@ -1,0 +1,112 @@
+// Tests for striping geometry: round-robin placement, split correctness.
+#include "pfs/layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+
+namespace pfs {
+namespace {
+
+TEST(StripeMap, RoundRobinServerAssignment) {
+  StripeMap m(64 * 1024, 4, 0);
+  EXPECT_EQ(m.server_of(0), 0u);
+  EXPECT_EQ(m.server_of(64 * 1024 - 1), 0u);
+  EXPECT_EQ(m.server_of(64 * 1024), 1u);
+  EXPECT_EQ(m.server_of(3 * 64 * 1024), 3u);
+  EXPECT_EQ(m.server_of(4 * 64 * 1024), 0u);  // wraps
+}
+
+TEST(StripeMap, FirstServerOffsetsRotation) {
+  StripeMap m(64 * 1024, 4, 2);
+  EXPECT_EQ(m.server_of(0), 2u);
+  EXPECT_EQ(m.server_of(64 * 1024), 3u);
+  EXPECT_EQ(m.server_of(2 * 64 * 1024), 0u);
+}
+
+TEST(StripeMap, LocalOffsetPacksServerStripes) {
+  const std::uint64_t su = 64 * 1024;
+  StripeMap m(su, 4, 0);
+  // Server 0 owns stripes 0, 4, 8, ...; its local file is their
+  // concatenation.
+  EXPECT_EQ(m.local_offset_of(0), 0u);
+  EXPECT_EQ(m.local_offset_of(100), 100u);
+  EXPECT_EQ(m.local_offset_of(4 * su), su);        // stripe 4 -> local 1
+  EXPECT_EQ(m.local_offset_of(4 * su + 7), su + 7);
+  EXPECT_EQ(m.local_offset_of(8 * su), 2 * su);
+  // Stripe 5 lives on server 1, also at local stripe 1.
+  EXPECT_EQ(m.server_of(5 * su), 1u);
+  EXPECT_EQ(m.local_offset_of(5 * su), su);
+}
+
+TEST(StripeMap, SplitCoversRangeExactlyOnce) {
+  const std::uint64_t su = 1024;
+  StripeMap m(su, 3, 1);
+  const std::uint64_t off = 700;
+  const std::uint64_t len = 10 * su + 300;
+  auto pieces = m.split(off, len);
+  std::uint64_t covered = 0;
+  std::uint64_t expect_pos = off;
+  for (const auto& p : pieces) {
+    EXPECT_EQ(p.file_offset, expect_pos);
+    EXPECT_GT(p.length, 0u);
+    EXPECT_LE(p.length, su);
+    // A piece never crosses a stripe-unit boundary.
+    EXPECT_EQ(p.file_offset / su, (p.file_offset + p.length - 1) / su);
+    EXPECT_EQ(p.server, m.server_of(p.file_offset));
+    EXPECT_EQ(p.local_offset, m.local_offset_of(p.file_offset));
+    covered += p.length;
+    expect_pos += p.length;
+  }
+  EXPECT_EQ(covered, len);
+}
+
+TEST(StripeMap, SplitEmptyRange) {
+  StripeMap m(1024, 2, 0);
+  EXPECT_TRUE(m.split(123, 0).empty());
+}
+
+TEST(StripeMap, SplitAlignedFullStripes) {
+  StripeMap m(1024, 2, 0);
+  auto pieces = m.split(0, 4096);
+  ASSERT_EQ(pieces.size(), 4u);
+  for (const auto& p : pieces) EXPECT_EQ(p.length, 1024u);
+  EXPECT_EQ(pieces[0].server, 0u);
+  EXPECT_EQ(pieces[1].server, 1u);
+  EXPECT_EQ(pieces[2].server, 0u);
+  EXPECT_EQ(pieces[3].server, 1u);
+  EXPECT_EQ(pieces[2].local_offset, 1024u);
+}
+
+// Property sweep: the (server, local_offset) mapping is a bijection on
+// stripe granules for many (stripe_unit, nservers, first) combinations.
+class StripeMapProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint32_t,
+                                                 std::uint32_t>> {};
+
+TEST_P(StripeMapProperty, GranuleMappingIsInjective) {
+  const auto [su, n, first] = GetParam();
+  StripeMap m(su, n, first);
+  std::set<std::pair<std::uint32_t, std::uint64_t>> seen;
+  for (std::uint64_t stripe = 0; stripe < 64; ++stripe) {
+    const std::uint64_t off = stripe * su;
+    auto key = std::make_pair(m.server_of(off), m.local_offset_of(off));
+    EXPECT_TRUE(seen.insert(key).second)
+        << "stripe " << stripe << " collides";
+  }
+  // Local offsets on each server are dense multiples of the stripe unit.
+  for (auto& [server, local] : seen) {
+    (void)server;
+    EXPECT_EQ(local % su, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometry, StripeMapProperty,
+    ::testing::Combine(::testing::Values<std::uint64_t>(512, 4096, 65536),
+                       ::testing::Values<std::uint32_t>(1, 2, 3, 4, 12, 64),
+                       ::testing::Values<std::uint32_t>(0, 1, 5)));
+
+}  // namespace
+}  // namespace pfs

@@ -1,0 +1,117 @@
+// Tests for the sparse content store.
+#include "pfs/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+namespace pfs {
+namespace {
+
+std::vector<std::byte> bytes(std::initializer_list<int> vals) {
+  std::vector<std::byte> out;
+  for (int v : vals) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+std::vector<std::byte> read_n(const SparseStore& s, std::uint64_t off,
+                              std::size_t n) {
+  std::vector<std::byte> out(n);
+  s.read(off, out);
+  return out;
+}
+
+TEST(SparseStore, WriteThenReadBack) {
+  SparseStore s;
+  auto data = bytes({1, 2, 3, 4});
+  s.write(100, data);
+  EXPECT_EQ(read_n(s, 100, 4), data);
+}
+
+TEST(SparseStore, HolesReadAsZero) {
+  SparseStore s;
+  s.write(10, bytes({9}));
+  auto out = read_n(s, 8, 5);
+  EXPECT_EQ(out, bytes({0, 0, 9, 0, 0}));
+}
+
+TEST(SparseStore, OverwriteWins) {
+  SparseStore s;
+  s.write(0, bytes({1, 1, 1, 1}));
+  s.write(1, bytes({7, 7}));
+  EXPECT_EQ(read_n(s, 0, 4), bytes({1, 7, 7, 1}));
+}
+
+TEST(SparseStore, AdjacentRangesMerge) {
+  SparseStore s;
+  s.write(0, bytes({1, 2}));
+  s.write(2, bytes({3, 4}));
+  EXPECT_EQ(read_n(s, 0, 4), bytes({1, 2, 3, 4}));
+  EXPECT_EQ(s.resident_bytes(), 4u);
+}
+
+TEST(SparseStore, OverlappingWriteMergesAndOverwrites) {
+  SparseStore s;
+  s.write(0, bytes({1, 1, 1}));
+  s.write(5, bytes({2, 2, 2}));
+  s.write(2, bytes({9, 9, 9, 9}));  // bridges both ranges
+  EXPECT_EQ(read_n(s, 0, 8), bytes({1, 1, 9, 9, 9, 9, 2, 2}));
+  EXPECT_EQ(s.resident_bytes(), 8u);
+}
+
+TEST(SparseStore, ResidentBytesTracksStorage) {
+  SparseStore s;
+  EXPECT_EQ(s.resident_bytes(), 0u);
+  s.write(0, std::vector<std::byte>(1000));
+  EXPECT_EQ(s.resident_bytes(), 1000u);
+  s.write(500, std::vector<std::byte>(1000));  // 500 overlap
+  EXPECT_EQ(s.resident_bytes(), 1500u);
+  s.clear();
+  EXPECT_EQ(s.resident_bytes(), 0u);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SparseStore, ReadAcrossManyFragments) {
+  SparseStore s;
+  // Disjoint 2-byte islands at 0, 10, 20, ..., 90.
+  for (int i = 0; i < 10; ++i) {
+    s.write(static_cast<std::uint64_t>(i) * 10,
+            bytes({i + 1, i + 1}));
+  }
+  auto out = read_n(s, 0, 100);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i * 10)],
+              static_cast<std::byte>(i + 1));
+    EXPECT_EQ(out[static_cast<std::size_t>(i * 10 + 2)], std::byte{0});
+  }
+}
+
+TEST(SparseStore, LargeScatterGatherRoundTrip) {
+  SparseStore s;
+  std::vector<std::byte> ref(64 * 1024, std::byte{0});
+  // Scattered writes in a deterministic shuffled order.
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    const std::uint64_t i = (k * 37) % 64;
+    std::vector<std::byte> chunk(1024);
+    for (std::size_t j = 0; j < chunk.size(); ++j) {
+      chunk[j] = static_cast<std::byte>((i + j) & 0xFF);
+    }
+    std::memcpy(ref.data() + i * 1024, chunk.data(), chunk.size());
+    s.write(i * 1024, chunk);
+  }
+  EXPECT_EQ(read_n(s, 0, ref.size()), ref);
+  EXPECT_EQ(s.resident_bytes(), ref.size());
+}
+
+TEST(SparseStore, EmptyOperationsAreNoOps) {
+  SparseStore s;
+  s.write(5, {});
+  EXPECT_TRUE(s.empty());
+  std::vector<std::byte> none;
+  s.read(5, none);  // must not crash
+}
+
+}  // namespace
+}  // namespace pfs

@@ -1,0 +1,57 @@
+// Tests for StripedFs::truncate and size bookkeeping under mixed ops.
+#include <gtest/gtest.h>
+
+#include "hw/machine.hpp"
+#include "pfs/fs.hpp"
+#include "simkit/engine.hpp"
+
+namespace pfs {
+namespace {
+
+struct Rig {
+  simkit::Engine eng;
+  hw::Machine machine;
+  StripedFs fs;
+  Rig() : machine(eng, hw::MachineConfig::paragon_small(4, 2)), fs(machine) {}
+};
+
+TEST(Truncate, ShrinksTheLogicalSize) {
+  Rig rig;
+  const FileId f = rig.fs.create("t");
+  rig.eng.spawn([](Rig& r, FileId f) -> simkit::Task<void> {
+    co_await r.fs.pwrite(r.machine.compute_node(0), f, 0, 1 << 20);
+    co_await r.fs.truncate(r.machine.compute_node(0), f, 1000);
+  }(rig, f));
+  rig.eng.run();
+  EXPECT_EQ(rig.fs.file_size(f), 1000u);
+}
+
+TEST(Truncate, CostsAMetadataRoundTrip) {
+  Rig rig;
+  const FileId f = rig.fs.create("t");
+  double before = -1, after = -1;
+  rig.eng.spawn([](Rig& r, FileId f, double& t0, double& t1)
+                    -> simkit::Task<void> {
+    t0 = r.eng.now();
+    co_await r.fs.truncate(r.machine.compute_node(0), f, 0);
+    t1 = r.eng.now();
+  }(rig, f, before, after));
+  rig.eng.run();
+  EXPECT_GT(after, before);       // not free
+  EXPECT_LT(after - before, 0.1);  // but metadata-cheap
+}
+
+TEST(Truncate, WriteAfterTruncateGrowsAgain) {
+  Rig rig;
+  const FileId f = rig.fs.create("t");
+  rig.eng.spawn([](Rig& r, FileId f) -> simkit::Task<void> {
+    co_await r.fs.pwrite(r.machine.compute_node(0), f, 0, 4096);
+    co_await r.fs.truncate(r.machine.compute_node(0), f, 100);
+    co_await r.fs.pwrite(r.machine.compute_node(0), f, 100, 500);
+  }(rig, f));
+  rig.eng.run();
+  EXPECT_EQ(rig.fs.file_size(f), 600u);
+}
+
+}  // namespace
+}  // namespace pfs

@@ -1,0 +1,137 @@
+// Tests for Channel<T>: FIFO delivery, blocking recv, request/reply.
+#include "simkit/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "simkit/engine.hpp"
+#include "simkit/trigger.hpp"
+
+namespace simkit {
+namespace {
+
+TEST(Channel, SendThenRecvIsImmediate) {
+  Engine eng;
+  Channel<int> ch(eng);
+  int got = 0;
+  ch.send(7);
+  eng.spawn([](Channel<int>& ch, int& out) -> Task<void> {
+    out = co_await ch.recv();
+  }(ch, got));
+  eng.run();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(Channel, RecvBlocksUntilSend) {
+  Engine eng;
+  Channel<int> ch(eng);
+  double recv_time = -1.0;
+  int got = 0;
+  eng.spawn([](Engine& e, Channel<int>& ch, int& out, double& t)
+                -> Task<void> {
+    out = co_await ch.recv();
+    t = e.now();
+  }(eng, ch, got, recv_time));
+  eng.spawn([](Engine& e, Channel<int>& ch) -> Task<void> {
+    co_await e.delay(3.0);
+    ch.send(11);
+  }(eng, ch));
+  eng.run();
+  EXPECT_EQ(got, 11);
+  EXPECT_DOUBLE_EQ(recv_time, 3.0);
+}
+
+TEST(Channel, PreservesFifoOrder) {
+  Engine eng;
+  Channel<int> ch(eng);
+  std::vector<int> got;
+  eng.spawn([](Channel<int>& ch, std::vector<int>& out) -> Task<void> {
+    for (int i = 0; i < 5; ++i) out.push_back(co_await ch.recv());
+  }(ch, got));
+  eng.spawn([](Engine& e, Channel<int>& ch) -> Task<void> {
+    for (int i = 0; i < 5; ++i) {
+      co_await e.delay(1.0);
+      ch.send(i);
+    }
+  }(eng, ch));
+  eng.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Channel, MultipleReceiversServedFifo) {
+  Engine eng;
+  Channel<int> ch(eng);
+  std::vector<std::pair<int, int>> got;  // (receiver, value)
+  for (int r = 0; r < 3; ++r) {
+    eng.spawn([](Engine& e, Channel<int>& ch,
+                 std::vector<std::pair<int, int>>& out, int id)
+                  -> Task<void> {
+      co_await e.delay(static_cast<double>(id) * 0.1);  // queue in id order
+      int v = co_await ch.recv();
+      out.emplace_back(id, v);
+    }(eng, ch, got, r));
+  }
+  eng.spawn([](Engine& e, Channel<int>& ch) -> Task<void> {
+    co_await e.delay(1.0);
+    ch.send(100);
+    ch.send(200);
+    ch.send(300);
+  }(eng, ch));
+  eng.run();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], (std::pair<int, int>{0, 100}));
+  EXPECT_EQ(got[1], (std::pair<int, int>{1, 200}));
+  EXPECT_EQ(got[2], (std::pair<int, int>{2, 300}));
+}
+
+TEST(Channel, TryRecvDoesNotBlock) {
+  Engine eng;
+  Channel<std::string> ch(eng);
+  EXPECT_FALSE(ch.try_recv().has_value());
+  ch.send("x");
+  auto v = ch.try_recv();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "x");
+}
+
+TEST(Channel, RequestReplyPattern) {
+  Engine eng;
+  struct Request {
+    int payload;
+    Trigger* done;
+    int* reply;
+  };
+  Channel<Request> server_q(eng);
+  // Server: doubles the payload after 1s of service.
+  eng.spawn([](Engine& e, Channel<Request>& q) -> Task<void> {
+    for (int i = 0; i < 3; ++i) {
+      Request req = co_await q.recv();
+      co_await e.delay(1.0);
+      *req.reply = req.payload * 2;
+      req.done->fire(e);
+    }
+  }(eng, server_q));
+  std::vector<int> replies(3, 0);
+  std::vector<double> times(3, 0.0);
+  for (int i = 0; i < 3; ++i) {
+    eng.spawn([](Engine& e, Channel<Request>& q, int x, int& reply,
+                 double& t) -> Task<void> {
+      Trigger done;
+      q.send(Request{x, &done, &reply});
+      co_await done.wait();
+      t = e.now();
+    }(eng, server_q, i + 1, replies[static_cast<std::size_t>(i)],
+      times[static_cast<std::size_t>(i)]));
+  }
+  eng.run();
+  EXPECT_EQ(replies, (std::vector<int>{2, 4, 6}));
+  // Single server serializes: completions at t=1,2,3.
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 2.0);
+  EXPECT_DOUBLE_EQ(times[2], 3.0);
+}
+
+}  // namespace
+}  // namespace simkit

@@ -1,0 +1,79 @@
+// Tests for RunningStat and Log2Histogram.
+#include "simkit/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simkit {
+namespace {
+
+TEST(RunningStat, BasicMoments) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStat, MergeEqualsSequential) {
+  RunningStat a, b, all;
+  for (int i = 0; i < 100; ++i) {
+    const double x = (i * 37 % 11) + 0.5 * i;
+    (i < 40 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Log2Histogram, BucketsByMagnitude) {
+  Log2Histogram h(1.0, 10);
+  h.add(0.5);   // bucket 0: [0,1)
+  h.add(1.5);   // bucket 1: [1,2)
+  h.add(3.0);   // bucket 2: [2,4)
+  h.add(3.9);   // bucket 2
+  h.add(100.0);  // bucket 7: [64,128)
+  EXPECT_EQ(h.counts()[0], 1u);
+  EXPECT_EQ(h.counts()[1], 1u);
+  EXPECT_EQ(h.counts()[2], 2u);
+  EXPECT_EQ(h.counts()[7], 1u);
+  EXPECT_EQ(h.stat().count(), 5u);
+}
+
+TEST(Log2Histogram, QuantileUpperBoundMonotone) {
+  Log2Histogram h(1.0, 20);
+  for (int i = 1; i <= 1024; ++i) h.add(static_cast<double>(i));
+  const double q50 = h.quantile_upper_bound(0.50);
+  const double q90 = h.quantile_upper_bound(0.90);
+  const double q99 = h.quantile_upper_bound(0.99);
+  EXPECT_LE(q50, q90);
+  EXPECT_LE(q90, q99);
+  EXPECT_GE(q50, 512.0 * 0.5);  // the median of 1..1024 is ~512
+}
+
+}  // namespace
+}  // namespace simkit

@@ -1,0 +1,108 @@
+// Tests for Task<T>: laziness, value/exception propagation, nesting.
+#include "simkit/task.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "simkit/engine.hpp"
+
+namespace simkit {
+namespace {
+
+TEST(Task, IsLazyUntilAwaited) {
+  bool started = false;
+  auto make = [&]() -> Task<void> {
+    started = true;
+    co_return;
+  };
+  Engine eng;
+  Task<void> t = make();
+  EXPECT_FALSE(started);
+  eng.spawn(std::move(t));
+  EXPECT_FALSE(started);  // spawn schedules; nothing runs before run()
+  eng.run();
+  EXPECT_TRUE(started);
+}
+
+TEST(Task, ReturnsValueThroughAwait) {
+  Engine eng;
+  int got = 0;
+  auto inner = [](Engine& e) -> Task<int> {
+    co_await e.delay(1.0);
+    co_return 42;
+  };
+  eng.spawn([](Engine& e, auto inner_fn, int& out) -> Task<void> {
+    out = co_await inner_fn(e);
+  }(eng, inner, got));
+  eng.run();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(Task, MoveOnlyValueSupported) {
+  Engine eng;
+  std::string got;
+  auto inner = []() -> Task<std::string> { co_return std::string("hello"); };
+  eng.spawn([](auto inner_fn, std::string& out) -> Task<void> {
+    out = co_await inner_fn();
+  }(inner, got));
+  eng.run();
+  EXPECT_EQ(got, "hello");
+}
+
+TEST(Task, ExceptionPropagatesToAwaiter) {
+  Engine eng;
+  bool caught = false;
+  auto inner = []() -> Task<int> {
+    throw std::logic_error("inner");
+    co_return 0;
+  };
+  eng.spawn([](auto inner_fn, bool& c) -> Task<void> {
+    try {
+      (void)co_await inner_fn();
+    } catch (const std::logic_error&) {
+      c = true;
+    }
+  }(inner, caught));
+  eng.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Task, DeepNestingKeepsTiming) {
+  Engine eng;
+  auto leaf = [](Engine& e) -> Task<int> {
+    co_await e.delay(1.0);
+    co_return 1;
+  };
+  auto mid = [leaf](Engine& e) -> Task<int> {
+    int a = co_await leaf(e);
+    int b = co_await leaf(e);
+    co_return a + b;
+  };
+  int total = 0;
+  double finish = 0.0;
+  eng.spawn([](Engine& e, auto mid_fn, int& out, double& t) -> Task<void> {
+    out = co_await mid_fn(e);
+    out += co_await mid_fn(e);
+    t = e.now();
+  }(eng, mid, total, finish));
+  eng.run();
+  EXPECT_EQ(total, 4);
+  EXPECT_DOUBLE_EQ(finish, 4.0);
+}
+
+TEST(Task, UnstartedTaskDestroysCleanly) {
+  bool ran = false;
+  {
+    auto t = [&]() -> Task<void> {
+      ran = true;
+      co_return;
+    }();
+    EXPECT_TRUE(t.valid());
+  }  // destroyed without ever running
+  EXPECT_FALSE(ran);
+}
+
+}  // namespace
+}  // namespace simkit

@@ -1,0 +1,55 @@
+// Tests for the SDDF trace export.
+#include "trace/sddf.hpp"
+
+#include <gtest/gtest.h>
+
+namespace trace {
+namespace {
+
+TEST(Sddf, ContainsDescriptorAndRecords) {
+  IoTracer t(/*keep_events=*/true);
+  t.record(pfs::OpKind::kOpen, 0.0, 0.1, 0);
+  t.record(pfs::OpKind::kRead, 1.5, 0.003, 65536);
+  t.record(pfs::OpKind::kClose, 2.0, 0.05, 0);
+  const std::string s = to_sddf(t);
+  EXPECT_NE(s.find("#1:"), std::string::npos);
+  EXPECT_NE(s.find("\"Timestamp\""), std::string::npos);
+  EXPECT_NE(s.find("\"Read\""), std::string::npos);
+  EXPECT_NE(s.find("65536"), std::string::npos);
+  EXPECT_EQ(sddf_record_count(s), 3u);
+}
+
+TEST(Sddf, ProcessorNumberPropagates) {
+  IoTracer t(true);
+  t.record(pfs::OpKind::kWrite, 0.5, 0.01, 100);
+  SddfOptions opts;
+  opts.processor = 7;
+  const std::string s = to_sddf(t, opts);
+  EXPECT_NE(s.find("{ 7, 0.500000"), std::string::npos);
+}
+
+TEST(Sddf, EmptyTracerYieldsHeaderOnly) {
+  IoTracer t(true);
+  const std::string s = to_sddf(t);
+  EXPECT_EQ(sddf_record_count(s), 0u);
+  EXPECT_NE(s.find("IO Event"), std::string::npos);
+}
+
+TEST(Sddf, AggregateOnlyTracerHasNoRecords) {
+  IoTracer t(/*keep_events=*/false);
+  t.record(pfs::OpKind::kRead, 0.0, 1.0, 1);
+  EXPECT_EQ(sddf_record_count(to_sddf(t)), 0u);
+}
+
+TEST(Sddf, RecordsInEventOrder) {
+  IoTracer t(true);
+  for (int i = 0; i < 10; ++i) {
+    t.record(pfs::OpKind::kSeek, i * 1.0, 0.001, 0);
+  }
+  const std::string s = to_sddf(t);
+  EXPECT_EQ(sddf_record_count(s), 10u);
+  EXPECT_LT(s.find("{ 0, 0.000000"), s.find("{ 0, 9.000000"));
+}
+
+}  // namespace
+}  // namespace trace
