@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_aggregators.dir/bench_ablation_aggregators.cpp.o"
+  "CMakeFiles/bench_ablation_aggregators.dir/bench_ablation_aggregators.cpp.o.d"
+  "bench_ablation_aggregators"
+  "bench_ablation_aggregators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_aggregators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

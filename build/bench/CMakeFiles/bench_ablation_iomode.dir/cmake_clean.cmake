@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_iomode.dir/bench_ablation_iomode.cpp.o"
+  "CMakeFiles/bench_ablation_iomode.dir/bench_ablation_iomode.cpp.o.d"
+  "bench_ablation_iomode"
+  "bench_ablation_iomode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_iomode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

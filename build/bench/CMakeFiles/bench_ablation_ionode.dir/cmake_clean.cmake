@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ionode.dir/bench_ablation_ionode.cpp.o"
+  "CMakeFiles/bench_ablation_ionode.dir/bench_ablation_ionode.cpp.o.d"
+  "bench_ablation_ionode"
+  "bench_ablation_ionode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ionode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

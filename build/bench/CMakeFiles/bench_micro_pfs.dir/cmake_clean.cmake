@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_pfs.dir/bench_micro_pfs.cpp.o"
+  "CMakeFiles/bench_micro_pfs.dir/bench_micro_pfs.cpp.o.d"
+  "bench_micro_pfs"
+  "bench_micro_pfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

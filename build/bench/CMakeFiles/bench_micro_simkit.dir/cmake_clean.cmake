@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_simkit.dir/bench_micro_simkit.cpp.o"
+  "CMakeFiles/bench_micro_simkit.dir/bench_micro_simkit.cpp.o.d"
+  "bench_micro_simkit"
+  "bench_micro_simkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_simkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_twophase.dir/bench_micro_twophase.cpp.o"
+  "CMakeFiles/bench_micro_twophase.dir/bench_micro_twophase.cpp.o.d"
+  "bench_micro_twophase"
+  "bench_micro_twophase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_twophase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collective_checkpoint.dir/collective_checkpoint.cpp.o"
+  "CMakeFiles/collective_checkpoint.dir/collective_checkpoint.cpp.o.d"
+  "collective_checkpoint"
+  "collective_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collective_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

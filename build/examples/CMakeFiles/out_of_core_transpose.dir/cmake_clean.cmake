@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/out_of_core_transpose.dir/out_of_core_transpose.cpp.o"
+  "CMakeFiles/out_of_core_transpose.dir/out_of_core_transpose.cpp.o.d"
+  "out_of_core_transpose"
+  "out_of_core_transpose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/out_of_core_transpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

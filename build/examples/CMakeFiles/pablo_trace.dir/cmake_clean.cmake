@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pablo_trace.dir/pablo_trace.cpp.o"
+  "CMakeFiles/pablo_trace.dir/pablo_trace.cpp.o.d"
+  "pablo_trace"
+  "pablo_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pablo_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

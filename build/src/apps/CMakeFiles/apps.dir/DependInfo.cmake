@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/ast.cpp" "src/apps/CMakeFiles/apps.dir/ast.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/ast.cpp.o.d"
+  "/root/repo/src/apps/btio.cpp" "src/apps/CMakeFiles/apps.dir/btio.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/btio.cpp.o.d"
+  "/root/repo/src/apps/fft_app.cpp" "src/apps/CMakeFiles/apps.dir/fft_app.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/fft_app.cpp.o.d"
+  "/root/repo/src/apps/scf.cpp" "src/apps/CMakeFiles/apps.dir/scf.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/scf.cpp.o.d"
+  "/root/repo/src/apps/scf3.cpp" "src/apps/CMakeFiles/apps.dir/scf3.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/scf3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simkit/CMakeFiles/simkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mprt/CMakeFiles/mprt.dir/DependInfo.cmake"
+  "/root/repo/build/src/pario/CMakeFiles/pario.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

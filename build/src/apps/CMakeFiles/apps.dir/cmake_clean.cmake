@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps.dir/ast.cpp.o"
+  "CMakeFiles/apps.dir/ast.cpp.o.d"
+  "CMakeFiles/apps.dir/btio.cpp.o"
+  "CMakeFiles/apps.dir/btio.cpp.o.d"
+  "CMakeFiles/apps.dir/fft_app.cpp.o"
+  "CMakeFiles/apps.dir/fft_app.cpp.o.d"
+  "CMakeFiles/apps.dir/scf.cpp.o"
+  "CMakeFiles/apps.dir/scf.cpp.o.d"
+  "CMakeFiles/apps.dir/scf3.cpp.o"
+  "CMakeFiles/apps.dir/scf3.cpp.o.d"
+  "libapps.a"
+  "libapps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expt.dir/report.cpp.o"
+  "CMakeFiles/expt.dir/report.cpp.o.d"
+  "CMakeFiles/expt.dir/table.cpp.o"
+  "CMakeFiles/expt.dir/table.cpp.o.d"
+  "libexpt.a"
+  "libexpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw.dir/disk.cpp.o"
+  "CMakeFiles/hw.dir/disk.cpp.o.d"
+  "CMakeFiles/hw.dir/machine.cpp.o"
+  "CMakeFiles/hw.dir/machine.cpp.o.d"
+  "libhw.a"
+  "libhw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

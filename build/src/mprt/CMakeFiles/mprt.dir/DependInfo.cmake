@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mprt/collectives.cpp" "src/mprt/CMakeFiles/mprt.dir/collectives.cpp.o" "gcc" "src/mprt/CMakeFiles/mprt.dir/collectives.cpp.o.d"
+  "/root/repo/src/mprt/comm.cpp" "src/mprt/CMakeFiles/mprt.dir/comm.cpp.o" "gcc" "src/mprt/CMakeFiles/mprt.dir/comm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simkit/CMakeFiles/simkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mprt.dir/collectives.cpp.o"
+  "CMakeFiles/mprt.dir/collectives.cpp.o.d"
+  "CMakeFiles/mprt.dir/comm.cpp.o"
+  "CMakeFiles/mprt.dir/comm.cpp.o.d"
+  "libmprt.a"
+  "libmprt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mprt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numeric.dir/fft.cpp.o"
+  "CMakeFiles/numeric.dir/fft.cpp.o.d"
+  "libnumeric.a"
+  "libnumeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

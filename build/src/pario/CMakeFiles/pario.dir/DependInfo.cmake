@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pario/advisor.cpp" "src/pario/CMakeFiles/pario.dir/advisor.cpp.o" "gcc" "src/pario/CMakeFiles/pario.dir/advisor.cpp.o.d"
+  "/root/repo/src/pario/balance.cpp" "src/pario/CMakeFiles/pario.dir/balance.cpp.o" "gcc" "src/pario/CMakeFiles/pario.dir/balance.cpp.o.d"
+  "/root/repo/src/pario/datatype.cpp" "src/pario/CMakeFiles/pario.dir/datatype.cpp.o" "gcc" "src/pario/CMakeFiles/pario.dir/datatype.cpp.o.d"
+  "/root/repo/src/pario/interface.cpp" "src/pario/CMakeFiles/pario.dir/interface.cpp.o" "gcc" "src/pario/CMakeFiles/pario.dir/interface.cpp.o.d"
+  "/root/repo/src/pario/ooc_array.cpp" "src/pario/CMakeFiles/pario.dir/ooc_array.cpp.o" "gcc" "src/pario/CMakeFiles/pario.dir/ooc_array.cpp.o.d"
+  "/root/repo/src/pario/prefetch.cpp" "src/pario/CMakeFiles/pario.dir/prefetch.cpp.o" "gcc" "src/pario/CMakeFiles/pario.dir/prefetch.cpp.o.d"
+  "/root/repo/src/pario/sieve.cpp" "src/pario/CMakeFiles/pario.dir/sieve.cpp.o" "gcc" "src/pario/CMakeFiles/pario.dir/sieve.cpp.o.d"
+  "/root/repo/src/pario/twophase.cpp" "src/pario/CMakeFiles/pario.dir/twophase.cpp.o" "gcc" "src/pario/CMakeFiles/pario.dir/twophase.cpp.o.d"
+  "/root/repo/src/pario/viewio.cpp" "src/pario/CMakeFiles/pario.dir/viewio.cpp.o" "gcc" "src/pario/CMakeFiles/pario.dir/viewio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simkit/CMakeFiles/simkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mprt/CMakeFiles/mprt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

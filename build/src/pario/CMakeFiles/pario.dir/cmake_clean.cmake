@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pario.dir/advisor.cpp.o"
+  "CMakeFiles/pario.dir/advisor.cpp.o.d"
+  "CMakeFiles/pario.dir/balance.cpp.o"
+  "CMakeFiles/pario.dir/balance.cpp.o.d"
+  "CMakeFiles/pario.dir/datatype.cpp.o"
+  "CMakeFiles/pario.dir/datatype.cpp.o.d"
+  "CMakeFiles/pario.dir/interface.cpp.o"
+  "CMakeFiles/pario.dir/interface.cpp.o.d"
+  "CMakeFiles/pario.dir/ooc_array.cpp.o"
+  "CMakeFiles/pario.dir/ooc_array.cpp.o.d"
+  "CMakeFiles/pario.dir/prefetch.cpp.o"
+  "CMakeFiles/pario.dir/prefetch.cpp.o.d"
+  "CMakeFiles/pario.dir/sieve.cpp.o"
+  "CMakeFiles/pario.dir/sieve.cpp.o.d"
+  "CMakeFiles/pario.dir/twophase.cpp.o"
+  "CMakeFiles/pario.dir/twophase.cpp.o.d"
+  "CMakeFiles/pario.dir/viewio.cpp.o"
+  "CMakeFiles/pario.dir/viewio.cpp.o.d"
+  "libpario.a"
+  "libpario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pfs/diskarm.cpp" "src/pfs/CMakeFiles/pfs.dir/diskarm.cpp.o" "gcc" "src/pfs/CMakeFiles/pfs.dir/diskarm.cpp.o.d"
+  "/root/repo/src/pfs/fs.cpp" "src/pfs/CMakeFiles/pfs.dir/fs.cpp.o" "gcc" "src/pfs/CMakeFiles/pfs.dir/fs.cpp.o.d"
+  "/root/repo/src/pfs/ionode.cpp" "src/pfs/CMakeFiles/pfs.dir/ionode.cpp.o" "gcc" "src/pfs/CMakeFiles/pfs.dir/ionode.cpp.o.d"
+  "/root/repo/src/pfs/modes.cpp" "src/pfs/CMakeFiles/pfs.dir/modes.cpp.o" "gcc" "src/pfs/CMakeFiles/pfs.dir/modes.cpp.o.d"
+  "/root/repo/src/pfs/store.cpp" "src/pfs/CMakeFiles/pfs.dir/store.cpp.o" "gcc" "src/pfs/CMakeFiles/pfs.dir/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simkit/CMakeFiles/simkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/mprt/CMakeFiles/mprt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfs.dir/diskarm.cpp.o"
+  "CMakeFiles/pfs.dir/diskarm.cpp.o.d"
+  "CMakeFiles/pfs.dir/fs.cpp.o"
+  "CMakeFiles/pfs.dir/fs.cpp.o.d"
+  "CMakeFiles/pfs.dir/ionode.cpp.o"
+  "CMakeFiles/pfs.dir/ionode.cpp.o.d"
+  "CMakeFiles/pfs.dir/modes.cpp.o"
+  "CMakeFiles/pfs.dir/modes.cpp.o.d"
+  "CMakeFiles/pfs.dir/store.cpp.o"
+  "CMakeFiles/pfs.dir/store.cpp.o.d"
+  "libpfs.a"
+  "libpfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simkit.dir/engine.cpp.o"
+  "CMakeFiles/simkit.dir/engine.cpp.o.d"
+  "CMakeFiles/simkit.dir/rng.cpp.o"
+  "CMakeFiles/simkit.dir/rng.cpp.o.d"
+  "libsimkit.a"
+  "libsimkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace.dir/sddf.cpp.o"
+  "CMakeFiles/trace.dir/sddf.cpp.o.d"
+  "CMakeFiles/trace.dir/tracer.cpp.o"
+  "CMakeFiles/trace.dir/tracer.cpp.o.d"
+  "libtrace.a"
+  "libtrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

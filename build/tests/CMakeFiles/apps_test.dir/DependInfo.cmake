@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps/ast_test.cpp" "tests/CMakeFiles/apps_test.dir/apps/ast_test.cpp.o" "gcc" "tests/CMakeFiles/apps_test.dir/apps/ast_test.cpp.o.d"
+  "/root/repo/tests/apps/btio_test.cpp" "tests/CMakeFiles/apps_test.dir/apps/btio_test.cpp.o" "gcc" "tests/CMakeFiles/apps_test.dir/apps/btio_test.cpp.o.d"
+  "/root/repo/tests/apps/classc_test.cpp" "tests/CMakeFiles/apps_test.dir/apps/classc_test.cpp.o" "gcc" "tests/CMakeFiles/apps_test.dir/apps/classc_test.cpp.o.d"
+  "/root/repo/tests/apps/fft_test.cpp" "tests/CMakeFiles/apps_test.dir/apps/fft_test.cpp.o" "gcc" "tests/CMakeFiles/apps_test.dir/apps/fft_test.cpp.o.d"
+  "/root/repo/tests/apps/phases_test.cpp" "tests/CMakeFiles/apps_test.dir/apps/phases_test.cpp.o" "gcc" "tests/CMakeFiles/apps_test.dir/apps/phases_test.cpp.o.d"
+  "/root/repo/tests/apps/scf3_test.cpp" "tests/CMakeFiles/apps_test.dir/apps/scf3_test.cpp.o" "gcc" "tests/CMakeFiles/apps_test.dir/apps/scf3_test.cpp.o.d"
+  "/root/repo/tests/apps/scf_knobs_test.cpp" "tests/CMakeFiles/apps_test.dir/apps/scf_knobs_test.cpp.o" "gcc" "tests/CMakeFiles/apps_test.dir/apps/scf_knobs_test.cpp.o.d"
+  "/root/repo/tests/apps/scf_test.cpp" "tests/CMakeFiles/apps_test.dir/apps/scf_test.cpp.o" "gcc" "tests/CMakeFiles/apps_test.dir/apps/scf_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/pario/CMakeFiles/pario.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mprt/CMakeFiles/mprt.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkit/CMakeFiles/simkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_test.dir/apps/ast_test.cpp.o"
+  "CMakeFiles/apps_test.dir/apps/ast_test.cpp.o.d"
+  "CMakeFiles/apps_test.dir/apps/btio_test.cpp.o"
+  "CMakeFiles/apps_test.dir/apps/btio_test.cpp.o.d"
+  "CMakeFiles/apps_test.dir/apps/classc_test.cpp.o"
+  "CMakeFiles/apps_test.dir/apps/classc_test.cpp.o.d"
+  "CMakeFiles/apps_test.dir/apps/fft_test.cpp.o"
+  "CMakeFiles/apps_test.dir/apps/fft_test.cpp.o.d"
+  "CMakeFiles/apps_test.dir/apps/phases_test.cpp.o"
+  "CMakeFiles/apps_test.dir/apps/phases_test.cpp.o.d"
+  "CMakeFiles/apps_test.dir/apps/scf3_test.cpp.o"
+  "CMakeFiles/apps_test.dir/apps/scf3_test.cpp.o.d"
+  "CMakeFiles/apps_test.dir/apps/scf_knobs_test.cpp.o"
+  "CMakeFiles/apps_test.dir/apps/scf_knobs_test.cpp.o.d"
+  "CMakeFiles/apps_test.dir/apps/scf_test.cpp.o"
+  "CMakeFiles/apps_test.dir/apps/scf_test.cpp.o.d"
+  "apps_test"
+  "apps_test.pdb"
+  "apps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

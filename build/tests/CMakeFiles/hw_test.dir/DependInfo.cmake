@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hw/disk_test.cpp" "tests/CMakeFiles/hw_test.dir/hw/disk_test.cpp.o" "gcc" "tests/CMakeFiles/hw_test.dir/hw/disk_test.cpp.o.d"
+  "/root/repo/tests/hw/machine_test.cpp" "tests/CMakeFiles/hw_test.dir/hw/machine_test.cpp.o" "gcc" "tests/CMakeFiles/hw_test.dir/hw/machine_test.cpp.o.d"
+  "/root/repo/tests/hw/network_test.cpp" "tests/CMakeFiles/hw_test.dir/hw/network_test.cpp.o" "gcc" "tests/CMakeFiles/hw_test.dir/hw/network_test.cpp.o.d"
+  "/root/repo/tests/hw/zoned_test.cpp" "tests/CMakeFiles/hw_test.dir/hw/zoned_test.cpp.o" "gcc" "tests/CMakeFiles/hw_test.dir/hw/zoned_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkit/CMakeFiles/simkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_test.dir/hw/disk_test.cpp.o"
+  "CMakeFiles/hw_test.dir/hw/disk_test.cpp.o.d"
+  "CMakeFiles/hw_test.dir/hw/machine_test.cpp.o"
+  "CMakeFiles/hw_test.dir/hw/machine_test.cpp.o.d"
+  "CMakeFiles/hw_test.dir/hw/network_test.cpp.o"
+  "CMakeFiles/hw_test.dir/hw/network_test.cpp.o.d"
+  "CMakeFiles/hw_test.dir/hw/zoned_test.cpp.o"
+  "CMakeFiles/hw_test.dir/hw/zoned_test.cpp.o.d"
+  "hw_test"
+  "hw_test.pdb"
+  "hw_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

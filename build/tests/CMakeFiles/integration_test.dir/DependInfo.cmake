@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/advisor_vs_fft_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/advisor_vs_fft_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/advisor_vs_fft_test.cpp.o.d"
+  "/root/repo/tests/integration/btio_fileview_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/btio_fileview_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/btio_fileview_test.cpp.o.d"
+  "/root/repo/tests/integration/determinism_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/determinism_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/determinism_test.cpp.o.d"
+  "/root/repo/tests/integration/optimization_equivalence_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/optimization_equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/optimization_equivalence_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/pario/CMakeFiles/pario.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mprt/CMakeFiles/mprt.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkit/CMakeFiles/simkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_test.dir/integration/advisor_vs_fft_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/advisor_vs_fft_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/btio_fileview_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/btio_fileview_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/determinism_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/determinism_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/optimization_equivalence_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/optimization_equivalence_test.cpp.o.d"
+  "integration_test"
+  "integration_test.pdb"
+  "integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mprt_test.dir/mprt/collectives_test.cpp.o"
+  "CMakeFiles/mprt_test.dir/mprt/collectives_test.cpp.o.d"
+  "CMakeFiles/mprt_test.dir/mprt/comm_test.cpp.o"
+  "CMakeFiles/mprt_test.dir/mprt/comm_test.cpp.o.d"
+  "CMakeFiles/mprt_test.dir/mprt/isend_test.cpp.o"
+  "CMakeFiles/mprt_test.dir/mprt/isend_test.cpp.o.d"
+  "mprt_test"
+  "mprt_test.pdb"
+  "mprt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mprt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pario/advisor_test.cpp" "tests/CMakeFiles/pario_test.dir/pario/advisor_test.cpp.o" "gcc" "tests/CMakeFiles/pario_test.dir/pario/advisor_test.cpp.o.d"
+  "/root/repo/tests/pario/aggregators_test.cpp" "tests/CMakeFiles/pario_test.dir/pario/aggregators_test.cpp.o" "gcc" "tests/CMakeFiles/pario_test.dir/pario/aggregators_test.cpp.o.d"
+  "/root/repo/tests/pario/balance_test.cpp" "tests/CMakeFiles/pario_test.dir/pario/balance_test.cpp.o" "gcc" "tests/CMakeFiles/pario_test.dir/pario/balance_test.cpp.o.d"
+  "/root/repo/tests/pario/datatype_test.cpp" "tests/CMakeFiles/pario_test.dir/pario/datatype_test.cpp.o" "gcc" "tests/CMakeFiles/pario_test.dir/pario/datatype_test.cpp.o.d"
+  "/root/repo/tests/pario/extent_test.cpp" "tests/CMakeFiles/pario_test.dir/pario/extent_test.cpp.o" "gcc" "tests/CMakeFiles/pario_test.dir/pario/extent_test.cpp.o.d"
+  "/root/repo/tests/pario/interface_test.cpp" "tests/CMakeFiles/pario_test.dir/pario/interface_test.cpp.o" "gcc" "tests/CMakeFiles/pario_test.dir/pario/interface_test.cpp.o.d"
+  "/root/repo/tests/pario/ooc_array_test.cpp" "tests/CMakeFiles/pario_test.dir/pario/ooc_array_test.cpp.o" "gcc" "tests/CMakeFiles/pario_test.dir/pario/ooc_array_test.cpp.o.d"
+  "/root/repo/tests/pario/prefetch_tail_test.cpp" "tests/CMakeFiles/pario_test.dir/pario/prefetch_tail_test.cpp.o" "gcc" "tests/CMakeFiles/pario_test.dir/pario/prefetch_tail_test.cpp.o.d"
+  "/root/repo/tests/pario/prefetch_test.cpp" "tests/CMakeFiles/pario_test.dir/pario/prefetch_test.cpp.o" "gcc" "tests/CMakeFiles/pario_test.dir/pario/prefetch_test.cpp.o.d"
+  "/root/repo/tests/pario/sieve_test.cpp" "tests/CMakeFiles/pario_test.dir/pario/sieve_test.cpp.o" "gcc" "tests/CMakeFiles/pario_test.dir/pario/sieve_test.cpp.o.d"
+  "/root/repo/tests/pario/twophase_test.cpp" "tests/CMakeFiles/pario_test.dir/pario/twophase_test.cpp.o" "gcc" "tests/CMakeFiles/pario_test.dir/pario/twophase_test.cpp.o.d"
+  "/root/repo/tests/pario/viewio_test.cpp" "tests/CMakeFiles/pario_test.dir/pario/viewio_test.cpp.o" "gcc" "tests/CMakeFiles/pario_test.dir/pario/viewio_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pario/CMakeFiles/pario.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mprt/CMakeFiles/mprt.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkit/CMakeFiles/simkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pario_test.dir/pario/advisor_test.cpp.o"
+  "CMakeFiles/pario_test.dir/pario/advisor_test.cpp.o.d"
+  "CMakeFiles/pario_test.dir/pario/aggregators_test.cpp.o"
+  "CMakeFiles/pario_test.dir/pario/aggregators_test.cpp.o.d"
+  "CMakeFiles/pario_test.dir/pario/balance_test.cpp.o"
+  "CMakeFiles/pario_test.dir/pario/balance_test.cpp.o.d"
+  "CMakeFiles/pario_test.dir/pario/datatype_test.cpp.o"
+  "CMakeFiles/pario_test.dir/pario/datatype_test.cpp.o.d"
+  "CMakeFiles/pario_test.dir/pario/extent_test.cpp.o"
+  "CMakeFiles/pario_test.dir/pario/extent_test.cpp.o.d"
+  "CMakeFiles/pario_test.dir/pario/interface_test.cpp.o"
+  "CMakeFiles/pario_test.dir/pario/interface_test.cpp.o.d"
+  "CMakeFiles/pario_test.dir/pario/ooc_array_test.cpp.o"
+  "CMakeFiles/pario_test.dir/pario/ooc_array_test.cpp.o.d"
+  "CMakeFiles/pario_test.dir/pario/prefetch_tail_test.cpp.o"
+  "CMakeFiles/pario_test.dir/pario/prefetch_tail_test.cpp.o.d"
+  "CMakeFiles/pario_test.dir/pario/prefetch_test.cpp.o"
+  "CMakeFiles/pario_test.dir/pario/prefetch_test.cpp.o.d"
+  "CMakeFiles/pario_test.dir/pario/sieve_test.cpp.o"
+  "CMakeFiles/pario_test.dir/pario/sieve_test.cpp.o.d"
+  "CMakeFiles/pario_test.dir/pario/twophase_test.cpp.o"
+  "CMakeFiles/pario_test.dir/pario/twophase_test.cpp.o.d"
+  "CMakeFiles/pario_test.dir/pario/viewio_test.cpp.o"
+  "CMakeFiles/pario_test.dir/pario/viewio_test.cpp.o.d"
+  "pario_test"
+  "pario_test.pdb"
+  "pario_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

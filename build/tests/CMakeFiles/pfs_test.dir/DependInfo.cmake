@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pfs/cache_test.cpp" "tests/CMakeFiles/pfs_test.dir/pfs/cache_test.cpp.o" "gcc" "tests/CMakeFiles/pfs_test.dir/pfs/cache_test.cpp.o.d"
+  "/root/repo/tests/pfs/diskarm_test.cpp" "tests/CMakeFiles/pfs_test.dir/pfs/diskarm_test.cpp.o" "gcc" "tests/CMakeFiles/pfs_test.dir/pfs/diskarm_test.cpp.o.d"
+  "/root/repo/tests/pfs/fs_edge_test.cpp" "tests/CMakeFiles/pfs_test.dir/pfs/fs_edge_test.cpp.o" "gcc" "tests/CMakeFiles/pfs_test.dir/pfs/fs_edge_test.cpp.o.d"
+  "/root/repo/tests/pfs/fs_test.cpp" "tests/CMakeFiles/pfs_test.dir/pfs/fs_test.cpp.o" "gcc" "tests/CMakeFiles/pfs_test.dir/pfs/fs_test.cpp.o.d"
+  "/root/repo/tests/pfs/layout_test.cpp" "tests/CMakeFiles/pfs_test.dir/pfs/layout_test.cpp.o" "gcc" "tests/CMakeFiles/pfs_test.dir/pfs/layout_test.cpp.o.d"
+  "/root/repo/tests/pfs/modes_test.cpp" "tests/CMakeFiles/pfs_test.dir/pfs/modes_test.cpp.o" "gcc" "tests/CMakeFiles/pfs_test.dir/pfs/modes_test.cpp.o.d"
+  "/root/repo/tests/pfs/store_test.cpp" "tests/CMakeFiles/pfs_test.dir/pfs/store_test.cpp.o" "gcc" "tests/CMakeFiles/pfs_test.dir/pfs/store_test.cpp.o.d"
+  "/root/repo/tests/pfs/truncate_test.cpp" "tests/CMakeFiles/pfs_test.dir/pfs/truncate_test.cpp.o" "gcc" "tests/CMakeFiles/pfs_test.dir/pfs/truncate_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pfs/CMakeFiles/pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mprt/CMakeFiles/mprt.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkit/CMakeFiles/simkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

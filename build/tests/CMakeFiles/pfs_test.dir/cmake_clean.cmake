@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfs_test.dir/pfs/cache_test.cpp.o"
+  "CMakeFiles/pfs_test.dir/pfs/cache_test.cpp.o.d"
+  "CMakeFiles/pfs_test.dir/pfs/diskarm_test.cpp.o"
+  "CMakeFiles/pfs_test.dir/pfs/diskarm_test.cpp.o.d"
+  "CMakeFiles/pfs_test.dir/pfs/fs_edge_test.cpp.o"
+  "CMakeFiles/pfs_test.dir/pfs/fs_edge_test.cpp.o.d"
+  "CMakeFiles/pfs_test.dir/pfs/fs_test.cpp.o"
+  "CMakeFiles/pfs_test.dir/pfs/fs_test.cpp.o.d"
+  "CMakeFiles/pfs_test.dir/pfs/layout_test.cpp.o"
+  "CMakeFiles/pfs_test.dir/pfs/layout_test.cpp.o.d"
+  "CMakeFiles/pfs_test.dir/pfs/modes_test.cpp.o"
+  "CMakeFiles/pfs_test.dir/pfs/modes_test.cpp.o.d"
+  "CMakeFiles/pfs_test.dir/pfs/store_test.cpp.o"
+  "CMakeFiles/pfs_test.dir/pfs/store_test.cpp.o.d"
+  "CMakeFiles/pfs_test.dir/pfs/truncate_test.cpp.o"
+  "CMakeFiles/pfs_test.dir/pfs/truncate_test.cpp.o.d"
+  "pfs_test"
+  "pfs_test.pdb"
+  "pfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

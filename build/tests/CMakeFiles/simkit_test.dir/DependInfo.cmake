@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simkit/channel_test.cpp" "tests/CMakeFiles/simkit_test.dir/simkit/channel_test.cpp.o" "gcc" "tests/CMakeFiles/simkit_test.dir/simkit/channel_test.cpp.o.d"
+  "/root/repo/tests/simkit/combinators_test.cpp" "tests/CMakeFiles/simkit_test.dir/simkit/combinators_test.cpp.o" "gcc" "tests/CMakeFiles/simkit_test.dir/simkit/combinators_test.cpp.o.d"
+  "/root/repo/tests/simkit/engine_test.cpp" "tests/CMakeFiles/simkit_test.dir/simkit/engine_test.cpp.o" "gcc" "tests/CMakeFiles/simkit_test.dir/simkit/engine_test.cpp.o.d"
+  "/root/repo/tests/simkit/resource_test.cpp" "tests/CMakeFiles/simkit_test.dir/simkit/resource_test.cpp.o" "gcc" "tests/CMakeFiles/simkit_test.dir/simkit/resource_test.cpp.o.d"
+  "/root/repo/tests/simkit/rng_test.cpp" "tests/CMakeFiles/simkit_test.dir/simkit/rng_test.cpp.o" "gcc" "tests/CMakeFiles/simkit_test.dir/simkit/rng_test.cpp.o.d"
+  "/root/repo/tests/simkit/stats_test.cpp" "tests/CMakeFiles/simkit_test.dir/simkit/stats_test.cpp.o" "gcc" "tests/CMakeFiles/simkit_test.dir/simkit/stats_test.cpp.o.d"
+  "/root/repo/tests/simkit/task_test.cpp" "tests/CMakeFiles/simkit_test.dir/simkit/task_test.cpp.o" "gcc" "tests/CMakeFiles/simkit_test.dir/simkit/task_test.cpp.o.d"
+  "/root/repo/tests/simkit/trigger_test.cpp" "tests/CMakeFiles/simkit_test.dir/simkit/trigger_test.cpp.o" "gcc" "tests/CMakeFiles/simkit_test.dir/simkit/trigger_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simkit/CMakeFiles/simkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

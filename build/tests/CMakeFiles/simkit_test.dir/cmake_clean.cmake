@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simkit_test.dir/simkit/channel_test.cpp.o"
+  "CMakeFiles/simkit_test.dir/simkit/channel_test.cpp.o.d"
+  "CMakeFiles/simkit_test.dir/simkit/combinators_test.cpp.o"
+  "CMakeFiles/simkit_test.dir/simkit/combinators_test.cpp.o.d"
+  "CMakeFiles/simkit_test.dir/simkit/engine_test.cpp.o"
+  "CMakeFiles/simkit_test.dir/simkit/engine_test.cpp.o.d"
+  "CMakeFiles/simkit_test.dir/simkit/resource_test.cpp.o"
+  "CMakeFiles/simkit_test.dir/simkit/resource_test.cpp.o.d"
+  "CMakeFiles/simkit_test.dir/simkit/rng_test.cpp.o"
+  "CMakeFiles/simkit_test.dir/simkit/rng_test.cpp.o.d"
+  "CMakeFiles/simkit_test.dir/simkit/stats_test.cpp.o"
+  "CMakeFiles/simkit_test.dir/simkit/stats_test.cpp.o.d"
+  "CMakeFiles/simkit_test.dir/simkit/task_test.cpp.o"
+  "CMakeFiles/simkit_test.dir/simkit/task_test.cpp.o.d"
+  "CMakeFiles/simkit_test.dir/simkit/trigger_test.cpp.o"
+  "CMakeFiles/simkit_test.dir/simkit/trigger_test.cpp.o.d"
+  "simkit_test"
+  "simkit_test.pdb"
+  "simkit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simkit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
