@@ -1,0 +1,115 @@
+// Checkpoint-interval x fault-rate tradeoff for SCF 1.1 under injected
+// I/O-node crashes.
+//
+// The classic result (Young's approximation): checkpoint too often and
+// the coordinated writes eat the run; too rarely and every crash rolls
+// back a long stretch of lost work.  Total execution time is minimized at
+// an interior interval near sqrt(2 * C * MTBF).  This bench replays the
+// same deterministic crash plan against a sweep of intervals (0 = no
+// checkpointing) and reports the exec-time split from ckpt::Report; the
+// --check shape asserts the minimum is interior — neither the smallest
+// tested interval nor "never checkpoint" wins.
+#include <cstdio>
+#include <vector>
+
+#include "ckpt/ckpt.hpp"
+#include "ckpt/workloads.hpp"
+#include "exp/options.hpp"
+#include "exp/resilience.hpp"
+#include "exp/table.hpp"
+#include "fault/plan.hpp"
+#include "hw/machine.hpp"
+#include "pfs/fs.hpp"
+#include "simkit/engine.hpp"
+
+namespace {
+
+constexpr std::size_t kIoNodes = 4;
+constexpr double kMtbf = 60.0;    // cluster-wide crash rate (s)
+constexpr double kOutage = 5.0;   // reboot window per crash (s)
+
+ckpt::Report run_once(int interval_steps, double scale) {
+  simkit::Engine eng;
+  hw::MachineConfig mc = hw::MachineConfig::paragon_large(8, kIoNodes);
+  hw::Machine machine(eng, mc);
+
+  // The same plan for every interval: runs differ only in checkpoint
+  // policy, so exec-time differences are attributable to it.
+  fault::Injector injector(fault::InjectionPlan::poisson_node_crashes(
+      kIoNodes, kMtbf, kOutage, /*horizon=*/50000.0, /*seed=*/15));
+  pfs::StripedFs fs(machine, &injector);
+
+  apps::ScfConfig sc;
+  sc.nprocs = 8;
+  sc.io_nodes = kIoNodes;
+  sc.n_basis = 140;  // MEDIUM problem, many iterations
+  sc.iterations = 49;
+  sc.scale = scale;
+  ckpt::Workload w = ckpt::scf11_workload(sc);
+  // Checkpoint the full restart volume (density/Fock plus the screening
+  // and geometry tables a cold restart needs), not just the matrices —
+  // this is what puts a real price on checkpointing too often.
+  w.state_bytes_per_rank = 8ULL << 20;
+
+  ckpt::Options opt;
+  opt.ckpt_interval_steps = interval_steps;
+  opt.retry.max_attempts = 4;
+  opt.retry.backoff_ms = 5.0;
+  return ckpt::run(machine, fs, &injector, w, opt);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  expt::Options opt(0.25);
+  opt.parse(argc, argv);
+
+  const std::vector<int> intervals = {1, 2, 4, 8, 16, 24, 0};
+  expt::Table table({"ckpt every", "exec (s)", "ckpt ovhd (s)",
+                     "lost work (s)", "recovery (s)", "ckpts", "restarts"});
+  std::vector<ckpt::Report> reps;
+  int best = -1;
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    const int iv = intervals[i];
+    reps.push_back(run_once(iv, opt.scale));
+    const ckpt::Report& r = reps.back();
+    table.add_row({iv == 0 ? "never" : expt::fmt_u64(iv) + " steps",
+                   expt::fmt_s(r.exec_time), expt::fmt_s(r.ckpt_overhead),
+                   expt::fmt_s(r.lost_work), expt::fmt_s(r.recovery_time),
+                   expt::fmt_u64(r.checkpoints), expt::fmt_u64(r.restarts)});
+    if (best < 0 || r.exec_time < reps[static_cast<std::size_t>(best)]
+                                      .exec_time) {
+      best = static_cast<int>(i);
+    }
+  }
+
+  std::printf("Fault+checkpoint: SCF 1.1 (MEDIUM, 8 procs, %zu I/O nodes), "
+              "poisson crashes MTBF=%.0fs outage=%.0fs\n%s\n",
+              kIoNodes, kMtbf, kOutage,
+              (opt.csv ? table.csv() : table.str()).c_str());
+  std::printf("Best interval: %s\n%s\n",
+              intervals[static_cast<std::size_t>(best)] == 0
+                  ? "never"
+                  : expt::fmt_u64(intervals[static_cast<std::size_t>(best)])
+                        .c_str(),
+              expt::resilience_report(reps[static_cast<std::size_t>(best)],
+                                      nullptr)
+                  .c_str());
+
+  if (opt.check) {
+    expt::Checker chk;
+    bool all_done = true;
+    for (const auto& r : reps) all_done = all_done && r.completed;
+    chk.expect(all_done, "every configuration runs to completion");
+    chk.expect(intervals[static_cast<std::size_t>(best)] != 0,
+               "checkpointing beats never checkpointing under crashes");
+    chk.expect(static_cast<std::size_t>(best) != 0,
+               "an interior interval beats checkpointing every step");
+    const ckpt::Report& never = reps.back();
+    chk.expect(never.lost_work >
+                   reps[static_cast<std::size_t>(best)].lost_work,
+               "longer intervals lose more work per crash");
+    return chk.exit_code();
+  }
+  return 0;
+}

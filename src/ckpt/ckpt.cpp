@@ -1,0 +1,317 @@
+#include "ckpt/ckpt.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "mprt/collectives.hpp"
+#include "mprt/comm.hpp"
+#include "pario/twophase.hpp"
+#include "pfs/types.hpp"
+
+namespace ckpt {
+namespace {
+
+/// Deterministic checkpoint-state content for (rank, step): restarts can
+/// prove they read back the exact step they rolled back to.
+std::byte pattern_byte(int rank, int step, std::uint64_t i) {
+  return static_cast<std::byte>(
+      (static_cast<std::uint64_t>(rank) * 131 +
+       static_cast<std::uint64_t>(step) * 17 + i * 7 + 0x2D) &
+      0xFF);
+}
+
+/// Coordinated failure agreement over the compute interconnect (which an
+/// I/O-node crash does not touch): min-reduce of everyone's ok flag.
+simkit::Task<bool> agree(mprt::Comm& c, bool ok) {
+  std::array<double, 1> v{ok ? 1.0 : 0.0};
+  co_await mprt::allreduce(c, std::span<double>(v), mprt::ReduceOp::kMin);
+  co_return v[0] > 0.5;
+}
+
+/// Rank r's slice of the checkpoint file: `pieces` chunks interleaved
+/// round-robin by rank, so the collective write/read really exchanges.
+std::vector<pario::Extent> state_extents(const Workload& w, int rank) {
+  const std::uint64_t piece =
+      w.state_bytes_per_rank / static_cast<std::uint64_t>(w.state_pieces);
+  std::vector<pario::Extent> ext;
+  ext.reserve(static_cast<std::size_t>(w.state_pieces));
+  for (int j = 0; j < w.state_pieces; ++j) {
+    const std::uint64_t len = (j + 1 == w.state_pieces)
+                                  ? w.state_bytes_per_rank -
+                                        piece * static_cast<std::uint64_t>(j)
+                                  : piece;
+    ext.push_back({.file_offset =
+                       (static_cast<std::uint64_t>(j) *
+                            static_cast<std::uint64_t>(w.nprocs) +
+                        static_cast<std::uint64_t>(rank)) *
+                       piece,
+                   .length = len,
+                   .buf_offset = piece * static_cast<std::uint64_t>(j)});
+  }
+  return ext;
+}
+
+/// Mutable run state shared by the driver and every rank's coroutine.
+/// Single-threaded simulation: no synchronization needed, but only rank 0
+/// writes the bookkeeping fields so they change exactly once per event.
+struct RunState {
+  bool prologue_done = false;
+  bool have_ckpt = false;
+  int ckpt_step = 0;     // steps covered by the last committed checkpoint
+  int resume_step = 0;   // first step the next attempt executes
+  bool failed = false;   // this attempt hit a coordinated failure
+  bool productive = false;
+  simkit::Time anchor = simkit::kTimeZero;  // lost-work accrues from here
+  Report rep;
+
+  void note_failure(simkit::Time now) {
+    failed = true;
+    if (productive) {
+      rep.lost_work += now - anchor;
+      productive = false;
+    }
+  }
+  void begin_productive(simkit::Time now) {
+    productive = true;
+    anchor = now;
+  }
+};
+
+}  // namespace
+
+Report run(hw::Machine& machine, pfs::StripedFs& fs,
+           fault::Injector* injector, Workload w, Options opt) {
+  simkit::Engine& eng = machine.engine();
+  const simkit::Time job_start = eng.now();
+
+  // -- files ---------------------------------------------------------------
+  const pfs::FileId ckpt_file =
+      fs.create("ckpt." + w.name, w.backed_state);
+  const pfs::FileId ckpt_replica =
+      opt.replicate_checkpoint
+          ? fs.create("ckpt." + w.name + ".mirror", w.backed_state)
+          : pfs::kInvalidFile;
+  std::vector<pfs::FileId> priv;
+  pfs::FileId dump = pfs::kInvalidFile;
+  if (w.io == StepIo::kPrivateRead) {
+    priv.reserve(static_cast<std::size_t>(w.nprocs));
+    for (int r = 0; r < w.nprocs; ++r) {
+      priv.push_back(fs.create(w.name + ".priv." + std::to_string(r)));
+    }
+  } else if (w.io == StepIo::kCollectiveDump) {
+    dump = fs.create(w.name + ".dump");
+  }
+
+  // Step/prologue I/O retries without fail-over (those files have no
+  // mirror); checkpoint restores may fail over to the mirror copy.
+  pario::RetryPolicy step_retry = opt.retry;
+  step_retry.replica = pfs::kInvalidFile;
+  pario::RetryPolicy ckpt_retry = opt.retry;
+  ckpt_retry.replica = ckpt_replica;
+
+  RunState st;
+  pario::TwoPhaseOptions tp_step;
+  tp_step.retry = &step_retry;
+  tp_step.retry_stats = &st.rep.retry;
+  pario::TwoPhaseOptions tp_ckpt_write = tp_step;  // copies go out whole
+  pario::TwoPhaseOptions tp_ckpt_read;
+  tp_ckpt_read.retry = &ckpt_retry;
+  tp_ckpt_read.retry_stats = &st.rep.retry;
+
+  const int interval = std::max(opt.ckpt_interval_steps, 0);
+  const std::uint64_t chunk =
+      std::max<std::uint64_t>(w.io_chunk_bytes, 1);
+
+  // Per-rank live state buffers (content-backed runs only).
+  std::vector<std::vector<std::byte>> state;
+  if (w.backed_state) {
+    state.assign(static_cast<std::size_t>(w.nprocs),
+                 std::vector<std::byte>(w.state_bytes_per_rank));
+  }
+  auto state_span = [&](int r) -> std::span<std::byte> {
+    if (!w.backed_state) return {};
+    return std::span<std::byte>(state[static_cast<std::size_t>(r)]);
+  };
+
+  auto body = [&](mprt::Comm& c) -> simkit::Task<void> {
+    const int r = c.rank();
+    const hw::NodeId node = c.node();
+
+    // One-time prologue: materialize the private input files every step
+    // re-reads (SCF writes its integral file once, in iteration 1).
+    if (w.io == StepIo::kPrivateRead && !st.prologue_done) {
+      bool ok = true;
+      try {
+        for (std::uint64_t off = 0; off < w.io_bytes_per_rank_step;
+             off += chunk) {
+          const std::uint64_t len =
+              std::min(chunk, w.io_bytes_per_rank_step - off);
+          co_await pario::resilient_pwrite(
+              fs, node, priv[static_cast<std::size_t>(r)], off, len, {},
+              step_retry, &st.rep.retry);
+        }
+      } catch (const pfs::IoError&) {
+        ok = false;
+      }
+      ok = co_await agree(c, ok);
+      if (!ok) {
+        if (r == 0) st.note_failure(eng.now());
+        co_return;
+      }
+      if (r == 0) st.prologue_done = true;
+    }
+
+    // Restore from the last committed checkpoint (restarts only).
+    if (st.have_ckpt && st.resume_step > 0) {
+      const simkit::Time t0 = eng.now();
+      bool ok = true;
+      try {
+        co_await pario::TwoPhase::read(c, fs, ckpt_file, state_extents(w, r),
+                                       state_span(r), nullptr, tp_ckpt_read);
+        if (w.backed_state) {
+          const auto& buf = state[static_cast<std::size_t>(r)];
+          for (std::uint64_t i = 0; i < w.state_bytes_per_rank; ++i) {
+            if (buf[i] != pattern_byte(r, st.ckpt_step, i)) {
+              st.rep.state_verified = false;
+              break;
+            }
+          }
+        }
+      } catch (const pfs::IoError&) {
+        ok = false;
+      }
+      ok = co_await agree(c, ok);
+      if (r == 0) st.rep.recovery_time += eng.now() - t0;
+      if (!ok) {
+        if (r == 0) st.note_failure(eng.now());
+        co_return;
+      }
+    }
+    if (r == 0) st.begin_productive(eng.now());
+
+    for (int step = st.resume_step; step < w.steps; ++step) {
+      co_await machine.compute(w.flops_per_rank_step);
+
+      if (w.io != StepIo::kNone) {
+        bool ok = true;
+        try {
+          if (w.io == StepIo::kPrivateRead) {
+            for (std::uint64_t off = 0; off < w.io_bytes_per_rank_step;
+                 off += chunk) {
+              const std::uint64_t len =
+                  std::min(chunk, w.io_bytes_per_rank_step - off);
+              co_await pario::resilient_pread(
+                  fs, node, priv[static_cast<std::size_t>(r)], off, len, {},
+                  step_retry, &st.rep.retry);
+            }
+          } else {  // kCollectiveDump: shared solution file, rank-blocked
+            std::vector<pario::Extent> mine{
+                {.file_offset = static_cast<std::uint64_t>(r) *
+                                w.io_bytes_per_rank_step,
+                 .length = w.io_bytes_per_rank_step,
+                 .buf_offset = 0}};
+            co_await pario::TwoPhase::write(c, fs, dump, std::move(mine), {},
+                                            nullptr, tp_step);
+          }
+        } catch (const pfs::IoError&) {
+          ok = false;
+        }
+        ok = co_await agree(c, ok);
+        if (!ok) {
+          if (r == 0) st.note_failure(eng.now());
+          co_return;
+        }
+      }
+
+      // Coordinated checkpoint after every `interval` completed steps (not
+      // after the last step — the job is finished, nothing left to lose).
+      const int done_steps = step + 1;
+      if (interval > 0 && done_steps % interval == 0 &&
+          done_steps < w.steps) {
+        const simkit::Time t0 = eng.now();
+        bool ok = true;
+        if (w.backed_state) {
+          auto& buf = state[static_cast<std::size_t>(r)];
+          for (std::uint64_t i = 0; i < w.state_bytes_per_rank; ++i) {
+            buf[i] = pattern_byte(r, done_steps, i);
+          }
+        }
+        try {
+          co_await pario::TwoPhase::write(c, fs, ckpt_file,
+                                          state_extents(w, r), state_span(r),
+                                          nullptr, tp_ckpt_write);
+          if (ckpt_replica != pfs::kInvalidFile) {
+            co_await pario::TwoPhase::write(c, fs, ckpt_replica,
+                                            state_extents(w, r),
+                                            state_span(r), nullptr,
+                                            tp_ckpt_write);
+          }
+        } catch (const pfs::IoError&) {
+          ok = false;
+        }
+        ok = co_await agree(c, ok);
+        if (r == 0) {
+          if (ok) {
+            st.rep.ckpt_overhead += eng.now() - t0;
+            st.rep.checkpoints += 1;
+            st.rep.ckpt_bytes +=
+                w.state_bytes_per_rank *
+                static_cast<std::uint64_t>(w.nprocs) *
+                (ckpt_replica != pfs::kInvalidFile ? 2u : 1u);
+            st.have_ckpt = true;
+            st.ckpt_step = done_steps;
+            st.resume_step = done_steps;
+            st.begin_productive(eng.now());
+          } else {
+            st.note_failure(eng.now());
+          }
+        }
+        if (!ok) co_return;
+      }
+    }
+  };
+
+  // -- drive: attempt / agree-on-failure / wait-out-outage / restart ------
+  // Cluster::run keeps a reference to the body function until the ranks
+  // finish; a named object (not a temporary at the call site) outlives it.
+  const std::function<simkit::Task<void>(mprt::Comm&)> rank_body = body;
+  for (;;) {
+    st.failed = false;
+    mprt::Cluster cluster(machine, w.nprocs);
+    simkit::ProcHandle main =
+        eng.spawn(cluster.run(rank_body), "ckpt." + w.name);
+    // Step (not run): a full drain would also consume future fault edges
+    // and fling the clock to the plan horizon.
+    while (!main.done() && eng.step()) {
+    }
+    if (!main.done()) break;  // starved: a bug, surfaces as !completed
+    if (!st.failed) {
+      st.rep.completed = true;
+      break;
+    }
+    st.rep.restarts += 1;
+    if (st.rep.restarts > opt.max_restarts) break;
+    if (injector) {
+      // Sit out the remaining outage: the reboot edges are scheduled
+      // events, so run_until lands the clock exactly on the last one.
+      const simkit::Time up = injector->all_up_by(eng.now());
+      if (up > eng.now()) {
+        const simkit::Time t0 = eng.now();
+        eng.run_until(up);
+        st.rep.recovery_time += eng.now() - t0;
+      }
+    }
+  }
+  st.rep.exec_time = eng.now() - job_start;
+
+  // Drain leftover fault edges so their coroutine frames don't leak (they
+  // are finite arm/clear processes; the measurement above is already
+  // taken, so the clock moving to the plan horizon is harmless).
+  eng.run();
+  return st.rep;
+}
+
+}  // namespace ckpt

@@ -1,0 +1,100 @@
+// ckpt/ckpt.hpp — coordinated checkpoint/restart over the striped FS.
+//
+// The paper studies where I/O time goes on a healthy machine; this engine
+// answers the production question of what the I/O stack costs when the
+// machine is NOT healthy.  A job is modelled as `steps` units of work per
+// rank (compute plus a per-step I/O pattern derived from a real app —
+// SCF 1.1's integral-file re-read, BTIO's collective solution dump).
+// Every `ckpt_interval_steps`, all ranks write a coordinated checkpoint of
+// their state through the existing two-phase collective path.  When an
+// injected fault defeats the retry/backoff policy, the surviving ranks
+// agree on the failure (an allreduce over the compute interconnect, which
+// crashes of I/O nodes do not touch), the job waits out the outage, rolls
+// back to the last committed checkpoint, re-reads it collectively, and
+// re-executes the lost steps.
+//
+// The report splits the resilience overheads the way the classic optimal-
+// checkpoint-interval analysis does: time writing checkpoints (grows as
+// the interval shrinks), lost work re-executed after rollbacks (grows as
+// the interval stretches), and time-to-recovery (outage wait + restart
+// read).  bench_fault_ckpt sweeps the interval against the fault rate to
+// reproduce the interior-minimum tradeoff curve.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fault/injector.hpp"
+#include "hw/machine.hpp"
+#include "pario/resilient.hpp"
+#include "pfs/fs.hpp"
+#include "simkit/time.hpp"
+
+namespace ckpt {
+
+/// Per-step I/O issued by every rank between checkpoints.
+enum class StepIo : std::uint8_t {
+  kNone,            // compute-only steps
+  kPrivateRead,     // re-read my private file each step (SCF's Fock build)
+  kCollectiveDump,  // append a shared-file dump via two-phase I/O (BTIO)
+};
+
+struct Workload {
+  std::string name = "synthetic";
+  int nprocs = 8;
+  int steps = 32;
+  double flops_per_rank_step = 1e7;
+  StepIo io = StepIo::kNone;
+  std::uint64_t io_bytes_per_rank_step = 0;
+  /// kPrivateRead reads in chunks of this size (the app's buffer tuple M).
+  std::uint64_t io_chunk_bytes = 256 * 1024;
+  /// Private files must exist before they can be re-read: a one-time
+  /// prologue writes them (SCF iteration 1).  Not re-done after restarts —
+  /// the data survives on disk.
+  bool prologue_writes_private = false;
+
+  std::uint64_t state_bytes_per_rank = 1 << 20;  // checkpoint volume
+  /// The checkpoint file interleaves each rank's state in this many
+  /// pieces (round-robin by rank), so the collective write actually
+  /// exercises the two-phase exchange.
+  int state_pieces = 8;
+  /// Content-backed checkpoint state: ranks keep real state buffers with
+  /// a (rank, step)-derived pattern, and every restart verifies that the
+  /// bytes read back match the checkpointed step.  Costs host RAM — meant
+  /// for tests, not for paper-sized benches.
+  bool backed_state = false;
+};
+
+struct Options {
+  /// Steps between coordinated checkpoints; 0 disables checkpointing
+  /// (a failure then rolls back to the start of the job).
+  int ckpt_interval_steps = 8;
+  pario::RetryPolicy retry;          // recovery policy for all job I/O
+  bool replicate_checkpoint = false; // mirror ckpt file for fail-over
+  int max_restarts = 64;             // give up (completed=false) beyond
+};
+
+struct Report {
+  simkit::Duration exec_time = 0.0;     // end-to-end, including recoveries
+  simkit::Duration ckpt_overhead = 0.0; // wall time inside checkpoint writes
+  simkit::Duration lost_work = 0.0;     // productive time discarded by rollbacks
+  simkit::Duration recovery_time = 0.0; // outage wait + checkpoint re-reads
+  int checkpoints = 0;                  // committed coordinated checkpoints
+  int restarts = 0;
+  std::uint64_t ckpt_bytes = 0;         // total checkpoint volume written
+  bool completed = false;
+  bool state_verified = true;           // meaningful when backed_state
+  pario::RetryStats retry;              // aggregated over all job I/O
+
+  /// exec time of a hypothetical fault-free, checkpoint-free run is
+  /// exec_time - ckpt_overhead - lost_work - recovery_time minus retry
+  /// backoff; the report keeps the pieces so benches can show the split.
+};
+
+/// Run the workload to completion (or to max_restarts) on the given
+/// machine/file system.  `injector` may be null (fault-free run); when
+/// set it must be the same injector the StripedFs was built with.
+Report run(hw::Machine& machine, pfs::StripedFs& fs,
+           fault::Injector* injector, Workload w, Options opt);
+
+}  // namespace ckpt

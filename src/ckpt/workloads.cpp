@@ -1,0 +1,46 @@
+#include "ckpt/workloads.hpp"
+
+#include <algorithm>
+
+namespace ckpt {
+
+Workload scf11_workload(const apps::ScfConfig& cfg) {
+  Workload w;
+  w.name = "scf11";
+  w.nprocs = cfg.nprocs;
+  // Iteration 1 (integral evaluation + write) is the prologue; every
+  // remaining iteration is a restartable step.
+  w.steps = std::max(1, cfg.iterations - 1);
+  const std::uint64_t per_rank =
+      cfg.total_integrals() / static_cast<std::uint64_t>(cfg.nprocs);
+  w.flops_per_rank_step =
+      static_cast<double>(per_rank) * cfg.fock_flops_per_integral;
+  w.io = StepIo::kPrivateRead;
+  w.io_bytes_per_rank_step = per_rank * cfg.bytes_per_integral;
+  w.io_chunk_bytes = cfg.chunk_bytes();
+  w.prologue_writes_private = true;
+  // Density + Fock matrices: 2 * N^2 doubles per rank.
+  w.state_bytes_per_rank = 2ULL * static_cast<std::uint64_t>(cfg.n_basis) *
+                           static_cast<std::uint64_t>(cfg.n_basis) * 8ULL;
+  return w;
+}
+
+Workload btio_workload(const apps::BtioConfig& cfg) {
+  Workload w;
+  w.name = "btio";
+  w.nprocs = cfg.nprocs;
+  w.steps = cfg.effective_dumps();
+  const std::uint64_t cells =
+      cfg.grid_n() * cfg.grid_n() * cfg.grid_n() /
+      static_cast<std::uint64_t>(cfg.nprocs);
+  w.flops_per_rank_step = static_cast<double>(cells) *
+                          cfg.flops_per_cell_step * cfg.steps_per_dump;
+  w.io = StepIo::kCollectiveDump;
+  w.io_bytes_per_rank_step =
+      cfg.dump_bytes() / static_cast<std::uint64_t>(cfg.nprocs);
+  // The solution IS the state: a checkpoint is one extra coordinated dump.
+  w.state_bytes_per_rank = w.io_bytes_per_rank_step;
+  return w;
+}
+
+}  // namespace ckpt

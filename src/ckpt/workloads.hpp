@@ -1,0 +1,28 @@
+// ckpt/workloads.hpp — map the paper's applications onto ckpt::Workload.
+//
+// The checkpoint engine models a job as steps of (compute + step I/O);
+// these adapters derive those step parameters from the same app configs
+// apps:: uses, so a fault/checkpoint sweep talks about the identical
+// SCF 1.1 or BTIO job the healthy-machine benches time.
+#pragma once
+
+#include "apps/btio.hpp"
+#include "apps/scf.hpp"
+#include "ckpt/ckpt.hpp"
+
+namespace ckpt {
+
+/// SCF 1.1: one step = one SCF iteration after the first — rebuild the
+/// Fock matrix by re-reading the whole per-rank private integral file in
+/// M-sized chunks.  The prologue stands in for iteration 1's integral
+/// write.  Checkpoint state is the density/Fock matrix pair (2 * N^2
+/// doubles, replicated per rank in SCF 1.1).
+Workload scf11_workload(const apps::ScfConfig& cfg);
+
+/// BTIO: one step = one solution-dump period — steps_per_dump implicit
+/// solver sweeps, then a collective append of this rank's share of the
+/// solution.  Checkpoint state is the rank's slab of the 5-component
+/// grid (same bytes a dump writes).
+Workload btio_workload(const apps::BtioConfig& cfg);
+
+}  // namespace ckpt

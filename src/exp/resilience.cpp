@@ -1,0 +1,44 @@
+#include "exp/resilience.hpp"
+
+#include "exp/table.hpp"
+
+namespace expt {
+
+std::string resilience_report(const ckpt::Report& rep,
+                              const fault::Injector* injector) {
+  const double exec = rep.exec_time;
+  auto pct = [exec](double part) {
+    return exec > 0.0 ? fmt("%.1f", 100.0 * part / exec) : std::string("-");
+  };
+
+  Table t({"Component", "Time (s)", "% of exec"});
+  const double productive =
+      exec - rep.ckpt_overhead - rep.lost_work - rep.recovery_time;
+  t.add_row({"Productive work", fmt_s(productive), pct(productive)});
+  t.add_row({"Checkpoint overhead", fmt_s(rep.ckpt_overhead),
+             pct(rep.ckpt_overhead)});
+  t.add_row({"Lost work (rolled back)", fmt_s(rep.lost_work),
+             pct(rep.lost_work)});
+  t.add_row({"Time to recovery", fmt_s(rep.recovery_time),
+             pct(rep.recovery_time)});
+  t.add_row({"Total execution", fmt_s(exec), pct(exec)});
+
+  std::string out = t.str();
+  out += "checkpoints: " + fmt_u64(rep.checkpoints) +
+         " (" + fmt("%.1f", static_cast<double>(rep.ckpt_bytes) / 1e6) +
+         " MB), restarts: " + fmt_u64(rep.restarts) +
+         ", completed: " + (rep.completed ? "yes" : "NO") +
+         (rep.state_verified ? "" : ", STATE MISMATCH") + "\n";
+  out += "retries: " + fmt_u64(rep.retry.retries) +
+         ", failovers: " + fmt_u64(rep.retry.failovers) +
+         ", exhausted: " + fmt_u64(rep.retry.exhausted) +
+         ", backoff: " + fmt_s(rep.retry.backoff_time) + " s\n";
+  if (injector) {
+    out += "injected: " + fmt_u64(injector->transient_errors()) +
+           " transient errors, " + fmt_u64(injector->rejected_requests()) +
+           " requests rejected at down nodes\n";
+  }
+  return out;
+}
+
+}  // namespace expt

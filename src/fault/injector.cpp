@@ -1,0 +1,70 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+
+namespace fault {
+
+simkit::Task<void> Injector::arm_crash(std::size_t node) {
+  if (node >= down_.size()) down_.resize(node + 1, 0);
+  ++down_[node];
+  co_return;
+}
+
+simkit::Task<void> Injector::clear_crash(std::size_t node) {
+  if (node < down_.size() && down_[node] > 0) --down_[node];
+  co_return;
+}
+
+simkit::Task<void> Injector::arm_episode(std::uint64_t disk_key,
+                                         double factor) {
+  ++episode_depth_[disk_key];
+  auto it = disks_.find(disk_key);
+  // Overlapping episodes on one disk: the most recently armed factor wins.
+  if (it != disks_.end()) it->second->set_service_scale(factor);
+  co_return;
+}
+
+simkit::Task<void> Injector::clear_episode(std::uint64_t disk_key) {
+  auto depth = episode_depth_.find(disk_key);
+  if (depth == episode_depth_.end() || --depth->second > 0) co_return;
+  episode_depth_.erase(depth);
+  auto it = disks_.find(disk_key);
+  if (it != disks_.end()) it->second->set_service_scale(1.0);
+}
+
+void Injector::start(simkit::Engine& eng) {
+  if (started_) return;
+  started_ = true;
+  // Crash windows already open at the current time must arm immediately;
+  // spawn_at clamps past times to now, so scheduling is uniform.  Reboot
+  // edges are scheduled after crash edges at equal times (schedule order
+  // breaks ties), so a zero-length window never goes negative.
+  for (const auto& c : plan_.crashes) {
+    eng.spawn_at(c.crash, arm_crash(c.io_node), "fault_crash");
+    eng.spawn_at(c.reboot, clear_crash(c.io_node), "fault_reboot");
+  }
+  for (const auto& e : plan_.disk_episodes) {
+    const std::uint64_t k = key(e.io_node, e.disk);
+    eng.spawn_at(e.start, arm_episode(k, e.latency_factor), "fault_degrade");
+    eng.spawn_at(e.end, clear_episode(k), "fault_heal");
+  }
+}
+
+simkit::Time Injector::all_up_by(simkit::Time now) const noexcept {
+  // Chase overlapping/chained windows: keep extending while some window
+  // covers the candidate instant.
+  simkit::Time t = now;
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const auto& c : plan_.crashes) {
+      if (c.crash <= t && t < c.reboot) {
+        t = c.reboot;
+        moved = true;
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace fault

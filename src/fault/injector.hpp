@@ -1,0 +1,94 @@
+// fault/injector.hpp — runtime fault state, armed by a simulated clock.
+//
+// The Injector turns an InjectionPlan into live machine state.  start()
+// schedules one finite process per fault edge (crash, reboot, episode
+// start/end) at its planned simulated time; pfs::IoNode consults the
+// armed state on every request, and registered hw::DiskModels have their
+// service_scale stretched for the duration of a degradation episode.
+//
+// Pay-for-what-you-use: a StripedFs without an injector (or with an empty
+// plan) takes no extra simulated time and produces bit-identical results.
+// All edge processes are finite, so a full Engine::run() drains them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "hw/disk.hpp"
+#include "simkit/engine.hpp"
+#include "simkit/rng.hpp"
+
+namespace fault {
+
+class Injector {
+ public:
+  explicit Injector(InjectionPlan plan)
+      : plan_(std::move(plan)), rng_(plan_.seed) {}
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  const InjectionPlan& plan() const noexcept { return plan_; }
+
+  /// Schedule every fault edge on the engine.  Called once (idempotent);
+  /// pfs::StripedFs does this when constructed with an injector.
+  void start(simkit::Engine& eng);
+  bool started() const noexcept { return started_; }
+
+  // -- armed state (consulted by pfs on the request path) -----------------
+  bool node_down(std::size_t io_node) const noexcept {
+    return io_node < down_.size() && down_[io_node] > 0;
+  }
+
+  /// Roll a transient request failure.  Consumes the RNG stream only when
+  /// the plan has a positive error probability.
+  bool roll_transient() {
+    if (plan_.transient_error_prob <= 0.0) return false;
+    if (rng_.uniform() >= plan_.transient_error_prob) return false;
+    ++transient_errors_;
+    return true;
+  }
+
+  /// A disk registers itself so degradation episodes can reach its model.
+  void attach_disk(std::size_t io_node, std::uint32_t disk,
+                   hw::DiskModel* model) {
+    disks_[key(io_node, disk)] = model;
+  }
+
+  void count_rejection() noexcept { ++rejected_requests_; }
+
+  // -- plan queries (no armed state needed) -------------------------------
+  /// Earliest time >= now at which no crash window keeps a node down: the
+  /// instant a recovery manager can expect requests to succeed again.
+  simkit::Time all_up_by(simkit::Time now) const noexcept;
+
+  // -- counters -----------------------------------------------------------
+  std::uint64_t transient_errors() const noexcept { return transient_errors_; }
+  std::uint64_t rejected_requests() const noexcept {
+    return rejected_requests_;
+  }
+
+ private:
+  static std::uint64_t key(std::size_t node, std::uint32_t disk) {
+    return (static_cast<std::uint64_t>(node) << 32) | disk;
+  }
+
+  simkit::Task<void> arm_crash(std::size_t node);
+  simkit::Task<void> clear_crash(std::size_t node);
+  simkit::Task<void> arm_episode(std::uint64_t disk_key, double factor);
+  simkit::Task<void> clear_episode(std::uint64_t disk_key);
+
+  InjectionPlan plan_;
+  simkit::Rng rng_;
+  bool started_ = false;
+  // Overlapping windows/episodes nest: a node is down while its count is
+  // positive; a disk reverts to 1.0 only when its last episode ends.
+  std::vector<int> down_;
+  std::map<std::uint64_t, int> episode_depth_;
+  std::map<std::uint64_t, hw::DiskModel*> disks_;
+  std::uint64_t transient_errors_ = 0;
+  std::uint64_t rejected_requests_ = 0;
+};
+
+}  // namespace fault

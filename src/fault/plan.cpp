@@ -1,0 +1,56 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+
+#include "simkit/rng.hpp"
+
+namespace fault {
+
+simkit::Time InjectionPlan::horizon() const noexcept {
+  simkit::Time h = 0.0;
+  for (const auto& e : disk_episodes) h = std::max(h, e.end);
+  for (const auto& c : crashes) h = std::max(h, c.reboot);
+  return h;
+}
+
+InjectionPlan& InjectionPlan::degrade_disk(std::size_t io_node,
+                                           std::uint32_t disk,
+                                           simkit::Time start,
+                                           simkit::Time end,
+                                           double latency_factor) {
+  disk_episodes.push_back(
+      DiskDegradeEpisode{io_node, disk, start, end, latency_factor});
+  return *this;
+}
+
+InjectionPlan& InjectionPlan::crash_node(std::size_t io_node,
+                                         simkit::Time crash,
+                                         simkit::Time reboot) {
+  crashes.push_back(NodeCrashWindow{io_node, crash, reboot});
+  return *this;
+}
+
+InjectionPlan& InjectionPlan::with_transient_errors(double prob) {
+  transient_error_prob = prob;
+  return *this;
+}
+
+InjectionPlan InjectionPlan::poisson_node_crashes(std::size_t io_nodes,
+                                                  double mtbf, double outage,
+                                                  simkit::Time horizon,
+                                                  std::uint64_t seed) {
+  InjectionPlan plan;
+  plan.seed = seed;
+  if (io_nodes == 0 || mtbf <= 0.0) return plan;
+  simkit::Rng rng(seed);
+  simkit::Time t = 0.0;
+  for (;;) {
+    t += rng.exponential(mtbf);
+    if (t >= horizon) break;
+    const auto node = static_cast<std::size_t>(rng.uniform_int(io_nodes));
+    plan.crash_node(node, t, t + outage);
+  }
+  return plan;
+}
+
+}  // namespace fault

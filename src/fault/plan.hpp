@@ -1,0 +1,76 @@
+// fault/plan.hpp — declarative fault schedules for the simulated machine.
+//
+// An InjectionPlan is pure data: a list of timed fault episodes plus a
+// transient-error probability, all in absolute simulated time.  The same
+// plan + the same seed replays bit-identically (the simulator's core
+// promise extends to faulty runs).  Plans are armed at runtime by
+// fault::Injector, whose clock flips state at the planned instants.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simkit/time.hpp"
+
+namespace fault {
+
+/// One episode of degraded service on a disk: every access served during
+/// [start, end) takes `latency_factor` times longer (arm friction, media
+/// retries, thermal recalibration).  A very large factor models a stuck
+/// arm: requests still complete, but the queue behind them collapses.
+struct DiskDegradeEpisode {
+  std::size_t io_node = 0;  // index into the machine's I/O partition
+  std::uint32_t disk = 0;   // disk within the node
+  simkit::Time start = 0.0;
+  simkit::Time end = 0.0;
+  double latency_factor = 1.0;
+};
+
+/// Fail-stop crash of a whole I/O node: every request arriving during
+/// [crash, reboot) is rejected with pfs::IoError (kNodeDown).  The node
+/// serves normally again from `reboot` on.
+struct NodeCrashWindow {
+  std::size_t io_node = 0;
+  simkit::Time crash = 0.0;
+  simkit::Time reboot = 0.0;
+};
+
+struct InjectionPlan {
+  std::vector<DiskDegradeEpisode> disk_episodes;
+  std::vector<NodeCrashWindow> crashes;
+
+  /// Per-request probability of a transient failure (command timeout,
+  /// dropped server buffer).  Rolled on the injector's own RNG stream in
+  /// request-arrival order, so a given seed produces a fixed fault
+  /// pattern.  0 (the default) never touches the RNG.
+  double transient_error_prob = 0.0;
+  std::uint64_t seed = 0x5EEDFA17u;
+
+  bool empty() const noexcept {
+    return disk_episodes.empty() && crashes.empty() &&
+           transient_error_prob <= 0.0;
+  }
+
+  /// Latest fault edge in the plan; after this instant the machine is
+  /// permanently healthy.
+  simkit::Time horizon() const noexcept;
+
+  // -- builder helpers ----------------------------------------------------
+  InjectionPlan& degrade_disk(std::size_t io_node, std::uint32_t disk,
+                              simkit::Time start, simkit::Time end,
+                              double latency_factor);
+  InjectionPlan& crash_node(std::size_t io_node, simkit::Time crash,
+                            simkit::Time reboot);
+  InjectionPlan& with_transient_errors(double prob);
+
+  /// Deterministic random crash schedule: exponential inter-crash gaps
+  /// with mean `mtbf` seconds over [0, horizon), each crash taking down a
+  /// uniformly chosen I/O node for `outage` seconds.  Windows on the same
+  /// node may overlap; the injector treats the union as down-time.
+  static InjectionPlan poisson_node_crashes(std::size_t io_nodes, double mtbf,
+                                            double outage,
+                                            simkit::Time horizon,
+                                            std::uint64_t seed);
+};
+
+}  // namespace fault

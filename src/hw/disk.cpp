@@ -68,6 +68,9 @@ simkit::Duration DiskModel::access(std::uint64_t offset, std::uint64_t nbytes,
   // Writes settle marginally slower than reads on these drives (write
   // verify / head settle); 5% is within the envelope of 1990s datasheets.
   if (kind == AccessKind::kWrite) t *= 1.05;
+  // Guarded so a healthy disk's timing stays bit-identical to a build
+  // without fault injection at all.
+  if (service_scale_ != 1.0) t *= service_scale_;
   head_ = offset + nbytes;
   return t;
 }

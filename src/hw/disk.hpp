@@ -60,6 +60,12 @@ class DiskModel {
   std::uint64_t head_position() const noexcept { return head_; }
   void park() noexcept { head_ = 0; }
 
+  /// Fault-injection hook: every access is stretched by this factor while
+  /// a degradation episode is armed (1.0 = healthy, the default; a very
+  /// large value models a stuck arm).  Set by fault::Injector's clock.
+  double service_scale() const noexcept { return service_scale_; }
+  void set_service_scale(double s) noexcept { service_scale_ = s; }
+
   /// Time for one full platter revolution.
   simkit::Duration revolution_time() const noexcept {
     return 60.0 / p_.rpm;
@@ -70,6 +76,7 @@ class DiskModel {
 
   DiskParams p_;
   std::uint64_t head_ = 0;
+  double service_scale_ = 1.0;
 };
 
 }  // namespace hw

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "hw/machine.hpp"
+#include "pario/resilient.hpp"
 #include "pfs/fs.hpp"
 #include "pfs/types.hpp"
 #include "simkit/engine.hpp"
@@ -51,6 +52,17 @@ class IoInterface {
 
   const InterfaceParams& params() const noexcept { return p_; }
   pfs::FileHandle& handle() noexcept { return h_; }
+
+  /// Route this interface's data operations through the retry/backoff
+  /// policy (pario/resilient.hpp).  Off by default: without a policy the
+  /// interface calls the file system directly and any pfs::IoError
+  /// surfaces to the caller unretried.
+  void set_resilience(RetryPolicy policy, RetryStats* stats = nullptr) {
+    resilient_ = true;
+    retry_ = policy;
+    retry_stats_ = stats;
+  }
+  bool resilient() const noexcept { return resilient_; }
   std::uint64_t tell() const noexcept { return pos_; }
   hw::Machine& machine() noexcept { return fs_->machine(); }
   simkit::Engine& engine() noexcept { return fs_->machine().engine(); }
@@ -90,6 +102,9 @@ class IoInterface {
   InterfaceParams p_;
   pfs::IoObserver* observer_;
   std::uint64_t pos_ = 0;
+  bool resilient_ = false;
+  RetryPolicy retry_;
+  RetryStats* retry_stats_ = nullptr;
 };
 
 }  // namespace pario

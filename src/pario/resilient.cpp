@@ -1,0 +1,73 @@
+#include "pario/resilient.hpp"
+
+namespace pario {
+namespace {
+
+simkit::Task<void> resilient_op(pfs::OpKind kind, pfs::StripedFs& fs,
+                                hw::NodeId client, pfs::FileId file,
+                                std::uint64_t offset, std::uint64_t len,
+                                std::span<std::byte> out,
+                                std::span<const std::byte> in,
+                                RetryPolicy policy, RetryStats* stats) {
+  simkit::Engine& eng = fs.machine().engine();
+  pfs::FileId target = file;
+  double delay_ms = policy.backoff_ms;
+  for (int attempt = 1;; ++attempt) {
+    // co_await is illegal inside a catch handler, so the handler only
+    // classifies the failure and the backoff sleep happens after it.
+    bool backoff = false;
+    try {
+      if (stats) ++stats->attempts;
+      if (kind == pfs::OpKind::kRead) {
+        co_await fs.pread(client, target, offset, len, out);
+      } else {
+        co_await fs.pwrite(client, target, offset, len, in);
+      }
+      co_return;
+    } catch (const pfs::IoError& e) {
+      // Node-down on the primary: switch to the replica stripe once (it
+      // lives on different servers, so it can survive the same crash).
+      if (e.kind() == pfs::IoErrorKind::kNodeDown &&
+          policy.replica != pfs::kInvalidFile && target == file) {
+        target = policy.replica;
+        if (stats) ++stats->failovers;
+        // The fail-over try is free of backoff.
+      } else if (attempt >= policy.max_attempts) {
+        if (stats) ++stats->exhausted;
+        throw;
+      } else {
+        if (stats) {
+          ++stats->retries;
+          stats->backoff_time += simkit::milliseconds(delay_ms);
+        }
+        backoff = true;
+      }
+    }
+    if (backoff) {
+      co_await eng.delay(simkit::milliseconds(delay_ms));
+      delay_ms *= policy.backoff_multiplier;
+    }
+  }
+}
+
+}  // namespace
+
+simkit::Task<void> resilient_pread(pfs::StripedFs& fs, hw::NodeId client,
+                                   pfs::FileId file, std::uint64_t offset,
+                                   std::uint64_t len,
+                                   std::span<std::byte> out,
+                                   RetryPolicy policy, RetryStats* stats) {
+  co_await resilient_op(pfs::OpKind::kRead, fs, client, file, offset, len,
+                        out, {}, policy, stats);
+}
+
+simkit::Task<void> resilient_pwrite(pfs::StripedFs& fs, hw::NodeId client,
+                                    pfs::FileId file, std::uint64_t offset,
+                                    std::uint64_t len,
+                                    std::span<const std::byte> data,
+                                    RetryPolicy policy, RetryStats* stats) {
+  co_await resilient_op(pfs::OpKind::kWrite, fs, client, file, offset, len,
+                        {}, data, policy, stats);
+}
+
+}  // namespace pario

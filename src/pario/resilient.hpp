@@ -1,0 +1,71 @@
+// pario/resilient.hpp — retry/backoff recovery over the striped FS.
+//
+// The fault layer makes requests fail with a typed pfs::IoError; this is
+// the policy that decides recovery at the client:
+//   - transient errors are retried up to max_attempts with exponential
+//     backoff in *simulated* time (the classic congestion-polite ladder),
+//   - node-down errors fail over to a replica stripe when one is
+//     configured (a mirror file laid out on different servers), otherwise
+//     they ride the same retry ladder — a short outage is survivable, a
+//     long one exhausts the ladder and surfaces to the caller,
+//   - an operation that exhausts its attempts rethrows the last IoError,
+//     which is the checkpoint/restart layer's signal to roll back.
+//
+// A failed striped operation is re-issued in full.  Reads are idempotent
+// and writes land whole stripe pieces, so the re-issue is safe; the
+// repeated pieces cost simulated time, which is exactly the penalty a
+// real client pays.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "pfs/fs.hpp"
+#include "simkit/task.hpp"
+
+namespace pario {
+
+struct RetryPolicy {
+  int max_attempts = 4;            // total tries per operation (>= 1)
+  double backoff_ms = 5.0;         // delay before the first retry
+  double backoff_multiplier = 2.0; // exponential ladder
+  /// Mirror file to fail over to on a node-down error (same offsets).
+  /// kInvalidFile (default) disables fail-over.
+  pfs::FileId replica = pfs::kInvalidFile;
+};
+
+struct RetryStats {
+  std::uint64_t attempts = 0;   // operations issued (first tries + retries)
+  std::uint64_t retries = 0;    // re-issues after a failure
+  std::uint64_t failovers = 0;  // operations redirected to the replica
+  std::uint64_t exhausted = 0;  // operations that gave up
+  simkit::Duration backoff_time = 0.0;  // simulated time spent backing off
+
+  void merge(const RetryStats& o) {
+    attempts += o.attempts;
+    retries += o.retries;
+    failovers += o.failovers;
+    exhausted += o.exhausted;
+    backoff_time += o.backoff_time;
+  }
+};
+
+/// pread with retry/backoff/fail-over.  Throws pfs::IoError only after the
+/// policy is exhausted.  (Coroutine parameters are by value, repo-wide.)
+simkit::Task<void> resilient_pread(pfs::StripedFs& fs, hw::NodeId client,
+                                   pfs::FileId file, std::uint64_t offset,
+                                   std::uint64_t len,
+                                   std::span<std::byte> out,
+                                   RetryPolicy policy,
+                                   RetryStats* stats = nullptr);
+
+/// pwrite with retry/backoff/fail-over (mirrors the write to the replica
+/// instead when the primary's node is down).
+simkit::Task<void> resilient_pwrite(pfs::StripedFs& fs, hw::NodeId client,
+                                    pfs::FileId file, std::uint64_t offset,
+                                    std::uint64_t len,
+                                    std::span<const std::byte> data,
+                                    RetryPolicy policy,
+                                    RetryStats* stats = nullptr);
+
+}  // namespace pario

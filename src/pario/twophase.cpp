@@ -245,12 +245,25 @@ simkit::Task<void> TwoPhase::write(mprt::Comm& comm, pfs::StripedFs& fs,
   if (stats) stats->exchange_time += eng.now() - t_x;
 
   const simkit::Time t_io = eng.now();
+  std::exception_ptr deferred;  // see TwoPhaseOptions::retry
   for (std::size_t i = 0; i < runs.size(); ++i) {
     // Named view, no ternary in the co_await argument list (GCC 12).
     std::span<const std::byte> run_view;
     if (assemble) run_view = run_bufs[i];
-    co_await fs.pwrite(comm.node(), file, runs[i].file_offset,
-                       runs[i].length, run_view);
+    if (options.retry) {
+      try {
+        co_await resilient_pwrite(fs, comm.node(), file,
+                                  runs[i].file_offset, runs[i].length,
+                                  run_view, *options.retry,
+                                  options.retry_stats);
+      } catch (const pfs::IoError&) {
+        deferred = std::current_exception();
+        break;  // abandon my domain; complete the protocol below
+      }
+    } else {
+      co_await fs.pwrite(comm.node(), file, runs[i].file_offset,
+                         runs[i].length, run_view);
+    }
     if (stats) {
       ++stats->io_calls;
       stats->io_bytes += runs[i].length;
@@ -259,6 +272,7 @@ simkit::Task<void> TwoPhase::write(mprt::Comm& comm, pfs::StripedFs& fs,
   if (stats) stats->io_time += eng.now() - t_io;
 
   co_await mprt::barrier(comm);  // collective completion
+  if (deferred) std::rethrow_exception(deferred);
 }
 
 simkit::Task<void> TwoPhase::read(mprt::Comm& comm, pfs::StripedFs& fs,
@@ -298,12 +312,25 @@ simkit::Task<void> TwoPhase::read(mprt::Comm& comm, pfs::StripedFs& fs,
   auto runs = merge_runs(domain_pieces);
   std::vector<std::vector<std::byte>> run_bufs(runs.size());
   const simkit::Time t_io = eng.now();
+  std::exception_ptr deferred;  // see TwoPhaseOptions::retry
   for (std::size_t i = 0; i < runs.size(); ++i) {
     if (serve_data) run_bufs[i].resize(runs[i].length);
     std::span<std::byte> run_view;
     if (serve_data) run_view = run_bufs[i];
-    co_await fs.pread(comm.node(), file, runs[i].file_offset,
-                      runs[i].length, run_view);
+    if (options.retry) {
+      try {
+        co_await resilient_pread(fs, comm.node(), file,
+                                 runs[i].file_offset, runs[i].length,
+                                 run_view, *options.retry,
+                                 options.retry_stats);
+      } catch (const pfs::IoError&) {
+        deferred = std::current_exception();
+        break;  // serve what we have; the caller discards on rethrow
+      }
+    } else {
+      co_await fs.pread(comm.node(), file, runs[i].file_offset,
+                        runs[i].length, run_view);
+    }
     if (stats) {
       ++stats->io_calls;
       stats->io_bytes += runs[i].length;
@@ -364,6 +391,7 @@ simkit::Task<void> TwoPhase::read(mprt::Comm& comm, pfs::StripedFs& fs,
   }
   co_await comm.machine().mem_copy(unpacked);  // unpack pass
   if (stats) stats->exchange_time += eng.now() - t_x;
+  if (deferred) std::rethrow_exception(deferred);
 }
 
 }  // namespace pario

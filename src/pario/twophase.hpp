@@ -21,6 +21,7 @@
 
 #include "mprt/comm.hpp"
 #include "pario/extent.hpp"
+#include "pario/resilient.hpp"
 #include "pfs/fs.hpp"
 #include "simkit/task.hpp"
 
@@ -39,6 +40,15 @@ struct TwoPhaseOptions {
   /// aggregators concentrate the file traffic — useful when ranks far
   /// outnumber I/O nodes.
   int aggregators = 0;
+
+  /// Retry/backoff policy for the aggregators' file I/O (fault runs).
+  /// When an aggregator exhausts the policy, it FINISHES the message
+  /// protocol first (so no rank deadlocks inside the collective) and
+  /// rethrows the pfs::IoError after its barrier/exchange — callers
+  /// coordinate the failure with an agreement collective of their own.
+  /// Null (default) = direct FS calls, errors propagate immediately.
+  const RetryPolicy* retry = nullptr;
+  RetryStats* retry_stats = nullptr;
 };
 
 class TwoPhase {

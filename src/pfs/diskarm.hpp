@@ -31,6 +31,8 @@ class DiskArm {
                            hw::AccessKind kind);
 
   const hw::DiskModel& model() const noexcept { return model_; }
+  /// Fault-injection needs to stretch service times on a live arm.
+  hw::DiskModel& mutable_model() noexcept { return model_; }
   std::uint64_t services() const noexcept { return services_; }
   std::size_t queue_length() const noexcept { return queue_.size(); }
 

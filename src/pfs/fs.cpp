@@ -7,14 +7,18 @@
 
 namespace pfs {
 
-StripedFs::StripedFs(hw::Machine& machine)
-    : machine_(machine), eng_(machine.engine()), io_(machine.config().io) {
+StripedFs::StripedFs(hw::Machine& machine, fault::Injector* injector)
+    : machine_(machine),
+      eng_(machine.engine()),
+      injector_(injector),
+      io_(machine.config().io) {
   const auto& cfg = machine.config();
   nodes_.reserve(cfg.io_nodes);
   for (std::size_t i = 0; i < cfg.io_nodes; ++i) {
-    nodes_.push_back(std::make_unique<IoNode>(eng_, machine.io_node(i), io_,
-                                              cfg.disk));
+    nodes_.push_back(std::make_unique<IoNode>(
+        eng_, machine.io_node(i), i, io_, cfg.disk, injector_));
   }
+  if (injector_) injector_->start(eng_);
 }
 
 FileId StripedFs::create(std::string name, bool backed) {

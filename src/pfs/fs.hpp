@@ -77,9 +77,14 @@ class FileHandle {
 
 class StripedFs {
  public:
-  explicit StripedFs(hw::Machine& machine);
+  /// `injector`, when given, arms its fault plan on the machine's engine
+  /// and is consulted by every I/O node; null (the default) costs nothing
+  /// and behaves bit-identically to a fault-free build.
+  explicit StripedFs(hw::Machine& machine,
+                     fault::Injector* injector = nullptr);
 
   hw::Machine& machine() noexcept { return machine_; }
+  fault::Injector* injector() noexcept { return injector_; }
   const hw::IoSubsysParams& params() const noexcept { return io_; }
   std::size_t io_node_count() const noexcept { return nodes_.size(); }
   IoNode& io_node(std::size_t i) { return *nodes_.at(i); }
@@ -148,6 +153,7 @@ class StripedFs {
 
   hw::Machine& machine_;
   simkit::Engine& eng_;
+  fault::Injector* injector_;
   hw::IoSubsysParams io_;
   std::vector<std::unique_ptr<IoNode>> nodes_;
   std::vector<std::unique_ptr<FileMeta>> files_;

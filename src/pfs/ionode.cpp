@@ -13,10 +13,13 @@ constexpr std::uint64_t cache_blocks(const hw::IoSubsysParams& io) {
 }
 }  // namespace
 
-IoNode::IoNode(simkit::Engine& eng, hw::NodeId self,
-               const hw::IoSubsysParams& io, const hw::DiskParams& disk)
+IoNode::IoNode(simkit::Engine& eng, hw::NodeId self, std::size_t index,
+               const hw::IoSubsysParams& io, const hw::DiskParams& disk,
+               fault::Injector* injector)
     : eng_(eng),
       self_(self),
+      index_(index),
+      injector_(injector),
       io_(io),
       front_(eng, 1),
       dirty_slots_(eng, cache_blocks(io)),
@@ -25,6 +28,20 @@ IoNode::IoNode(simkit::Engine& eng, hw::NodeId self,
   for (std::uint32_t i = 0; i < io_.disks_per_io_node; ++i) {
     disks_.push_back(
         std::make_unique<DiskArm>(eng, disk, io_.scan_scheduling));
+    if (injector_) {
+      injector_->attach_disk(index_, i, &disks_.back()->mutable_model());
+    }
+  }
+}
+
+void IoNode::check_faults() {
+  if (!injector_) return;
+  if (injector_->node_down(index_)) {
+    injector_->count_rejection();
+    throw IoError(IoErrorKind::kNodeDown, index_);
+  }
+  if (injector_->roll_transient()) {
+    throw IoError(IoErrorKind::kTransient, index_);
   }
 }
 
@@ -44,11 +61,19 @@ simkit::Task<void> IoNode::process(hw::AccessKind kind, FileId file,
   assert(length > 0 &&
          length <= io_.stripe_unit_bytes &&
          "requests must be stripe-unit-bounded (client splits them)");
+  // A crashed node rejects at arrival (the client's connection attempt
+  // fails fast); a healthy arrival can still die below if the node
+  // crashes while the request is queued for the daemon.
+  if (injector_ && injector_->node_down(index_)) {
+    injector_->count_rejection();
+    throw IoError(IoErrorKind::kNodeDown, index_);
+  }
   ++served_;
   const simkit::Time t0 = eng_.now();
 
   // 1. Daemon CPU: strictly serialized per-node, the per-call cost.
   co_await front_.use_for(simkit::milliseconds(io_.server_overhead_ms));
+  check_faults();
 
   const BlockKey key{file, local_offset / io_.stripe_unit_bytes};
 

@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/injector.hpp"
 #include "hw/disk.hpp"
 #include "hw/machine.hpp"
 #include "pfs/cache.hpp"
@@ -34,10 +35,14 @@ namespace pfs {
 
 class IoNode {
  public:
-  IoNode(simkit::Engine& eng, hw::NodeId self, const hw::IoSubsysParams& io,
-         const hw::DiskParams& disk);
+  /// `index` is the node's position in the machine's I/O partition (the
+  /// identity fault plans refer to); `injector` may be null (no faults).
+  IoNode(simkit::Engine& eng, hw::NodeId self, std::size_t index,
+         const hw::IoSubsysParams& io, const hw::DiskParams& disk,
+         fault::Injector* injector = nullptr);
 
   hw::NodeId node_id() const noexcept { return self_; }
+  std::size_t index() const noexcept { return index_; }
 
   /// Full server-side handling of one stripe-unit-bounded request.
   simkit::Task<void> process(hw::AccessKind kind, FileId file,
@@ -70,8 +75,13 @@ class IoNode {
 
   static constexpr std::uint64_t kSegmentBytes = 8ULL << 20;
 
+  /// Fail the request if the node is crashed or a transient error fires.
+  void check_faults();
+
   simkit::Engine& eng_;
   hw::NodeId self_;
+  std::size_t index_;
+  fault::Injector* injector_;
   hw::IoSubsysParams io_;
   simkit::Resource front_;        // daemon CPU (capacity 1)
   simkit::Resource dirty_slots_;  // write-behind backpressure

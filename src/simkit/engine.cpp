@@ -17,10 +17,14 @@ detail::Detached Engine::drive(Task<void> body,
 }
 
 ProcHandle Engine::spawn(Task<void> body, std::string name) {
+  return spawn_at(now_, std::move(body), std::move(name));
+}
+
+ProcHandle Engine::spawn_at(Time t, Task<void> body, std::string name) {
   auto st = std::make_shared<detail::ProcState>();
   st->name = std::move(name);
   detail::Detached d = drive(std::move(body), st);
-  schedule_at(now_, d.handle);
+  schedule_at(t, d.handle);
   return ProcHandle{st};
 }
 

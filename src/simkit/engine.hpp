@@ -139,6 +139,11 @@ class Engine {
   /// Start a process at the current simulated time.
   ProcHandle spawn(Task<void> body, std::string name = "proc");
 
+  /// Start a process at absolute simulated time `t` (>= now).  Used by
+  /// timeline-driven machinery (e.g. fault arming) that must fire at
+  /// pre-planned instants rather than relative delays.
+  ProcHandle spawn_at(Time t, Task<void> body, std::string name = "proc");
+
   /// Run until the event queue drains (or max_events, 0 = unlimited).
   /// Throws UnhandledProcessError if a spawned process failed and nobody
   /// joined it.

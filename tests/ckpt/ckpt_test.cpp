@@ -1,0 +1,166 @@
+// Checkpoint/restart engine: fault-free behavior, crash recovery with
+// state verification, and the lost-work/checkpoint-interval tradeoff.
+#include "ckpt/ckpt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ckpt/workloads.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "hw/machine.hpp"
+#include "pfs/fs.hpp"
+#include "simkit/engine.hpp"
+
+namespace ckpt {
+namespace {
+
+Workload small_workload() {
+  Workload w;
+  w.name = "unit";
+  w.nprocs = 4;
+  w.steps = 8;
+  w.flops_per_rank_step = 1e6;
+  w.io = StepIo::kPrivateRead;
+  w.io_bytes_per_rank_step = 96 * 1024;
+  w.io_chunk_bytes = 32 * 1024;
+  w.prologue_writes_private = true;
+  w.state_bytes_per_rank = 64 * 1024;
+  w.state_pieces = 4;
+  w.backed_state = true;
+  return w;
+}
+
+Report run_with(fault::InjectionPlan plan, Options opt,
+                Workload w = small_workload()) {
+  simkit::Engine eng;
+  hw::Machine machine(eng, hw::MachineConfig::paragon_small(4, 2));
+  fault::Injector injector(std::move(plan));
+  pfs::StripedFs fs(machine, &injector);
+  return run(machine, fs, &injector, std::move(w), std::move(opt));
+}
+
+TEST(Ckpt, FaultFreeRunCompletesWithCleanAccounting) {
+  Options opt;
+  opt.ckpt_interval_steps = 2;
+  const Report rep = run_with(fault::InjectionPlan{}, opt);
+  EXPECT_TRUE(rep.completed);
+  EXPECT_TRUE(rep.state_verified);
+  EXPECT_EQ(rep.restarts, 0);
+  // 8 steps, every 2, none after the final step: checkpoints at 2, 4, 6.
+  EXPECT_EQ(rep.checkpoints, 3);
+  EXPECT_EQ(rep.ckpt_bytes, 3ull * 4 * 64 * 1024);
+  EXPECT_GT(rep.exec_time, 0.0);
+  EXPECT_GT(rep.ckpt_overhead, 0.0);
+  EXPECT_EQ(rep.lost_work, 0.0);
+  EXPECT_EQ(rep.recovery_time, 0.0);
+  EXPECT_EQ(rep.retry.retries, 0u);
+}
+
+TEST(Ckpt, IntervalZeroDisablesCheckpointing) {
+  Options opt;
+  opt.ckpt_interval_steps = 0;
+  const Report rep = run_with(fault::InjectionPlan{}, opt);
+  EXPECT_TRUE(rep.completed);
+  EXPECT_EQ(rep.checkpoints, 0);
+  EXPECT_EQ(rep.ckpt_overhead, 0.0);
+}
+
+// Fault-free duration of small_workload() with interval-2 checkpoints:
+// crash windows are placed relative to it so they always land mid-run.
+double fault_free_exec() {
+  static const double t = [] {
+    Options opt;
+    opt.ckpt_interval_steps = 2;
+    return run_with(fault::InjectionPlan{}, opt).exec_time;
+  }();
+  return t;
+}
+
+// Both servers crash at ~40% of the fault-free run (after the first
+// committed checkpoint) and stay down past its end, so no request
+// survives until the reboot edge.
+fault::InjectionPlan mid_run_outage() {
+  const double t = fault_free_exec();
+  fault::InjectionPlan plan;
+  plan.crash_node(0, 0.4 * t, 2.0 * t);
+  plan.crash_node(1, 0.4 * t, 2.0 * t);
+  return plan;
+}
+
+TEST(Ckpt, CrashForcesRestartFromVerifiedCheckpoint) {
+  // A long outage mid-run: whichever rank is in its step I/O exhausts the
+  // ladder, everyone agrees to fail, the job waits out the reboot and
+  // restores from the last committed checkpoint.
+  Options opt;
+  opt.ckpt_interval_steps = 2;
+  opt.retry.max_attempts = 3;
+  const Report rep = run_with(mid_run_outage(), opt);
+  EXPECT_TRUE(rep.completed);
+  EXPECT_GE(rep.restarts, 1);
+  EXPECT_TRUE(rep.state_verified)
+      << "restored state must match the checkpointed step's pattern";
+  EXPECT_GT(rep.lost_work, 0.0);
+  EXPECT_GT(rep.recovery_time, 0.0);
+  EXPECT_GT(rep.retry.exhausted, 0u);
+}
+
+TEST(Ckpt, CheckpointingBoundsLostWorkUnderCrashes) {
+  const fault::InjectionPlan plan = mid_run_outage();
+  Options with_ckpt;
+  with_ckpt.ckpt_interval_steps = 2;
+  with_ckpt.retry.max_attempts = 3;
+  Options without;
+  without.ckpt_interval_steps = 0;
+  without.retry.max_attempts = 3;
+  const Report a = run_with(plan, with_ckpt);
+  const Report b = run_with(plan, without);
+  ASSERT_TRUE(a.completed);
+  ASSERT_TRUE(b.completed);
+  EXPECT_GT(b.lost_work, a.lost_work)
+      << "without checkpoints every crash rolls back to step 0";
+}
+
+TEST(Ckpt, ReplicatedCheckpointDoublesVolume) {
+  Options opt;
+  opt.ckpt_interval_steps = 4;
+  opt.replicate_checkpoint = true;
+  const Report rep = run_with(fault::InjectionPlan{}, opt);
+  EXPECT_TRUE(rep.completed);
+  EXPECT_EQ(rep.checkpoints, 1);  // step 4 only (8 is the last step)
+  EXPECT_EQ(rep.ckpt_bytes, 2ull * 4 * 64 * 1024);
+}
+
+TEST(Ckpt, BtioWorkloadRunsCollectiveDumps) {
+  apps::BtioConfig cfg;
+  cfg.nprocs = 4;
+  cfg.dumps = 6;
+  cfg.scale = 1.0;
+  Workload w = btio_workload(cfg);
+  w.steps = 6;
+  w.backed_state = true;
+  w.state_pieces = 4;
+  w.state_bytes_per_rank = 64 * 1024;  // keep the unit test light
+  w.io_bytes_per_rank_step = 128 * 1024;
+  Options opt;
+  opt.ckpt_interval_steps = 2;
+  const Report rep = run_with(fault::InjectionPlan{}, opt, w);
+  EXPECT_TRUE(rep.completed);
+  EXPECT_TRUE(rep.state_verified);
+  EXPECT_EQ(rep.checkpoints, 2);
+}
+
+TEST(Ckpt, ScfWorkloadAdapterDerivesStepIo) {
+  apps::ScfConfig cfg;
+  cfg.nprocs = 8;
+  cfg.iterations = 10;
+  const Workload w = scf11_workload(cfg);
+  EXPECT_EQ(w.nprocs, 8);
+  EXPECT_EQ(w.steps, 9);
+  EXPECT_EQ(w.io, StepIo::kPrivateRead);
+  EXPECT_TRUE(w.prologue_writes_private);
+  EXPECT_GT(w.io_bytes_per_rank_step, 0u);
+  EXPECT_GT(w.state_bytes_per_rank, 0u);
+}
+
+}  // namespace
+}  // namespace ckpt

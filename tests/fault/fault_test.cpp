@@ -1,0 +1,163 @@
+// Fault layer: plan determinism, injector arming, and how failures
+// surface through the striped file system.
+#include "fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "hw/machine.hpp"
+#include "pfs/fs.hpp"
+#include "pfs/types.hpp"
+#include "simkit/engine.hpp"
+
+namespace fault {
+namespace {
+
+struct Rig {
+  simkit::Engine eng;
+  hw::Machine machine;
+  pfs::StripedFs fs;
+  explicit Rig(Injector* injector = nullptr,
+               hw::MachineConfig cfg = hw::MachineConfig::paragon_small(4, 2))
+      : machine(eng, std::move(cfg)), fs(machine, injector) {}
+};
+
+TEST(InjectionPlan, PoissonIsSeedDeterministic) {
+  const auto a = InjectionPlan::poisson_node_crashes(4, 50.0, 5.0, 2000.0, 7);
+  const auto b = InjectionPlan::poisson_node_crashes(4, 50.0, 5.0, 2000.0, 7);
+  ASSERT_EQ(a.crashes.size(), b.crashes.size());
+  EXPECT_FALSE(a.crashes.empty());
+  for (std::size_t i = 0; i < a.crashes.size(); ++i) {
+    EXPECT_EQ(a.crashes[i].io_node, b.crashes[i].io_node);
+    EXPECT_EQ(a.crashes[i].crash, b.crashes[i].crash);  // exact
+    EXPECT_EQ(a.crashes[i].reboot, b.crashes[i].reboot);
+  }
+  const auto c = InjectionPlan::poisson_node_crashes(4, 50.0, 5.0, 2000.0, 8);
+  bool same = a.crashes.size() == c.crashes.size();
+  for (std::size_t i = 0; same && i < a.crashes.size(); ++i) {
+    same = a.crashes[i].crash == c.crashes[i].crash;
+  }
+  EXPECT_FALSE(same) << "different seeds must yield different plans";
+}
+
+TEST(InjectionPlan, HorizonCoversAllEdges) {
+  InjectionPlan p;
+  EXPECT_TRUE(p.empty());
+  p.crash_node(0, 10.0, 20.0).degrade_disk(1, 0, 5.0, 42.0, 3.0);
+  EXPECT_FALSE(p.empty());
+  EXPECT_DOUBLE_EQ(p.horizon(), 42.0);
+}
+
+TEST(Injector, ArmsAndClearsOnSchedule) {
+  simkit::Engine eng;
+  InjectionPlan plan;
+  plan.crash_node(1, 1.0, 2.0).crash_node(1, 1.5, 3.0);  // overlapping
+  Injector inj(plan);
+  inj.start(eng);
+  std::vector<bool> seen;
+  eng.spawn([](simkit::Engine& e, Injector& i,
+               std::vector<bool>& out) -> simkit::Task<void> {
+    co_await e.delay(0.5);
+    out.push_back(i.node_down(1));  // t=0.5: up
+    co_await e.delay(1.0);
+    out.push_back(i.node_down(1));  // t=1.5: down (both windows)
+    co_await e.delay(1.0);
+    out.push_back(i.node_down(1));  // t=2.5: still down (second window)
+    co_await e.delay(1.0);
+    out.push_back(i.node_down(1));  // t=3.5: up again
+  }(eng, inj, seen));
+  eng.run();
+  EXPECT_EQ(seen, (std::vector<bool>{false, true, true, false}));
+  EXPECT_DOUBLE_EQ(inj.all_up_by(1.2), 3.0);  // chained windows
+  EXPECT_DOUBLE_EQ(inj.all_up_by(5.0), 5.0);
+}
+
+TEST(Injector, NodeCrashSurfacesAsTypedIoError) {
+  InjectionPlan plan;
+  plan.crash_node(0, 0.0, 1000.0);
+  Injector inj(plan);
+  Rig rig(&inj);
+  const pfs::FileId f = rig.fs.create("victim");  // id 0 -> first server 0
+  bool threw = false;
+  rig.eng.spawn([](Rig& r, pfs::FileId f, bool& threw) -> simkit::Task<void> {
+    try {
+      co_await r.fs.pwrite(r.machine.compute_node(0), f, 0, 4096);
+    } catch (const pfs::IoError& e) {
+      threw = true;
+      EXPECT_EQ(e.kind(), pfs::IoErrorKind::kNodeDown);
+      EXPECT_EQ(e.io_node(), 0u);
+    }
+  }(rig, f, threw));
+  rig.eng.run();
+  EXPECT_TRUE(threw);
+  EXPECT_GE(inj.rejected_requests(), 1u);
+}
+
+TEST(Injector, CertainTransientErrorAlwaysFails) {
+  InjectionPlan plan;
+  plan.with_transient_errors(1.0);
+  Injector inj(plan);
+  Rig rig(&inj);
+  const pfs::FileId f = rig.fs.create("flaky");
+  bool threw = false;
+  rig.eng.spawn([](Rig& r, pfs::FileId f, bool& threw) -> simkit::Task<void> {
+    try {
+      co_await r.fs.pwrite(r.machine.compute_node(0), f, 0, 4096);
+    } catch (const pfs::IoError& e) {
+      threw = true;
+      EXPECT_EQ(e.kind(), pfs::IoErrorKind::kTransient);
+    }
+  }(rig, f, threw));
+  rig.eng.run();
+  EXPECT_TRUE(threw);
+  EXPECT_GE(inj.transient_errors(), 1u);
+}
+
+// The pay-for-what-you-use contract: an injector with an EMPTY plan is
+// bit-identical to no injector at all (same simulated times, exactly).
+TEST(Injector, EmptyPlanIsBitIdenticalToNoInjector) {
+  auto timed_run = [](Injector* inj) {
+    Rig rig(inj);
+    const pfs::FileId f = rig.fs.create("same");
+    rig.eng.spawn([](Rig& r, pfs::FileId f) -> simkit::Task<void> {
+      for (int i = 0; i < 8; ++i) {
+        co_await r.fs.pwrite(r.machine.compute_node(0), f,
+                             static_cast<std::uint64_t>(i) * 100'000,
+                             70'000);
+      }
+      for (int i = 7; i >= 0; --i) {
+        co_await r.fs.pread(r.machine.compute_node(1), f,
+                            static_cast<std::uint64_t>(i) * 100'000, 70'000);
+      }
+      co_await r.fs.flush(r.machine.compute_node(0), f);
+    }(rig, f));
+    rig.eng.run();
+    return rig.eng.now();
+  };
+  Injector empty{InjectionPlan{}};
+  EXPECT_EQ(timed_run(nullptr), timed_run(&empty));  // exact equality
+}
+
+TEST(Injector, DiskDegradeEpisodeStretchesServiceTime) {
+  auto timed_read = [](Injector* inj) {
+    Rig rig(inj);
+    const pfs::FileId f = rig.fs.create("slow");
+    rig.eng.spawn([](Rig& r, pfs::FileId f) -> simkit::Task<void> {
+      co_await r.fs.pwrite(r.machine.compute_node(0), f, 0, 256 * 1024);
+      co_await r.fs.flush(r.machine.compute_node(0), f);
+      // Large enough to defeat the I/O-node cache: the read must hit disk.
+      co_await r.fs.pread(r.machine.compute_node(0), f, 0, 256 * 1024);
+    }(rig, f));
+    rig.eng.run();
+    return rig.eng.now();
+  };
+  InjectionPlan plan;
+  for (std::size_t n = 0; n < 2; ++n) plan.degrade_disk(n, 0, 0.0, 1e6, 8.0);
+  Injector slow(plan);
+  EXPECT_GT(timed_read(&slow), timed_read(nullptr));
+}
+
+}  // namespace
+}  // namespace fault

@@ -7,6 +7,12 @@
 #include "apps/fft_app.hpp"
 #include "apps/scf.hpp"
 #include "apps/scf3.hpp"
+#include "ckpt/ckpt.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "hw/machine.hpp"
+#include "pfs/fs.hpp"
+#include "simkit/engine.hpp"
 
 namespace apps {
 namespace {
@@ -63,6 +69,46 @@ TEST(Determinism, Ast) {
   cfg.collective = false;
   cfg.scale = 0.05;
   expect_identical(run_ast(cfg), run_ast(cfg));
+}
+
+// A faulty run — injected crashes, transient errors, retries, restarts —
+// must replay bit-identically too: the whole fault pipeline is seeded.
+TEST(Determinism, FaultyCheckpointRestartRun) {
+  auto run_once = [] {
+    simkit::Engine eng;
+    hw::Machine machine(eng, hw::MachineConfig::paragon_small(4, 2));
+    fault::InjectionPlan plan =
+        fault::InjectionPlan::poisson_node_crashes(2, 3.0, 0.5, 500.0, 11);
+    plan.with_transient_errors(0.02);
+    fault::Injector injector(std::move(plan));
+    pfs::StripedFs fs(machine, &injector);
+    ckpt::Workload w;
+    w.nprocs = 4;
+    w.steps = 8;
+    w.flops_per_rank_step = 1e6;
+    w.io = ckpt::StepIo::kPrivateRead;
+    w.io_bytes_per_rank_step = 96 * 1024;
+    w.io_chunk_bytes = 32 * 1024;
+    w.prologue_writes_private = true;
+    w.state_bytes_per_rank = 64 * 1024;
+    w.backed_state = true;
+    ckpt::Options opt;
+    opt.ckpt_interval_steps = 2;
+    opt.retry.max_attempts = 3;
+    return ckpt::run(machine, fs, &injector, w, opt);
+  };
+  const ckpt::Report a = run_once();
+  const ckpt::Report b = run_once();
+  EXPECT_EQ(a.exec_time, b.exec_time);  // exact, not NEAR: determinism
+  EXPECT_EQ(a.ckpt_overhead, b.ckpt_overhead);
+  EXPECT_EQ(a.lost_work, b.lost_work);
+  EXPECT_EQ(a.recovery_time, b.recovery_time);
+  EXPECT_EQ(a.checkpoints, b.checkpoints);
+  EXPECT_EQ(a.restarts, b.restarts);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.retry.attempts, b.retry.attempts);
+  EXPECT_EQ(a.retry.retries, b.retry.retries);
+  EXPECT_EQ(a.retry.backoff_time, b.retry.backoff_time);
 }
 
 TEST(Determinism, FftDataBackedOutputsIdentical) {

@@ -1,0 +1,152 @@
+// Retry/backoff/fail-over recovery policy over the faulty file system.
+#include "pario/resilient.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "hw/machine.hpp"
+#include "pfs/fs.hpp"
+#include "pfs/types.hpp"
+#include "simkit/engine.hpp"
+
+namespace pario {
+namespace {
+
+struct Rig {
+  simkit::Engine eng;
+  hw::Machine machine;
+  pfs::StripedFs fs;
+  explicit Rig(fault::Injector* injector = nullptr)
+      : machine(eng, hw::MachineConfig::paragon_small(4, 2)),
+        fs(machine, injector) {}
+};
+
+std::vector<std::byte> pattern(std::size_t n, int seed = 1) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((seed * 131 + i * 7) & 0xFF);
+  }
+  return v;
+}
+
+// Transient errors + retries: the data still arrives intact, the retries
+// show up in the stats, and the recovery costs strictly more simulated
+// time than the fault-free run of the identical access sequence.
+TEST(Resilient, TransientRetriesDeliverCorrectDataButCostTime) {
+  const auto data = pattern(640 * 1024);  // 20 chunks: failures certain
+  auto timed_read = [&data](fault::Injector* inj, RetryStats* stats,
+                            std::vector<std::byte>* got) {
+    Rig rig(inj);
+    const pfs::FileId f = rig.fs.create("data", /*backed=*/true);
+    rig.fs.poke(f, 0, data);
+    rig.eng.spawn([](Rig& r, pfs::FileId f, RetryStats* stats,
+                     std::vector<std::byte>* got) -> simkit::Task<void> {
+      RetryPolicy policy;
+      policy.max_attempts = 12;  // enough to outlast p=0.3 streaks
+      for (std::uint64_t off = 0; off < got->size(); off += 32 * 1024) {
+        const std::uint64_t len =
+            std::min<std::uint64_t>(32 * 1024, got->size() - off);
+        co_await resilient_pread(
+            r.fs, r.machine.compute_node(0), f, off, len,
+            std::span<std::byte>(*got).subspan(off, len), policy, stats);
+      }
+    }(rig, f, stats, got));
+    rig.eng.run();
+    return rig.eng.now();
+  };
+
+  std::vector<std::byte> clean_got(data.size());
+  const simkit::Time clean = timed_read(nullptr, nullptr, &clean_got);
+  EXPECT_EQ(clean_got, data);
+
+  fault::InjectionPlan plan;
+  plan.with_transient_errors(0.4);
+  plan.seed = 99;
+  fault::Injector inj(plan);
+  RetryStats stats;
+  std::vector<std::byte> faulty_got(data.size());
+  const simkit::Time faulty = timed_read(&inj, &stats, &faulty_got);
+
+  EXPECT_EQ(faulty_got, data) << "retried reads must deliver intact data";
+  EXPECT_GT(stats.retries, 0u);
+  EXPECT_EQ(stats.exhausted, 0u);
+  EXPECT_GT(faulty, clean)
+      << "recovery must cost simulated time (re-issues + backoff)";
+}
+
+// Node-down on the primary: the operation fails over to the replica file
+// (different first server) and completes without exhausting the ladder.
+TEST(Resilient, FailsOverToReplicaWhenPrimaryNodeIsDown) {
+  fault::InjectionPlan plan;
+  plan.crash_node(0, 0.0, 1e6);  // primary's server, down for the test
+  fault::Injector inj(plan);
+  Rig rig(&inj);
+  // Sequential file ids land on different first servers (id % io_nodes);
+  // both files fit one stripe, so each lives wholly on its first server.
+  const pfs::FileId primary = rig.fs.create("state", true);    // node 0
+  const pfs::FileId replica = rig.fs.create("state.m", true);  // node 1
+  const auto data = pattern(4096, 5);
+  rig.fs.poke(replica, 0, data);
+
+  RetryStats stats;
+  std::vector<std::byte> got(data.size());
+  bool wrote = false;
+  rig.eng.spawn([](Rig& r, pfs::FileId primary, pfs::FileId replica,
+                   RetryStats& stats, std::span<std::byte> got,
+                   bool& wrote) -> simkit::Task<void> {
+    RetryPolicy policy;
+    policy.max_attempts = 2;
+    policy.replica = replica;
+    co_await resilient_pread(r.fs, r.machine.compute_node(0), primary, 0,
+                             got.size(), got, policy, &stats);
+    // Writes mirror to the replica when the primary is unreachable.
+    co_await resilient_pwrite(r.fs, r.machine.compute_node(0), primary,
+                              8192, got.size(), got, policy, &stats);
+    wrote = true;
+  }(rig, primary, replica, stats, got, wrote));
+  rig.eng.run();
+
+  EXPECT_EQ(got, data) << "fail-over read must return the replica's bytes";
+  EXPECT_TRUE(wrote);
+  EXPECT_EQ(stats.failovers, 2u);
+  EXPECT_EQ(stats.exhausted, 0u);
+  std::vector<std::byte> mirrored(data.size());
+  rig.fs.peek(replica, 8192, mirrored);
+  EXPECT_EQ(mirrored, data);
+}
+
+// No replica and a dead node: the ladder runs dry and the typed error
+// reaches the caller.
+TEST(Resilient, ExhaustsAndRethrowsWithoutReplica) {
+  fault::InjectionPlan plan;
+  plan.crash_node(0, 0.0, 1e6);
+  fault::Injector inj(plan);
+  Rig rig(&inj);
+  const pfs::FileId f = rig.fs.create("doomed");
+  RetryStats stats;
+  bool threw = false;
+  rig.eng.spawn([](Rig& r, pfs::FileId f, RetryStats& stats,
+                   bool& threw) -> simkit::Task<void> {
+    RetryPolicy policy;
+    policy.max_attempts = 3;
+    try {
+      co_await resilient_pwrite(r.fs, r.machine.compute_node(0), f, 0, 4096,
+                                {}, policy, &stats);
+    } catch (const pfs::IoError& e) {
+      threw = true;
+      EXPECT_EQ(e.kind(), pfs::IoErrorKind::kNodeDown);
+    }
+  }(rig, f, stats, threw));
+  rig.eng.run();
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(stats.attempts, 3u);
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.exhausted, 1u);
+  EXPECT_GT(stats.backoff_time, 0.0);
+}
+
+}  // namespace
+}  // namespace pario
