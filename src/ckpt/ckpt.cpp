@@ -33,23 +33,28 @@ simkit::Task<bool> agree(mprt::Comm& c, bool ok) {
 
 /// Rank r's slice of the checkpoint file: `pieces` chunks interleaved
 /// round-robin by rank, so the collective write/read really exchanges.
+/// Every rank uses the same length for piece j (the division remainder is
+/// spread one byte at a time over the leading pieces), so slot (j, rank)
+/// never overlaps a neighbour even when state_bytes_per_rank is not a
+/// multiple of the piece count.
 std::vector<pario::Extent> state_extents(const Workload& w, int rank) {
-  const std::uint64_t piece =
-      w.state_bytes_per_rank / static_cast<std::uint64_t>(w.state_pieces);
+  const auto pieces =
+      static_cast<std::uint64_t>(std::max(w.state_pieces, 1));
+  const std::uint64_t base = w.state_bytes_per_rank / pieces;
+  const std::uint64_t rem = w.state_bytes_per_rank % pieces;
+  const auto nprocs = static_cast<std::uint64_t>(w.nprocs);
   std::vector<pario::Extent> ext;
-  ext.reserve(static_cast<std::size_t>(w.state_pieces));
-  for (int j = 0; j < w.state_pieces; ++j) {
-    const std::uint64_t len = (j + 1 == w.state_pieces)
-                                  ? w.state_bytes_per_rank -
-                                        piece * static_cast<std::uint64_t>(j)
-                                  : piece;
+  ext.reserve(static_cast<std::size_t>(pieces));
+  std::uint64_t prefix = 0;  // one rank's state bytes in pieces before j
+  for (std::uint64_t j = 0; j < pieces; ++j) {
+    const std::uint64_t len = base + (j < rem ? 1 : 0);
+    if (len == 0) break;  // more pieces than bytes: the rest are empty
     ext.push_back({.file_offset =
-                       (static_cast<std::uint64_t>(j) *
-                            static_cast<std::uint64_t>(w.nprocs) +
-                        static_cast<std::uint64_t>(rank)) *
-                       piece,
+                       prefix * nprocs +
+                       static_cast<std::uint64_t>(rank) * len,
                    .length = len,
-                   .buf_offset = piece * static_cast<std::uint64_t>(j)});
+                   .buf_offset = prefix});
+    prefix += len;
   }
   return ext;
 }
@@ -141,8 +146,11 @@ Report run(hw::Machine& machine, pfs::StripedFs& fs,
     const hw::NodeId node = c.node();
 
     // One-time prologue: materialize the private input files every step
-    // re-reads (SCF writes its integral file once, in iteration 1).
-    if (w.io == StepIo::kPrivateRead && !st.prologue_done) {
+    // re-reads (SCF writes its integral file once, in iteration 1).  With
+    // prologue_writes_private unset the files count as pre-existing input
+    // (unbacked files serve reads without prior writes), so no prologue.
+    if (w.io == StepIo::kPrivateRead && w.prologue_writes_private &&
+        !st.prologue_done) {
       bool ok = true;
       try {
         for (std::uint64_t off = 0; off < w.io_bytes_per_rank_step;

@@ -48,9 +48,11 @@ struct Workload {
   std::uint64_t io_bytes_per_rank_step = 0;
   /// kPrivateRead reads in chunks of this size (the app's buffer tuple M).
   std::uint64_t io_chunk_bytes = 256 * 1024;
-  /// Private files must exist before they can be re-read: a one-time
-  /// prologue writes them (SCF iteration 1).  Not re-done after restarts —
-  /// the data survives on disk.
+  /// When set, a one-time prologue writes the private files before the
+  /// first step (SCF produces its integral file in iteration 1).  Not
+  /// re-done after restarts — the data survives on disk.  When unset,
+  /// kPrivateRead treats the files as pre-existing input and pays no
+  /// prologue.
   bool prologue_writes_private = false;
 
   std::uint64_t state_bytes_per_rank = 1 << 20;  // checkpoint volume

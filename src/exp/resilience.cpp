@@ -31,6 +31,7 @@ std::string resilience_report(const ckpt::Report& rep,
          (rep.state_verified ? "" : ", STATE MISMATCH") + "\n";
   out += "retries: " + fmt_u64(rep.retry.retries) +
          ", failovers: " + fmt_u64(rep.retry.failovers) +
+         " (" + fmt_u64(rep.retry.diverged_writes) + " diverged writes)" +
          ", exhausted: " + fmt_u64(rep.retry.exhausted) +
          ", backoff: " + fmt_s(rep.retry.backoff_time) + " s\n";
   if (injector) {

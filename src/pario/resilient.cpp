@@ -30,7 +30,12 @@ simkit::Task<void> resilient_op(pfs::OpKind kind, pfs::StripedFs& fs,
       if (e.kind() == pfs::IoErrorKind::kNodeDown &&
           policy.replica != pfs::kInvalidFile && target == file) {
         target = policy.replica;
-        if (stats) ++stats->failovers;
+        if (stats) {
+          ++stats->failovers;
+          // A redirected write never reaches the primary: the pair is now
+          // divergent (see RetryStats::diverged_writes).
+          if (kind == pfs::OpKind::kWrite) ++stats->diverged_writes;
+        }
         // The fail-over try is free of backoff.
       } else if (attempt >= policy.max_attempts) {
         if (stats) ++stats->exhausted;

@@ -39,6 +39,12 @@ struct RetryStats {
   std::uint64_t retries = 0;    // re-issues after a failure
   std::uint64_t failovers = 0;  // operations redirected to the replica
   std::uint64_t exhausted = 0;  // operations that gave up
+  /// Writes that landed only on the replica because the primary's node
+  /// was down.  Each one leaves the pair divergent: once the primary
+  /// reboots, reading it returns stale bytes with no error.  Callers that
+  /// read the primary later must reconcile (rewrite both copies, as the
+  /// checkpoint engine does) whenever this is non-zero.
+  std::uint64_t diverged_writes = 0;
   simkit::Duration backoff_time = 0.0;  // simulated time spent backing off
 
   void merge(const RetryStats& o) {
@@ -46,6 +52,7 @@ struct RetryStats {
     retries += o.retries;
     failovers += o.failovers;
     exhausted += o.exhausted;
+    diverged_writes += o.diverged_writes;
     backoff_time += o.backoff_time;
   }
 };
@@ -59,8 +66,12 @@ simkit::Task<void> resilient_pread(pfs::StripedFs& fs, hw::NodeId client,
                                    RetryPolicy policy,
                                    RetryStats* stats = nullptr);
 
-/// pwrite with retry/backoff/fail-over (mirrors the write to the replica
-/// instead when the primary's node is down).
+/// pwrite with retry/backoff/fail-over.  On a node-down error the write is
+/// redirected to the replica ONLY — the primary is left untouched and
+/// becomes stale once its node reboots (counted in
+/// RetryStats::diverged_writes).  Callers that later read the primary must
+/// reconcile the pair themselves, e.g. by rewriting both copies on the
+/// next update as the checkpoint engine does.
 simkit::Task<void> resilient_pwrite(pfs::StripedFs& fs, hw::NodeId client,
                                     pfs::FileId file, std::uint64_t offset,
                                     std::uint64_t len,

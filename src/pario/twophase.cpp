@@ -337,6 +337,14 @@ simkit::Task<void> TwoPhase::read(mprt::Comm& comm, pfs::StripedFs& fs,
     }
   }
   if (stats) stats->io_time += eng.now() - t_io;
+  if (deferred && serve_data) {
+    // A failed read broke out of the loop with later runs still unsized,
+    // but the pack pass below reads from every run.  Give them valid
+    // (zero-filled) storage; the caller discards the data on rethrow.
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      run_bufs[i].resize(runs[i].length);
+    }
+  }
 
   // ---- exchange phase: ship pieces to their requesters -----------------
   const simkit::Time t_x = eng.now();

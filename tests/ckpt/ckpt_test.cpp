@@ -120,6 +120,43 @@ TEST(Ckpt, CheckpointingBoundsLostWorkUnderCrashes) {
       << "without checkpoints every crash rolls back to step 0";
 }
 
+// state_bytes_per_rank not divisible by state_pieces: the interleaved
+// layout spreads the remainder across pieces, so neighbouring ranks'
+// extents must not overlap — the restart verification would catch the
+// corruption as a pattern mismatch.
+TEST(Ckpt, NonDivisibleStateLayoutRestoresVerifiedState) {
+  Workload w = small_workload();
+  w.state_bytes_per_rank = 64 * 1024 + 13;
+  w.state_pieces = 5;
+  Options opt;
+  opt.ckpt_interval_steps = 2;
+  opt.retry.max_attempts = 3;
+  const double t = run_with(fault::InjectionPlan{}, opt, w).exec_time;
+  fault::InjectionPlan plan;
+  plan.crash_node(0, 0.4 * t, 2.0 * t);
+  plan.crash_node(1, 0.4 * t, 2.0 * t);
+  const Report rep = run_with(plan, opt, w);
+  EXPECT_TRUE(rep.completed);
+  EXPECT_GE(rep.restarts, 1);
+  EXPECT_TRUE(rep.state_verified)
+      << "remainder handling must keep per-rank extents disjoint";
+}
+
+TEST(Ckpt, PrologueOnlyRunsWhenWorkloadAsksForIt) {
+  Options opt;
+  opt.ckpt_interval_steps = 0;
+  Workload without = small_workload();
+  without.prologue_writes_private = false;  // files are pre-existing input
+  const Report a = run_with(fault::InjectionPlan{}, opt);
+  const Report b = run_with(fault::InjectionPlan{}, opt, without);
+  ASSERT_TRUE(a.completed);
+  ASSERT_TRUE(b.completed);
+  // Wall time is no proxy here (the prologue write warms server caches),
+  // but the issued-operation count shows the prologue was skipped.
+  EXPECT_LT(b.retry.attempts, a.retry.attempts)
+      << "without the flag no prologue writes may be issued";
+}
+
 TEST(Ckpt, ReplicatedCheckpointDoublesVolume) {
   Options opt;
   opt.ckpt_interval_steps = 4;

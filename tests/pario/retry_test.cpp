@@ -112,6 +112,8 @@ TEST(Resilient, FailsOverToReplicaWhenPrimaryNodeIsDown) {
   EXPECT_EQ(got, data) << "fail-over read must return the replica's bytes";
   EXPECT_TRUE(wrote);
   EXPECT_EQ(stats.failovers, 2u);
+  EXPECT_EQ(stats.diverged_writes, 1u)
+      << "the redirected write leaves the primary stale";
   EXPECT_EQ(stats.exhausted, 0u);
   std::vector<std::byte> mirrored(data.size());
   rig.fs.peek(replica, 8192, mirrored);

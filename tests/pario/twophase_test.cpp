@@ -7,8 +7,11 @@
 #include <cstring>
 #include <vector>
 
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
 #include "hw/machine.hpp"
 #include "mprt/comm.hpp"
+#include "pario/resilient.hpp"
 #include "pfs/fs.hpp"
 #include "simkit/engine.hpp"
 #include "simkit/rng.hpp"
@@ -221,6 +224,56 @@ TEST(TwoPhase, UnevenContributionsWork) {
     ok[static_cast<std::size_t>(r)] = back == data;
   });
   for (int r = 0; r < p; ++r) EXPECT_TRUE(ok[static_cast<std::size_t>(r)]);
+}
+
+// Regression: a backed-file collective read whose retry ladder runs dry
+// breaks out of the I/O loop early, but the exchange phase still packs
+// from EVERY run buffer.  The unread runs must be valid (zeroed) storage,
+// not unsized vectors — previously a heap out-of-bounds read (ASan).
+TEST(TwoPhase, FailedRetriedReadLeavesLaterRunsValid) {
+  fault::InjectionPlan plan;
+  plan.crash_node(0, 0.0, 1e6);  // both servers down: the first run's
+  plan.crash_node(1, 0.0, 1e6);  // read fails, later runs stay unread
+  fault::Injector inj(plan);
+  simkit::Engine eng;
+  hw::Machine machine(eng, hw::MachineConfig::paragon_small(2, 2));
+  pfs::StripedFs fs(machine, &inj);
+  const pfs::FileId f = fs.create("doomed", /*backed=*/true);
+  std::vector<std::byte> content(64 * 1024, std::byte{0x5A});
+  fs.poke(f, 0, content);
+
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  RetryStats stats;
+  TwoPhaseOptions opt;
+  opt.retry = &policy;
+  opt.retry_stats = &stats;
+
+  std::vector<bool> threw(2, false);
+  mprt::Cluster::execute(machine, 2, [&](mprt::Comm& c)
+                                         -> simkit::Task<void> {
+    const int r = c.rank();
+    // 512-byte records on a 2 KB stride: every aggregator domain holds
+    // several runs that merge_runs cannot coalesce, so a failure on the
+    // first one leaves genuinely unread buffers behind.
+    std::vector<Extent> mine;
+    for (std::uint64_t i = 0; i < 16; ++i) {
+      mine.push_back(Extent{(i * 2 + static_cast<std::uint64_t>(r)) * 2048,
+                            512, i * 512});
+    }
+    std::vector<std::byte> back(16 * 512, std::byte{0xEE});
+    try {
+      co_await TwoPhase::read(c, fs, f, mine, back, nullptr, opt);
+    } catch (const pfs::IoError&) {
+      threw[static_cast<std::size_t>(r)] = true;
+    }
+  });
+  // The stripe-aligned domain partition hands the whole (small) file to
+  // rank 0, so only that aggregator does I/O and sees the error; rank 1
+  // completes with discardable zeroes, which the failure agreement in the
+  // caller (see ckpt::run) is responsible for coordinating.
+  EXPECT_TRUE(threw[0]) << "exhausted retries must surface to the caller";
+  EXPECT_GT(stats.exhausted, 0u);
 }
 
 }  // namespace
