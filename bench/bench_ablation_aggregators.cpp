@@ -8,7 +8,9 @@
 #include <cstdio>
 #include <vector>
 
+#include "exp/metrics_run.hpp"
 #include "exp/options.hpp"
+#include "exp/report.hpp"
 #include "exp/table.hpp"
 #include "hw/machine.hpp"
 #include "mprt/comm.hpp"
@@ -52,6 +54,7 @@ double run_with_aggregators(int procs, int aggregators) {
 int main(int argc, char** argv) {
   expt::Options opt(1.0);
   opt.parse(argc, argv);
+  expt::MetricsRun mrun(opt);
 
   constexpr int kProcs = 36;
   expt::Table table({"aggregators", "exec (s)"});
@@ -66,6 +69,11 @@ int main(int argc, char** argv) {
   std::printf("Ablation: collective-buffering aggregator count, %d procs "
               "on the 4-I/O-node SP-2\n%s\n",
               kProcs, (opt.csv ? table.csv() : table.str()).c_str());
+
+  mrun.finish();
+  if (opt.metrics) {
+    std::printf("%s", expt::metrics_report(mrun.registry).c_str());
+  }
 
   if (opt.check) {
     expt::Checker chk;

@@ -6,7 +6,9 @@
 // complains about.
 #include <cstdio>
 
+#include "exp/metrics_run.hpp"
 #include "exp/options.hpp"
+#include "exp/report.hpp"
 #include "exp/table.hpp"
 #include "hw/machine.hpp"
 #include "mprt/comm.hpp"
@@ -38,6 +40,7 @@ double run_mode(pfs::IoMode mode, int procs, int records,
 int main(int argc, char** argv) {
   expt::Options opt(1.0);
   opt.parse(argc, argv);
+  expt::MetricsRun mrun(opt);
 
   constexpr int kProcs = 8;
   constexpr int kRecords = 32;
@@ -68,6 +71,11 @@ int main(int argc, char** argv) {
               kProcs, kRecords,
               static_cast<unsigned long long>(kRecordSize / 1024),
               (opt.csv ? table.csv() : table.str()).c_str());
+
+  mrun.finish();
+  if (opt.metrics) {
+    std::printf("%s", expt::metrics_report(mrun.registry).c_str());
+  }
 
   if (opt.check) {
     expt::Checker chk;

@@ -6,7 +6,9 @@
 // overhead only); cache size controls how much of the re-reads hit.
 #include <cstdio>
 
+#include "exp/metrics_run.hpp"
 #include "exp/options.hpp"
+#include "exp/report.hpp"
 #include "exp/table.hpp"
 #include "hw/machine.hpp"
 #include "pfs/fs.hpp"
@@ -56,6 +58,7 @@ Result run_one(std::uint64_t cache_bytes, bool write_behind) {
 int main(int argc, char** argv) {
   expt::Options opt(1.0);
   opt.parse(argc, argv);
+  expt::MetricsRun mrun(opt);
 
   expt::Table table({"cache MB", "write-behind", "write+flush (s)",
                      "2x reread (s)", "cache hits"});
@@ -77,6 +80,11 @@ int main(int argc, char** argv) {
       "Ablation: I/O-node cache and write-behind (strided write + "
       "re-read)\n%s\n",
       (opt.csv ? table.csv() : table.str()).c_str());
+
+  mrun.finish();
+  if (opt.metrics) {
+    std::printf("%s", expt::metrics_report(mrun.registry).c_str());
+  }
 
   if (opt.check) {
     expt::Checker chk;

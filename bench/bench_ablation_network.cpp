@@ -9,7 +9,9 @@
 // fidelity class for these studies.
 #include <cstdio>
 
+#include "exp/metrics_run.hpp"
 #include "exp/options.hpp"
+#include "exp/report.hpp"
 #include "exp/table.hpp"
 #include "hw/machine.hpp"
 #include "mprt/collectives.hpp"
@@ -41,6 +43,7 @@ double run_exchange(double hop_us, double bw_mb) {
 int main(int argc, char** argv) {
   expt::Options opt(1.0);
   opt.parse(argc, argv);
+  expt::MetricsRun mrun(opt);
 
   expt::Table table({"hop latency us", "NIC MB/s", "alltoallv 32x64KB (s)"});
   const double base = run_exchange(0.6, 70.0);
@@ -54,6 +57,11 @@ int main(int argc, char** argv) {
   std::printf("Ablation: exchange-phase sensitivity to network "
               "parameters\n%s\n",
               (opt.csv ? table.csv() : table.str()).c_str());
+
+  mrun.finish();
+  if (opt.metrics) {
+    std::printf("%s", expt::metrics_report(mrun.registry).c_str());
+  }
 
   if (opt.check) {
     expt::Checker chk;

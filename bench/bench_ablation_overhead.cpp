@@ -9,7 +9,9 @@
 #include <cstdio>
 #include <vector>
 
+#include "exp/metrics_run.hpp"
 #include "exp/options.hpp"
+#include "exp/report.hpp"
 #include "exp/table.hpp"
 #include "hw/machine.hpp"
 #include "mprt/comm.hpp"
@@ -59,6 +61,7 @@ Result run_pattern(double client_ms, double server_ms) {
 int main(int argc, char** argv) {
   expt::Options opt(1.0);
   opt.parse(argc, argv);
+  expt::MetricsRun mrun(opt);
 
   expt::Table table({"client ms", "server ms", "scattered 4096x2.5KB (s)",
                      "bulk 16x640KB (s)", "ratio"});
@@ -83,6 +86,11 @@ int main(int argc, char** argv) {
   }
   std::printf("Ablation: per-call overhead vs I/O time (BTIO pattern)\n%s\n",
               (opt.csv ? table.csv() : table.str()).c_str());
+
+  mrun.finish();
+  if (opt.metrics) {
+    std::printf("%s", expt::metrics_report(mrun.registry).c_str());
+  }
 
   if (opt.check) {
     expt::Checker chk;

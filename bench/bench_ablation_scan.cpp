@@ -9,7 +9,9 @@
 // hold either way.
 #include <cstdio>
 
+#include "exp/metrics_run.hpp"
 #include "exp/options.hpp"
+#include "exp/report.hpp"
 #include "exp/table.hpp"
 #include "hw/machine.hpp"
 #include "mprt/collectives.hpp"
@@ -45,6 +47,7 @@ double run_btio_pattern(bool scan, int procs) {
 int main(int argc, char** argv) {
   expt::Options opt(1.0);
   opt.parse(argc, argv);
+  expt::MetricsRun mrun(opt);
 
   expt::Table table({"procs", "FIFO (s)", "SCAN (s)", "SCAN speedup"});
   double worst_gain = 1e9;
@@ -59,6 +62,11 @@ int main(int argc, char** argv) {
   std::printf("Ablation: disk scheduling under BTIO's scattered writes "
               "(one Class-A dump)\n%s\n",
               (opt.csv ? table.csv() : table.str()).c_str());
+
+  mrun.finish();
+  if (opt.metrics) {
+    std::printf("%s", expt::metrics_report(mrun.registry).c_str());
+  }
 
   if (opt.check) {
     expt::Checker chk;

@@ -8,7 +8,9 @@
 //                stripe unit decides how many servers one chunk touches).
 #include <cstdio>
 
+#include "exp/metrics_run.hpp"
 #include "exp/options.hpp"
+#include "exp/report.hpp"
 #include "exp/table.hpp"
 #include "hw/machine.hpp"
 #include "mprt/comm.hpp"
@@ -62,6 +64,7 @@ Result run_su(std::uint64_t su_kb) {
 int main(int argc, char** argv) {
   expt::Options opt(1.0);
   opt.parse(argc, argv);
+  expt::MetricsRun mrun(opt);
 
   expt::Table table({"stripe unit KB", "1 proc stream 32MB (s)",
                      "8 procs x 64KB chunks (s)"});
@@ -77,6 +80,11 @@ int main(int argc, char** argv) {
   }
   std::printf("Ablation: PFS stripe unit size, 12 I/O nodes\n%s\n",
               (opt.csv ? table.csv() : table.str()).c_str());
+
+  mrun.finish();
+  if (opt.metrics) {
+    std::printf("%s", expt::metrics_report(mrun.registry).c_str());
+  }
 
   if (opt.check) {
     expt::Checker chk;

@@ -14,7 +14,9 @@
 
 #include "ckpt/ckpt.hpp"
 #include "ckpt/workloads.hpp"
+#include "exp/metrics_run.hpp"
 #include "exp/options.hpp"
+#include "exp/report.hpp"
 #include "exp/resilience.hpp"
 #include "exp/table.hpp"
 #include "fault/plan.hpp"
@@ -63,6 +65,7 @@ ckpt::Report run_once(int interval_steps, double scale) {
 int main(int argc, char** argv) {
   expt::Options opt(0.25);
   opt.parse(argc, argv);
+  expt::MetricsRun mrun(opt);
 
   const std::vector<int> intervals = {1, 2, 4, 8, 16, 24, 0};
   expt::Table table({"ckpt every", "exec (s)", "ckpt ovhd (s)",
@@ -93,8 +96,27 @@ int main(int argc, char** argv) {
                   : expt::fmt_u64(intervals[static_cast<std::size_t>(best)])
                         .c_str(),
               expt::resilience_report(reps[static_cast<std::size_t>(best)],
-                                      nullptr)
+                                      nullptr,
+                                      opt.metrics ? &mrun.registry : nullptr)
                   .c_str());
+
+  // Young/Daly analytical optimum from measured per-checkpoint cost (the
+  // interval-1 run averages it over the most checkpoints) and the
+  // productive step duration of the never-checkpoint run.
+  const ckpt::Report& every = reps.front();
+  const ckpt::Report& never = reps.back();
+  const double ckpt_cost =
+      every.checkpoints > 0 ? every.ckpt_overhead / every.checkpoints : 0.0;
+  const int steps = 48;  // scf11_workload: iterations - 1
+  const double step_s =
+      (never.exec_time - never.lost_work - never.recovery_time) / steps;
+  const double opt_s = ckpt::young_daly_interval(ckpt_cost, kMtbf);
+  const double opt_steps = step_s > 0.0 ? opt_s / step_s : 0.0;
+  std::printf("Young/Daly optimum: checkpoint every %.1f s = %.1f steps "
+              "(ckpt cost %.2f s, step %.2f s, MTBF %.0f s)\n\n",
+              opt_s, opt_steps, ckpt_cost, step_s, kMtbf);
+
+  mrun.finish();
 
   if (opt.check) {
     expt::Checker chk;
@@ -105,10 +127,19 @@ int main(int argc, char** argv) {
                "checkpointing beats never checkpointing under crashes");
     chk.expect(static_cast<std::size_t>(best) != 0,
                "an interior interval beats checkpointing every step");
-    const ckpt::Report& never = reps.back();
     chk.expect(never.lost_work >
                    reps[static_cast<std::size_t>(best)].lost_work,
                "longer intervals lose more work per crash");
+    // The swept minimum should land within one grid notch of the
+    // analytical optimum (the interval grid is 2x-spaced, so a factor-3
+    // band around Young/Daly covers exactly the neighbouring notches).
+    const double best_steps =
+        static_cast<double>(intervals[static_cast<std::size_t>(best)]);
+    chk.expect(opt_steps > 0.0 && best_steps > opt_steps / 3.0 &&
+                   best_steps < opt_steps * 3.0,
+               "swept best interval (" + expt::fmt("%.0f", best_steps) +
+                   " steps) within one grid notch of Young/Daly (" +
+                   expt::fmt("%.1f", opt_steps) + " steps)");
     return chk.exit_code();
   }
   return 0;

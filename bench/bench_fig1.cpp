@@ -10,7 +10,9 @@
 #include <cstdio>
 
 #include "apps/scf.hpp"
+#include "exp/metrics_run.hpp"
 #include "exp/options.hpp"
+#include "exp/report.hpp"
 #include "exp/table.hpp"
 
 namespace {
@@ -52,6 +54,7 @@ constexpr Input kInputs[] = {{"SMALL", 108}, {"MEDIUM", 140}, {"LARGE", 285}};
 int main(int argc, char** argv) {
   expt::Options opt(/*default_scale=*/0.5);
   opt.parse(argc, argv);
+  expt::MetricsRun mrun(opt);
 
   expt::Checker chk;
   for (const Input& input : kInputs) {
@@ -93,5 +96,10 @@ int main(int argc, char** argv) {
                      ": software factors dominate system factors");
     }
   }
+  mrun.finish();
+  if (opt.metrics) {
+    std::printf("%s", expt::metrics_report(mrun.registry).c_str());
+  }
+
   return opt.check ? chk.exit_code() : 0;
 }

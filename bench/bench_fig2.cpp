@@ -9,12 +9,15 @@
 #include <vector>
 
 #include "apps/scf.hpp"
+#include "exp/metrics_run.hpp"
 #include "exp/options.hpp"
+#include "exp/report.hpp"
 #include "exp/table.hpp"
 
 int main(int argc, char** argv) {
   expt::Options opt(/*default_scale=*/0.5);
   opt.parse(argc, argv);
+  expt::MetricsRun mrun(opt);
 
   const std::vector<int> procs = {4, 16, 32, 64, 128, 256};
   auto run = [&](apps::ScfVersion v, int p, std::size_t sf) {
@@ -44,6 +47,11 @@ int main(int argc, char** argv) {
   }
   std::printf("Figure 2: SCF 1.1 LARGE, execution time vs processors\n%s\n",
               (opt.csv ? table.csv() : table.str()).c_str());
+
+  mrun.finish();
+  if (opt.metrics) {
+    std::printf("%s", expt::metrics_report(mrun.registry).c_str());
+  }
 
   if (opt.check) {
     expt::Checker chk;

@@ -7,12 +7,15 @@
 #include <vector>
 
 #include "apps/scf.hpp"
+#include "exp/metrics_run.hpp"
 #include "exp/options.hpp"
+#include "exp/report.hpp"
 #include "exp/table.hpp"
 
 int main(int argc, char** argv) {
   expt::Options opt(/*default_scale=*/0.5);
   opt.parse(argc, argv);
+  expt::MetricsRun mrun(opt);
 
   const std::vector<int> procs = {4, 16, 64, 256};
   const std::vector<std::size_t> io_nodes = {12, 16, 64};
@@ -50,6 +53,11 @@ int main(int argc, char** argv) {
               (opt.csv ? exec_table.csv() : exec_table.str()).c_str());
   std::printf("Figure 3b: SCF 1.1 LARGE per-process I/O time (s)\n%s\n",
               (opt.csv ? io_table.csv() : io_table.str()).c_str());
+
+  mrun.finish();
+  if (opt.metrics) {
+    std::printf("%s", expt::metrics_report(mrun.registry).c_str());
+  }
 
   if (opt.check) {
     expt::Checker chk;

@@ -9,12 +9,15 @@
 #include <vector>
 
 #include "apps/scf3.hpp"
+#include "exp/metrics_run.hpp"
 #include "exp/options.hpp"
+#include "exp/report.hpp"
 #include "exp/table.hpp"
 
 int main(int argc, char** argv) {
   expt::Options opt(/*default_scale=*/1.0);
   opt.parse(argc, argv);
+  expt::MetricsRun mrun(opt);
 
   const std::vector<double> cached = {0, 25, 50, 75, 90, 100};
   const std::vector<int> procs = {32, 64, 128, 256};
@@ -51,6 +54,11 @@ int main(int argc, char** argv) {
         "Figure 4%s: SCF 3.0 MEDIUM execution time (s), %zu I/O nodes\n%s\n",
         io == 16 ? "a" : "b", io,
         (opt.csv ? table.csv() : table.str()).c_str());
+  }
+
+  mrun.finish();
+  if (opt.metrics) {
+    std::printf("%s", expt::metrics_report(mrun.registry).c_str());
   }
 
   if (opt.check) {

@@ -10,12 +10,15 @@
 #include <vector>
 
 #include "apps/fft_app.hpp"
+#include "exp/metrics_run.hpp"
 #include "exp/options.hpp"
+#include "exp/report.hpp"
 #include "exp/table.hpp"
 
 int main(int argc, char** argv) {
   expt::Options opt(/*default_scale=*/0.5);
   opt.parse(argc, argv);
+  expt::MetricsRun mrun(opt);
   // The paper runs N=4096 (1.5 GB total I/O) with 32 MB nodes.  We model
   // a proportionally scaled regime (N, application memory, and I/O-node
   // caches shrink together), which preserves the op-count ratios between
@@ -62,6 +65,11 @@ int main(int argc, char** argv) {
               (opt.csv ? io_table.csv() : io_table.str()).c_str());
   std::printf("Figure 5b: FFT total execution time (s)\n%s\n",
               (opt.csv ? total_table.csv() : total_table.str()).c_str());
+
+  mrun.finish();
+  if (opt.metrics) {
+    std::printf("%s", expt::metrics_report(mrun.registry).c_str());
+  }
 
   if (opt.check) {
     expt::Checker chk;

@@ -9,12 +9,15 @@
 #include <vector>
 
 #include "apps/btio.hpp"
+#include "exp/metrics_run.hpp"
 #include "exp/options.hpp"
+#include "exp/report.hpp"
 #include "exp/table.hpp"
 
 int main(int argc, char** argv) {
   expt::Options opt(/*default_scale=*/0.5);
   opt.parse(argc, argv);
+  expt::MetricsRun mrun(opt);
 
   const std::vector<int> procs = {1, 4, 9, 16, 25, 36, 49, 64};
   auto run = [&](int p, bool coll) {
@@ -43,6 +46,11 @@ int main(int argc, char** argv) {
   }
   std::printf("Figure 6: BTIO Class A (%.1f MB total I/O), SP-2\n%s\n",
               opt.scale * 419.4, (opt.csv ? table.csv() : table.str()).c_str());
+
+  mrun.finish();
+  if (opt.metrics) {
+    std::printf("%s", expt::metrics_report(mrun.registry).c_str());
+  }
 
   if (opt.check) {
     expt::Checker chk;

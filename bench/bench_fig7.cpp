@@ -6,12 +6,15 @@
 #include <vector>
 
 #include "apps/btio.hpp"
+#include "exp/metrics_run.hpp"
 #include "exp/options.hpp"
+#include "exp/report.hpp"
 #include "exp/table.hpp"
 
 int main(int argc, char** argv) {
   expt::Options opt(/*default_scale=*/0.25);
   opt.parse(argc, argv);
+  expt::MetricsRun mrun(opt);
 
   const std::vector<int> procs = {4, 16, 36, 64};
   double orig_min = 1e30, orig_max = 0, opt_min = 1e30, opt_max = 0;
@@ -40,6 +43,11 @@ int main(int argc, char** argv) {
   std::printf("original: %.2f-%.2f MB/s (paper 0.97-1.5);  optimized: "
               "%.2f-%.2f MB/s (paper 6.6-31.4)\n",
               orig_min, orig_max, opt_min, opt_max);
+
+  mrun.finish();
+  if (opt.metrics) {
+    std::printf("%s", expt::metrics_report(mrun.registry).c_str());
+  }
 
   if (opt.check) {
     expt::Checker chk;

@@ -8,13 +8,16 @@
 #include <cstdio>
 
 #include "apps/scf.hpp"
+#include "exp/metrics_run.hpp"
 #include "exp/options.hpp"
+#include "exp/report.hpp"
 #include "exp/table.hpp"
 #include "trace/tracer.hpp"
 
 int main(int argc, char** argv) {
   expt::Options opt(/*default_scale=*/1.0);  // full scale runs in ~1 s
   opt.parse(argc, argv);
+  expt::MetricsRun mrun(opt);
 
   auto run = [&](apps::ScfVersion v) {
     apps::ScfConfig cfg;
@@ -49,6 +52,11 @@ int main(int argc, char** argv) {
               orig.io_time / pass.io_time);
   std::printf("Read-latency distribution (original):\n%s\n",
               trace::format_latency_quantiles(orig.trace).c_str());
+
+  mrun.finish();
+  if (opt.metrics) {
+    std::printf("%s", expt::metrics_report(mrun.registry).c_str());
+  }
 
   if (opt.check) {
     expt::Checker chk;

@@ -12,12 +12,15 @@
 #include <vector>
 
 #include "apps/ast.hpp"
+#include "exp/metrics_run.hpp"
 #include "exp/options.hpp"
+#include "exp/report.hpp"
 #include "exp/table.hpp"
 
 int main(int argc, char** argv) {
   expt::Options opt(/*default_scale=*/0.25);
   opt.parse(argc, argv);
+  expt::MetricsRun mrun(opt);
 
   const std::vector<int> procs = {16, 32, 64, 128};
   auto run = [&](int p, bool coll, std::size_t io) {
@@ -50,6 +53,11 @@ int main(int argc, char** argv) {
   std::printf(
       "Table 4: AST (2K x 2K) execution times (s) on the Paragon\n%s\n",
       (opt.csv ? table.csv() : table.str()).c_str());
+
+  mrun.finish();
+  if (opt.metrics) {
+    std::printf("%s", expt::metrics_report(mrun.registry).c_str());
+  }
 
   if (opt.check) {
     expt::Checker chk;

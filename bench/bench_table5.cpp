@@ -10,7 +10,9 @@
 #include "apps/fft_app.hpp"
 #include "apps/scf.hpp"
 #include "apps/scf3.hpp"
+#include "exp/metrics_run.hpp"
 #include "exp/options.hpp"
+#include "exp/report.hpp"
 #include "exp/table.hpp"
 
 namespace {
@@ -27,6 +29,7 @@ std::string tick(double speedup) {
 int main(int argc, char** argv) {
   expt::Options opt(/*default_scale=*/0.25);
   opt.parse(argc, argv);
+  expt::MetricsRun mrun(opt);
 
   // --- SCF 1.1: efficient interface + prefetching -----------------------
   apps::ScfConfig scf;
@@ -101,6 +104,11 @@ int main(int argc, char** argv) {
   std::printf("Table 5: effective optimization techniques (measured "
               "exec-time speedups)\n%s\n",
               (opt.csv ? table.csv() : table.str()).c_str());
+
+  mrun.finish();
+  if (opt.metrics) {
+    std::printf("%s", expt::metrics_report(mrun.registry).c_str());
+  }
 
   if (opt.check) {
     expt::Checker chk;

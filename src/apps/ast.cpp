@@ -188,6 +188,7 @@ RunResult run_ast(const AstConfig& cfg) {
   res.io_bytes = res.trace.summary(pfs::OpKind::kWrite).bytes;
   res.io_calls = res.trace.total_ops();
   res.derive_io_wall(cfg.nprocs);
+  publish_run_metrics("ast", res);
   return res;
 }
 

@@ -149,6 +149,7 @@ RunResult run_btio(const BtioConfig& cfg) {
   res.io_bytes = res.trace.summary(pfs::OpKind::kWrite).bytes;
   res.io_calls = res.trace.total_ops();
   res.derive_io_wall(cfg.nprocs);
+  publish_run_metrics("btio", res);
   return res;
 }
 

@@ -3,7 +3,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
 
+#include "metrics/metrics.hpp"
 #include "simkit/time.hpp"
 #include "trace/tracer.hpp"
 
@@ -37,5 +39,22 @@ struct RunResult {
     io_wall = std::max(0.0, exec_time - compute_time / nprocs);
   }
 };
+
+/// Publish a finished run's phase totals as apps.<app>.* instruments in
+/// the installed metrics registry (no-op when metrics are off).  Gauges
+/// rather than counters for the time totals so repeated runs in one scope
+/// (e.g. a bench sweep) keep per-run extremes instead of a meaningless
+/// sum.
+inline void publish_run_metrics(const std::string& app, const RunResult& r) {
+  metrics::Registry* reg = metrics::current();
+  if (!reg) return;
+  const std::string prefix = "apps." + app + ".";
+  reg->gauge(prefix + "exec_s").set(r.exec_time);
+  reg->gauge(prefix + "io_s").set(r.io_time);
+  reg->gauge(prefix + "io_wall_s").set(r.io_wall);
+  reg->gauge(prefix + "compute_s").set(r.compute_time);
+  reg->counter(prefix + "io_bytes").inc(r.io_bytes);
+  reg->counter(prefix + "io_calls").inc(r.io_calls);
+}
 
 }  // namespace apps

@@ -270,6 +270,13 @@ FftResult run_fft_impl(const FftConfig& cfg,
   res.io_bytes = 6 * cfg.array_bytes();  // 3 passes x (read + write)
   res.io_calls = a.io_calls() + b.io_calls();
   res.derive_io_wall(cfg.nprocs);
+  publish_run_metrics("fft", res);
+  if (metrics::Registry* reg = metrics::current()) {
+    // The three-pass breakdown is FFT-specific (Table 5's phase split).
+    reg->gauge("apps.fft.step1_io_s").set(res.step1_io);
+    reg->gauge("apps.fft.transpose_io_s").set(res.transpose_io);
+    reg->gauge("apps.fft.step3_io_s").set(res.step3_io);
+  }
 
   if (output != nullptr && cfg.backed) {
     output->resize(cfg.array_bytes());

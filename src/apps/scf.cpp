@@ -175,14 +175,23 @@ RunResult run_scf11(const ScfConfig& cfg) {
 
   RunResult res;
   res.exec_time = t;
+  metrics::Registry* reg = metrics::current();
   for (auto& ctx : ctxs) {
     res.trace.merge(ctx->tracer);
     res.compute_time += ctx->compute_time;
+    if (reg) {
+      // Per-rank distributions expose the load imbalance a single merged
+      // total hides (the paper's Table 4 skew).
+      reg->histogram("apps.scf11.rank_compute_s").observe(ctx->compute_time);
+      reg->histogram("apps.scf11.rank_io_s")
+          .observe(ctx->tracer.total_io_time());
+    }
   }
   res.io_time = res.trace.total_io_time();
   res.io_bytes = res.trace.total_bytes();
   res.io_calls = res.trace.total_ops();
   res.derive_io_wall(cfg.nprocs);
+  publish_run_metrics("scf11", res);
   return res;
 }
 

@@ -157,6 +157,7 @@ RunResult run_scf30(const Scf30Config& cfg) {
   res.io_bytes = res.trace.total_bytes();
   res.io_calls = res.trace.total_ops();
   res.derive_io_wall(cfg.nprocs);
+  publish_run_metrics("scf30", res);
   return res;
 }
 

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <cstddef>
 #include <functional>
 #include <vector>
 
+#include "metrics/metrics.hpp"
 #include "mprt/collectives.hpp"
 #include "mprt/comm.hpp"
 #include "pario/twophase.hpp"
@@ -72,10 +74,31 @@ struct RunState {
   simkit::Time anchor = simkit::kTimeZero;  // lost-work accrues from here
   Report rep;
 
+  // Registry instruments (ckpt.*), resolved once in run(); all null when
+  // metrics are off.
+  metrics::Histogram* m_write_s = nullptr;
+  metrics::Histogram* m_lost_work_s = nullptr;
+  metrics::Histogram* m_recovery_s = nullptr;
+  metrics::Counter* m_checkpoints = nullptr;
+  metrics::Counter* m_restarts = nullptr;
+  metrics::Counter* m_bytes = nullptr;
+
+  void resolve_meters() {
+    if (metrics::Registry* r = metrics::current()) {
+      m_write_s = &r->histogram("ckpt.write_s");
+      m_lost_work_s = &r->histogram("ckpt.lost_work_s");
+      m_recovery_s = &r->histogram("ckpt.recovery_s");
+      m_checkpoints = &r->counter("ckpt.checkpoints");
+      m_restarts = &r->counter("ckpt.restarts");
+      m_bytes = &r->counter("ckpt.bytes");
+    }
+  }
+
   void note_failure(simkit::Time now) {
     failed = true;
     if (productive) {
       rep.lost_work += now - anchor;
+      if (m_lost_work_s) m_lost_work_s->observe(now - anchor);
       productive = false;
     }
   }
@@ -118,6 +141,7 @@ Report run(hw::Machine& machine, pfs::StripedFs& fs,
   ckpt_retry.replica = ckpt_replica;
 
   RunState st;
+  st.resolve_meters();
   pario::TwoPhaseOptions tp_step;
   tp_step.retry = &step_retry;
   tp_step.retry_stats = &st.rep.retry;
@@ -192,7 +216,10 @@ Report run(hw::Machine& machine, pfs::StripedFs& fs,
         ok = false;
       }
       ok = co_await agree(c, ok);
-      if (r == 0) st.rep.recovery_time += eng.now() - t0;
+      if (r == 0) {
+        st.rep.recovery_time += eng.now() - t0;
+        if (st.m_recovery_s) st.m_recovery_s->observe(eng.now() - t0);
+      }
       if (!ok) {
         if (r == 0) st.note_failure(eng.now());
         co_return;
@@ -263,12 +290,18 @@ Report run(hw::Machine& machine, pfs::StripedFs& fs,
         ok = co_await agree(c, ok);
         if (r == 0) {
           if (ok) {
-            st.rep.ckpt_overhead += eng.now() - t0;
-            st.rep.checkpoints += 1;
-            st.rep.ckpt_bytes +=
+            const std::uint64_t bytes =
                 w.state_bytes_per_rank *
                 static_cast<std::uint64_t>(w.nprocs) *
                 (ckpt_replica != pfs::kInvalidFile ? 2u : 1u);
+            st.rep.ckpt_overhead += eng.now() - t0;
+            st.rep.checkpoints += 1;
+            st.rep.ckpt_bytes += bytes;
+            if (st.m_checkpoints) {
+              st.m_checkpoints->inc();
+              st.m_bytes->inc(bytes);
+              st.m_write_s->observe(eng.now() - t0);
+            }
             st.have_ckpt = true;
             st.ckpt_step = done_steps;
             st.resume_step = done_steps;
@@ -301,6 +334,7 @@ Report run(hw::Machine& machine, pfs::StripedFs& fs,
       break;
     }
     st.rep.restarts += 1;
+    if (st.m_restarts) st.m_restarts->inc();
     if (st.rep.restarts > opt.max_restarts) break;
     if (injector) {
       // Sit out the remaining outage: the reboot edges are scheduled
@@ -310,6 +344,7 @@ Report run(hw::Machine& machine, pfs::StripedFs& fs,
         const simkit::Time t0 = eng.now();
         eng.run_until(up);
         st.rep.recovery_time += eng.now() - t0;
+        if (st.m_recovery_s) st.m_recovery_s->observe(eng.now() - t0);
       }
     }
   }
@@ -320,6 +355,20 @@ Report run(hw::Machine& machine, pfs::StripedFs& fs,
   // taken, so the clock moving to the plan horizon is harmless).
   eng.run();
   return st.rep;
+}
+
+double young_interval(double ckpt_cost_s, double mtbf_s) {
+  if (ckpt_cost_s <= 0.0 || mtbf_s <= 0.0) return 0.0;
+  return std::sqrt(2.0 * ckpt_cost_s * mtbf_s);
+}
+
+double young_daly_interval(double ckpt_cost_s, double mtbf_s) {
+  if (ckpt_cost_s <= 0.0 || mtbf_s <= 0.0) return 0.0;
+  if (ckpt_cost_s >= 2.0 * mtbf_s) return mtbf_s;
+  const double x = ckpt_cost_s / (2.0 * mtbf_s);
+  return std::sqrt(2.0 * ckpt_cost_s * mtbf_s) *
+             (1.0 + std::sqrt(x) / 3.0 + x / 9.0) -
+         ckpt_cost_s;
 }
 
 }  // namespace ckpt

@@ -99,4 +99,17 @@ struct Report {
 Report run(hw::Machine& machine, pfs::StripedFs& fs,
            fault::Injector* injector, Workload w, Options opt);
 
+/// Young's [1974] first-order optimal checkpoint interval (productive
+/// seconds between checkpoints): sqrt(2 * C * MTBF) for checkpoint cost C
+/// and mean time between failures MTBF, both in seconds.  Accurate when
+/// C << MTBF.
+double young_interval(double ckpt_cost_s, double mtbf_s);
+
+/// Daly's [2006] higher-order refinement of Young's formula:
+///   t = sqrt(2*C*M) * [1 + (1/3)*sqrt(C/(2M)) + (1/9)*(C/(2M))] - C
+/// for C < 2M, and t = M once checkpointing costs more than it saves.
+/// bench_fault_ckpt --check asserts the swept interior minimum lands near
+/// this analytical optimum.
+double young_daly_interval(double ckpt_cost_s, double mtbf_s);
+
 }  // namespace ckpt

@@ -1,0 +1,55 @@
+// exp/metrics_run.hpp — one-object metrics wiring for bench binaries.
+//
+// A bench declares a MetricsRun right after parsing its Options and
+// before building any machine or file system (construction-time code
+// caches instrument handles from the registry current at that moment).
+// When neither --metrics nor --metrics-out was given, nothing is
+// installed and the run is byte-identical to a metrics-free build.
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "exp/options.hpp"
+#include "metrics/export.hpp"
+#include "metrics/metrics.hpp"
+
+namespace expt {
+
+class MetricsRun {
+ public:
+  explicit MetricsRun(const Options& opt) : out_(opt.metrics_out) {
+    if (opt.metrics_enabled()) scope_.emplace(registry);
+  }
+  ~MetricsRun() { finish(); }
+  MetricsRun(const MetricsRun&) = delete;
+  MetricsRun& operator=(const MetricsRun&) = delete;
+
+  /// Uninstall the scope and write the JSON file if one was requested.
+  /// Idempotent; returns false only when the file could not be written.
+  bool finish() {
+    if (finished_) return ok_;
+    finished_ = true;
+    scope_.reset();
+    if (!out_.empty()) {
+      ok_ = metrics::write_json_file(registry, out_);
+      if (ok_) {
+        std::printf("metrics: wrote %s\n", out_.c_str());
+      } else {
+        std::fprintf(stderr, "metrics: FAILED to write %s\n", out_.c_str());
+      }
+    }
+    return ok_;
+  }
+
+  metrics::Registry registry;
+
+ private:
+  std::optional<metrics::Scope> scope_;
+  std::string out_;
+  bool finished_ = false;
+  bool ok_ = true;
+};
+
+}  // namespace expt

@@ -5,6 +5,8 @@
 //   --scale=X      explicit volume/dump scale factor
 //   --check        exit non-zero if the paper's qualitative shape fails
 //   --csv          print CSV instead of the ASCII table
+//   --metrics      collect metrics and print the registry table
+//   --metrics-out=PATH  collect metrics and write them as JSON to PATH
 #pragma once
 
 #include <cstdio>
@@ -18,8 +20,15 @@ struct Options {
   double scale;   // volume scale (1.0 = paper-sized)
   bool check = false;
   bool csv = false;
+  bool metrics = false;      // print the metrics registry table
+  std::string metrics_out;   // write metrics JSON here ("" = don't)
 
   explicit Options(double default_scale = 0.25) : scale(default_scale) {}
+
+  /// Metrics collection is on if either output was requested.
+  bool metrics_enabled() const {
+    return metrics || !metrics_out.empty();
+  }
 
   void parse(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
@@ -32,9 +41,15 @@ struct Options {
         check = true;
       } else if (std::strcmp(a, "--csv") == 0) {
         csv = true;
+      } else if (std::strcmp(a, "--metrics") == 0) {
+        metrics = true;
+      } else if (std::strncmp(a, "--metrics-out=", 14) == 0) {
+        metrics_out = a + 14;
       } else if (std::strcmp(a, "--help") == 0) {
         std::printf(
-            "usage: %s [--full] [--scale=X] [--check] [--csv]\n", argv[0]);
+            "usage: %s [--full] [--scale=X] [--check] [--csv] [--metrics] "
+            "[--metrics-out=PATH]\n",
+            argv[0]);
         std::exit(0);
       }
     }

@@ -50,6 +50,44 @@ std::string utilization_report(pfs::StripedFs& fs, double elapsed) {
   return table.str();
 }
 
+std::string metrics_report(const metrics::Registry& reg) {
+  std::string out;
+  if (!reg.counters().empty()) {
+    Table t({"counter", "value"});
+    for (const auto& [name, c] : reg.counters()) {
+      t.add_row({name, fmt_u64(c.value())});
+    }
+    out += t.str();
+  }
+  if (!reg.gauges().empty()) {
+    Table t({"gauge", "last", "min", "max", "n"});
+    for (const auto& [name, g] : reg.gauges()) {
+      t.add_row({name, fmt("%.4g", g.last()), fmt("%.4g", g.min()),
+                 fmt("%.4g", g.max()), fmt_u64(g.count())});
+    }
+    out += t.str();
+  }
+  if (!reg.histograms().empty()) {
+    Table t({"histogram", "n", "mean", "p50", "p95", "p99", "max"});
+    for (const auto& [name, h] : reg.histograms()) {
+      t.add_row({name, fmt_u64(h.count()), fmt("%.4g", h.mean()),
+                 fmt("%.4g", h.percentile(0.50)),
+                 fmt("%.4g", h.percentile(0.95)),
+                 fmt("%.4g", h.percentile(0.99)), fmt("%.4g", h.max())});
+    }
+    out += t.str();
+  }
+  if (!reg.timeseries_map().empty()) {
+    Table t({"timeseries", "points", "dropped", "interval"});
+    for (const auto& [name, ts] : reg.timeseries_map()) {
+      t.add_row({name, fmt_u64(ts.samples().size()), fmt_u64(ts.dropped()),
+                 fmt("%.4g", ts.interval())});
+    }
+    out += t.str();
+  }
+  return out;
+}
+
 double io_imbalance(pfs::StripedFs& fs) {
   std::uint64_t lo = ~std::uint64_t{0}, hi = 0;
   for (std::size_t i = 0; i < fs.io_node_count(); ++i) {

@@ -8,6 +8,7 @@
 
 #include <string>
 
+#include "metrics/metrics.hpp"
 #include "pfs/fs.hpp"
 #include "simkit/time.hpp"
 
@@ -38,5 +39,10 @@ std::string utilization_report(pfs::StripedFs& fs, double elapsed);
 /// Largest / smallest per-node request share — 1.0 means perfectly even
 /// striping, large values mean hot-spotting.
 double io_imbalance(pfs::StripedFs& fs);
+
+/// ASCII tables over every instrument in the registry: counters, gauges,
+/// histograms (count/mean/p50/p95/p99/max), and timeseries summaries.
+/// Empty string for an empty registry.
+std::string metrics_report(const metrics::Registry& reg);
 
 }  // namespace expt

@@ -1,5 +1,6 @@
 #include "exp/resilience.hpp"
 
+#include "exp/report.hpp"
 #include "exp/table.hpp"
 
 namespace expt {
@@ -39,6 +40,14 @@ std::string resilience_report(const ckpt::Report& rep,
            " transient errors, " + fmt_u64(injector->rejected_requests()) +
            " requests rejected at down nodes\n";
   }
+  return out;
+}
+
+std::string resilience_report(const ckpt::Report& rep,
+                              const fault::Injector* injector,
+                              const metrics::Registry* reg) {
+  std::string out = resilience_report(rep, injector);
+  if (reg && !reg->empty()) out += metrics_report(*reg);
   return out;
 }
 

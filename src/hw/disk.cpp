@@ -47,12 +47,16 @@ simkit::Duration DiskModel::seek_time(std::uint64_t from,
 }
 
 simkit::Duration DiskModel::access(std::uint64_t offset, std::uint64_t nbytes,
-                                   AccessKind kind) {
+                                   AccessKind kind,
+                                   AccessBreakdown* breakdown) {
   simkit::Duration t = simkit::milliseconds(p_.controller_overhead_ms);
+  simkit::Duration seek = 0.0;
+  simkit::Duration rotation = 0.0;
   if (!sequential_at(offset)) {
-    t += seek_time(head_, offset);
+    seek = seek_time(head_, offset);
     // Average rotational latency: half a revolution.
-    t += 0.5 * revolution_time();
+    rotation = 0.5 * revolution_time();
+    t += seek + rotation;
   }
   double rate = p_.transfer_mb_per_s * 1e6;
   if (p_.zoned_speedup > 1.0) {
@@ -64,7 +68,8 @@ simkit::Duration DiskModel::access(std::uint64_t offset, std::uint64_t nbytes,
     const double avg = (1.0 + p_.zoned_speedup) / 2.0;
     rate *= (p_.zoned_speedup - frac * (p_.zoned_speedup - 1.0)) / avg;
   }
-  t += static_cast<double>(nbytes) / rate;
+  const simkit::Duration transfer = static_cast<double>(nbytes) / rate;
+  t += transfer;
   // Writes settle marginally slower than reads on these drives (write
   // verify / head settle); 5% is within the envelope of 1990s datasheets.
   if (kind == AccessKind::kWrite) t *= 1.05;
@@ -72,6 +77,12 @@ simkit::Duration DiskModel::access(std::uint64_t offset, std::uint64_t nbytes,
   // without fault injection at all.
   if (service_scale_ != 1.0) t *= service_scale_;
   head_ = offset + nbytes;
+  if (breakdown) {
+    breakdown->seek = seek;
+    breakdown->rotation = rotation;
+    breakdown->transfer = transfer;
+    breakdown->overhead = t - seek - rotation - transfer;
+  }
   return t;
 }
 

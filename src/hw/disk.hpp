@@ -41,6 +41,16 @@ struct DiskParams {
 
 enum class AccessKind : std::uint8_t { kRead, kWrite };
 
+/// Where one access's service time went — filled on request so the
+/// metrics layer can histogram seek vs transfer time separately (the
+/// paper's layout/collective optimizations are exactly seek-avoidance).
+struct AccessBreakdown {
+  simkit::Duration seek = 0.0;
+  simkit::Duration rotation = 0.0;
+  simkit::Duration transfer = 0.0;
+  simkit::Duration overhead = 0.0;  // controller + write settle + scaling
+};
+
 class DiskModel {
  public:
   explicit DiskModel(DiskParams params) : p_(std::move(params)) {}
@@ -48,9 +58,12 @@ class DiskModel {
   const DiskParams& params() const noexcept { return p_; }
 
   /// Service time for a request at byte offset `offset` of length `nbytes`.
-  /// Advances the head to the end of the request.
+  /// Advances the head to the end of the request.  `breakdown`, when
+  /// non-null, receives the seek/rotation/transfer split (components sum
+  /// to the returned duration).
   simkit::Duration access(std::uint64_t offset, std::uint64_t nbytes,
-                          AccessKind kind);
+                          AccessKind kind,
+                          AccessBreakdown* breakdown = nullptr);
 
   /// True if the next access at `offset` would be sequential (no seek).
   bool sequential_at(std::uint64_t offset) const noexcept {

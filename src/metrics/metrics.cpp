@@ -1,0 +1,160 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace metrics {
+
+namespace {
+// Single-threaded simulation: one installed registry per process.
+Registry* g_current = nullptr;
+}  // namespace
+
+Registry* current() noexcept { return g_current; }
+
+Scope::Scope(Registry& r) noexcept : prev_(g_current) { g_current = &r; }
+Scope::~Scope() { g_current = prev_; }
+
+// -- Gauge ------------------------------------------------------------------
+
+void Gauge::merge(const Gauge& o) noexcept {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+  last_ = std::max(last_, o.last_);
+  n_ += o.n_;
+}
+
+// -- Histogram --------------------------------------------------------------
+
+Histogram::Histogram(double unit) : unit_(unit > 0.0 ? unit : 1e-6) {}
+
+std::size_t Histogram::bucket_of(double v) const noexcept {
+  if (!(v >= unit_)) return 0;  // underflow (also NaN-safe)
+  const double octaves = std::log2(v / unit_);
+  const auto k = static_cast<std::size_t>(octaves * kSubBucketsPerOctave);
+  return k + 1;
+}
+
+double Histogram::bucket_upper(std::size_t b) const noexcept {
+  if (b == 0) return unit_;
+  return unit_ * std::exp2(static_cast<double>(b) / kSubBucketsPerOctave);
+}
+
+void Histogram::observe(double v) {
+  const std::size_t b = bucket_of(v);
+  if (b >= counts_.size()) counts_.resize(b + 1, 0);
+  ++counts_[b];
+  if (n_ == 0 || v < min_) min_ = v;
+  if (n_ == 0 || v > max_) max_ = v;
+  ++n_;
+  sum_ += v;
+}
+
+double Histogram::percentile(double q) const {
+  if (n_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank on the bucket CDF: the bucket holding the ceil(q*n)-th
+  // smallest observation.
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(n_)));
+  const std::uint64_t rank = std::max<std::uint64_t>(target, 1);
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    cum += counts_[b];
+    if (cum >= rank) {
+      // Report the bucket's upper edge, clamped into the exact range.
+      return std::clamp(bucket_upper(b), min_, max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& o) {
+  if (o.unit_ != unit_) {
+    throw std::invalid_argument("Histogram::merge: unit mismatch");
+  }
+  if (o.n_ == 0) return;
+  if (o.counts_.size() > counts_.size()) counts_.resize(o.counts_.size(), 0);
+  for (std::size_t b = 0; b < o.counts_.size(); ++b) {
+    counts_[b] += o.counts_[b];
+  }
+  if (n_ == 0 || o.min_ < min_) min_ = o.min_;
+  if (n_ == 0 || o.max_ > max_) max_ = o.max_;
+  n_ += o.n_;
+  sum_ += o.sum_;
+}
+
+// -- Timeseries -------------------------------------------------------------
+
+void Timeseries::record(simkit::Time t, double v) {
+  if (!samples_.empty() && interval_ > 0.0 && t < bin_start_ + interval_) {
+    samples_.back() = {t, v};  // newest write in the bin wins
+    return;
+  }
+  if (samples_.size() >= max_samples_) {
+    ++dropped_;
+    return;
+  }
+  samples_.push_back({t, v});
+  bin_start_ = t;
+}
+
+void Timeseries::merge(const Timeseries& o) {
+  samples_.insert(samples_.end(), o.samples_.begin(), o.samples_.end());
+  std::stable_sort(samples_.begin(), samples_.end(),
+                   [](const Sample& a, const Sample& b) { return a.t < b.t; });
+  if (samples_.size() > max_samples_) {
+    dropped_ += samples_.size() - max_samples_;
+    samples_.resize(max_samples_);
+  }
+  dropped_ += o.dropped_;
+  if (!samples_.empty()) bin_start_ = samples_.back().t;
+}
+
+// -- Registry ---------------------------------------------------------------
+
+Histogram& Registry::histogram(const std::string& name, double unit) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram(unit)).first;
+  }
+  return it->second;
+}
+
+Timeseries& Registry::timeseries(const std::string& name,
+                                 simkit::Duration interval) {
+  auto it = timeseries_.find(name);
+  if (it == timeseries_.end()) {
+    it = timeseries_.emplace(name, Timeseries(interval)).first;
+  }
+  return it->second;
+}
+
+void Registry::merge(const Registry& o) {
+  for (const auto& [name, c] : o.counters_) counters_[name].merge(c);
+  for (const auto& [name, g] : o.gauges_) gauges_[name].merge(g);
+  for (const auto& [name, h] : o.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, h);
+    } else {
+      it->second.merge(h);
+    }
+  }
+  for (const auto& [name, ts] : o.timeseries_) {
+    auto it = timeseries_.find(name);
+    if (it == timeseries_.end()) {
+      timeseries_.emplace(name, ts);
+    } else {
+      it->second.merge(ts);
+    }
+  }
+}
+
+}  // namespace metrics

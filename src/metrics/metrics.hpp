@@ -1,0 +1,214 @@
+// metrics/metrics.hpp — simulation-wide metrics & instrumentation.
+//
+// The paper's evidence is quantitative breakdowns (per-operation I/O
+// time, call counts, bandwidth) gathered with Pablo; the repo's tracer
+// reproduces those tables, but the surrounding stack (pfs, pario, ckpt,
+// the apps) grew ad-hoc counters of its own.  This subsystem is the
+// first-class registry those counters fold into:
+//
+//   * `Counter`   — monotonically increasing event count,
+//   * `Gauge`     — last-written level plus its running extremes,
+//   * `Histogram` — log-bucketed value distribution (p50/p95/p99/max,
+//                   exact count/sum/min/max, cross-run merge),
+//   * `Timeseries`— (simulated-time, value) samples thinned to one point
+//                   per interval bin, driven by the simkit engine clock.
+//
+// Zero overhead when disabled: instrumented code asks `metrics::current()`
+// for the installed registry and does nothing when none is — a single
+// pointer load and branch.  Recording never consumes simulated time or
+// RNG state, so an enabled registry is observation-only: simulator output
+// is identical with and without it.
+//
+// The simulation is single-threaded (one coroutine runs at a time), so
+// the registry needs no synchronization; `Scope` installs a registry for
+// a lexical region exactly like a Pablo run wraps an instrumented job.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "simkit/time.hpp"
+
+namespace metrics {
+
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) noexcept { v_ += delta; }
+  std::uint64_t value() const noexcept { return v_; }
+  void merge(const Counter& o) noexcept { v_ += o.v_; }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+/// Last-written level with running min/max (queue depths, phase totals).
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    last_ = v;
+    if (n_ == 0 || v < min_) min_ = v;
+    if (n_ == 0 || v > max_) max_ = v;
+    ++n_;
+  }
+  std::uint64_t count() const noexcept { return n_; }
+  double last() const noexcept { return last_; }
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+
+  /// Rank merge keeps the extremes; `last` of the merged gauge is the
+  /// largest last (deterministic regardless of merge order).
+  void merge(const Gauge& o) noexcept;
+
+ private:
+  std::uint64_t n_ = 0;
+  double last_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Log-bucketed histogram: bucket k >= 1 covers
+/// [unit * 2^((k-1)/4), unit * 2^(k/4)); bucket 0 is the underflow bucket
+/// for values below `unit`.  Four sub-buckets per octave bound the
+/// relative quantile error by 2^(1/4) ~ 19%; count/sum/min/max are exact.
+class Histogram {
+ public:
+  /// `unit` is the lower edge of the first log bucket.  The default
+  /// (1 microsecond, with durations in seconds) suits latency data.
+  explicit Histogram(double unit = 1e-6);
+
+  void observe(double v);
+
+  std::uint64_t count() const noexcept { return n_; }
+  double sum() const noexcept { return sum_; }
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double mean() const noexcept {
+    return n_ ? sum_ / static_cast<double>(n_) : 0.0;
+  }
+
+  /// Quantile estimate from the bucket boundaries, clamped to the exact
+  /// [min, max].  q in [0, 1]; q=0.5 is p50, q=1 returns max().
+  double percentile(double q) const;
+
+  /// Merge a histogram with the same unit (throws std::invalid_argument
+  /// otherwise) — the cross-rank / cross-run reduction.
+  void merge(const Histogram& o);
+
+  double unit() const noexcept { return unit_; }
+  const std::vector<std::uint64_t>& buckets() const noexcept {
+    return counts_;
+  }
+  /// Upper edge of bucket b (lower edge of b+1).
+  double bucket_upper(std::size_t b) const noexcept;
+
+  static constexpr int kSubBucketsPerOctave = 4;
+
+ private:
+  std::size_t bucket_of(double v) const noexcept;
+
+  double unit_;
+  std::vector<std::uint64_t> counts_;  // grows on demand
+  std::uint64_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+struct Sample {
+  simkit::Time t = 0.0;
+  double value = 0.0;
+};
+
+/// Simulation-time sampling: record(t, v) keeps at most one sample per
+/// `interval` of simulated time (the newest write in a bin wins), so a
+/// hot path can sample on every event without unbounded memory.  An
+/// interval of 0 keeps every sample.  `max_samples` is a hard cap; once
+/// reached, further points are counted as dropped instead of stored.
+class Timeseries {
+ public:
+  explicit Timeseries(simkit::Duration interval = 0.0,
+                      std::size_t max_samples = 1 << 16)
+      : interval_(interval), max_samples_(max_samples) {}
+
+  void record(simkit::Time t, double v);
+
+  const std::vector<Sample>& samples() const noexcept { return samples_; }
+  simkit::Duration interval() const noexcept { return interval_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Rank merge: concatenates and re-sorts by time (stable, so equal
+  /// timestamps keep merge order and the result is deterministic).
+  void merge(const Timeseries& o);
+
+ private:
+  simkit::Duration interval_;
+  std::size_t max_samples_;
+  std::vector<Sample> samples_;
+  simkit::Time bin_start_ = 0.0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Named instruments, created on first use and owned by the registry.
+/// Lookups return stable references (std::map nodes never move), so hot
+/// paths resolve a handle once and bump it directly afterwards.
+class Registry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  /// `unit` applies only when the instrument is created by this call.
+  Histogram& histogram(const std::string& name, double unit = 1e-6);
+  Timeseries& timeseries(const std::string& name,
+                         simkit::Duration interval = 0.0);
+
+  // Sorted-by-name iteration for exporters and reports.
+  const std::map<std::string, Counter>& counters() const noexcept {
+    return counters_;
+  }
+  const std::map<std::string, Gauge>& gauges() const noexcept {
+    return gauges_;
+  }
+  const std::map<std::string, Histogram>& histograms() const noexcept {
+    return histograms_;
+  }
+  const std::map<std::string, Timeseries>& timeseries_map() const noexcept {
+    return timeseries_;
+  }
+
+  bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && histograms_.empty() &&
+           timeseries_.empty();
+  }
+
+  /// Cross-rank / cross-run reduction: instruments with the same name
+  /// merge element-wise, names unique to `o` are copied.
+  void merge(const Registry& o);
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, Timeseries> timeseries_;
+};
+
+/// The installed registry, or nullptr when metrics are off (the default).
+Registry* current() noexcept;
+
+/// RAII installation of a registry for a lexical scope.  Nests: the
+/// previous registry is restored on destruction.  Install the scope
+/// BEFORE building machines/file systems — construction-time code caches
+/// instrument handles from the registry current at that moment.
+class Scope {
+ public:
+  explicit Scope(Registry& r) noexcept;
+  ~Scope();
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  Registry* prev_;
+};
+
+}  // namespace metrics

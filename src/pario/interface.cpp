@@ -2,6 +2,50 @@
 
 namespace pario {
 
+namespace {
+const char* op_name(pfs::OpKind kind) {
+  switch (kind) {
+    case pfs::OpKind::kOpen:  return "open";
+    case pfs::OpKind::kRead:  return "read";
+    case pfs::OpKind::kSeek:  return "seek";
+    case pfs::OpKind::kWrite: return "write";
+    case pfs::OpKind::kFlush: return "flush";
+    case pfs::OpKind::kClose: return "close";
+    default:                  return "other";
+  }
+}
+}  // namespace
+
+void IoInterface::Meters::resolve(const std::string& mode) {
+  metrics::Registry* r = metrics::current();
+  if (!r) return;
+  const std::string prefix = "pario.iface." + mode + ".";
+  for (std::size_t k = 0; k < static_cast<std::size_t>(pfs::OpKind::kCount);
+       ++k) {
+    const std::string op = op_name(static_cast<pfs::OpKind>(k));
+    calls[k] = &r->counter(prefix + op + ".calls");
+    latency_s[k] = &r->histogram(prefix + op + ".latency_s");
+  }
+  // Byte distributions use a 1-byte unit (latencies keep the 1 us default).
+  read_bytes = &r->histogram(prefix + "read.bytes", /*unit=*/1.0);
+  write_bytes = &r->histogram(prefix + "write.bytes", /*unit=*/1.0);
+}
+
+void IoInterface::Meters::note(pfs::OpKind kind, simkit::Duration latency,
+                               std::uint64_t bytes) const {
+  const auto k = static_cast<std::size_t>(kind);
+  if (!calls[k]) return;
+  calls[k]->inc();
+  latency_s[k]->observe(latency);
+  if (bytes > 0) {
+    if (kind == pfs::OpKind::kRead) {
+      read_bytes->observe(static_cast<double>(bytes));
+    } else if (kind == pfs::OpKind::kWrite) {
+      write_bytes->observe(static_cast<double>(bytes));
+    }
+  }
+}
+
 InterfaceParams InterfaceParams::fortran() {
   InterfaceParams p;
   p.name = "fortran";
@@ -38,6 +82,7 @@ simkit::Task<IoInterface> IoInterface::open(pfs::StripedFs& fs,
   if (observer) {
     observer->record(pfs::OpKind::kOpen, t0, eng.now() - t0, 0);
   }
+  io.m_.note(pfs::OpKind::kOpen, eng.now() - t0, 0);
   co_return io;
 }
 
@@ -66,6 +111,7 @@ simkit::Task<void> IoInterface::data_op(pfs::OpKind kind,
     co_await fs_->pwrite(h_.client(), h_.file(), offset, len, in);
   }
   if (observer_) observer_->record(kind, t0, eng.now() - t0, len);
+  m_.note(kind, eng.now() - t0, len);
 }
 
 simkit::Task<void> IoInterface::read(std::uint64_t len,
@@ -102,6 +148,7 @@ simkit::Task<void> IoInterface::seek(std::uint64_t pos) {
   if (observer_) {
     observer_->record(pfs::OpKind::kSeek, t0, eng.now() - t0, 0);
   }
+  m_.note(pfs::OpKind::kSeek, eng.now() - t0, 0);
 }
 
 simkit::Task<void> IoInterface::flush() {
@@ -111,6 +158,7 @@ simkit::Task<void> IoInterface::flush() {
   if (observer_) {
     observer_->record(pfs::OpKind::kFlush, t0, eng.now() - t0, 0);
   }
+  m_.note(pfs::OpKind::kFlush, eng.now() - t0, 0);
 }
 
 simkit::Task<void> IoInterface::close() {
@@ -121,6 +169,7 @@ simkit::Task<void> IoInterface::close() {
   if (observer_) {
     observer_->record(pfs::OpKind::kClose, t0, eng.now() - t0, 0);
   }
+  m_.note(pfs::OpKind::kClose, eng.now() - t0, 0);
 }
 
 }  // namespace pario

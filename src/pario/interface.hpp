@@ -9,11 +9,13 @@
 // (so traced times include the interface overhead, as Pablo saw them).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <string>
 
 #include "hw/machine.hpp"
+#include "metrics/metrics.hpp"
 #include "pario/resilient.hpp"
 #include "pfs/fs.hpp"
 #include "pfs/types.hpp"
@@ -48,6 +50,7 @@ class IoInterface {
               InterfaceParams params, pfs::IoObserver* observer = nullptr)
       : fs_(&fs), h_(handle), p_(std::move(params)), observer_(observer) {
     h_.set_observer(nullptr);  // tracing happens here, not underneath
+    m_.resolve(p_.name);
   }
 
   const InterfaceParams& params() const noexcept { return p_; }
@@ -97,10 +100,29 @@ class IoInterface {
                              std::uint64_t len, std::span<std::byte> out,
                              std::span<const std::byte> in);
 
+  /// Per-interface-mode instruments (pario.iface.<mode>.<op>.*), resolved
+  /// once at construction from the installed registry; inert when metrics
+  /// are off.  These are the per-call latency/byte distributions the
+  /// paper's Tables 2-3 compare across interfaces.
+  struct Meters {
+    void resolve(const std::string& mode);
+    void note(pfs::OpKind kind, simkit::Duration latency,
+              std::uint64_t bytes) const;
+    std::array<metrics::Counter*,
+               static_cast<std::size_t>(pfs::OpKind::kCount)>
+        calls{};
+    std::array<metrics::Histogram*,
+               static_cast<std::size_t>(pfs::OpKind::kCount)>
+        latency_s{};
+    metrics::Histogram* read_bytes = nullptr;
+    metrics::Histogram* write_bytes = nullptr;
+  };
+
   pfs::StripedFs* fs_;
   pfs::FileHandle h_;
   InterfaceParams p_;
   pfs::IoObserver* observer_;
+  Meters m_;
   std::uint64_t pos_ = 0;
   bool resilient_ = false;
   RetryPolicy retry_;

@@ -17,6 +17,12 @@ Prefetcher::Prefetcher(IoInterface& io, std::uint64_t start,
     buf_[0].resize(chunk_);
     buf_[1].resize(chunk_);
   }
+  if (metrics::Registry* r = metrics::current()) {
+    m_hits_ = &r->counter("pario.prefetch.hits");
+    m_misses_ = &r->counter("pario.prefetch.misses");
+    m_wait_s_ = &r->histogram("pario.prefetch.wait_s");
+    m_copy_s_ = &r->histogram("pario.prefetch.copy_s");
+  }
   // Prime the pipeline with the first chunk.
   if (count_ > 0) issue(0);
 }
@@ -39,8 +45,12 @@ simkit::Task<std::span<const std::byte>> Prefetcher::next() {
   const std::uint64_t len = len_of(delivered_);
 
   const simkit::Time t0 = eng.now();
+  if (m_hits_) {
+    (inflight_[slot].done() ? m_hits_ : m_misses_)->inc();
+  }
   co_await inflight_[slot].join();
   wait_ += eng.now() - t0;
+  if (m_wait_s_) m_wait_s_->observe(eng.now() - t0);
 
   // Overlap depth one: as soon as chunk k is here, launch k+1.
   if (issued_ < count_) issue(issued_);
@@ -49,6 +59,7 @@ simkit::Task<std::span<const std::byte>> Prefetcher::next() {
   const simkit::Time t1 = eng.now();
   co_await io_.machine().mem_copy(len);
   copy_ += eng.now() - t1;
+  if (m_copy_s_) m_copy_s_->observe(eng.now() - t1);
 
   ++delivered_;
   last_len_ = len;

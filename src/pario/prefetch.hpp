@@ -66,6 +66,14 @@ class Prefetcher {
   simkit::ProcHandle inflight_[2];
   simkit::Duration wait_ = 0.0;
   simkit::Duration copy_ = 0.0;
+
+  // Registry instruments (pario.prefetch.*); null when metrics are off.
+  // A "hit" is a chunk that already finished when the consumer asked for
+  // it — the prefetch fully hid the I/O.
+  metrics::Counter* m_hits_ = nullptr;
+  metrics::Counter* m_misses_ = nullptr;
+  metrics::Histogram* m_wait_s_ = nullptr;
+  metrics::Histogram* m_copy_s_ = nullptr;
 };
 
 }  // namespace pario

@@ -1,6 +1,41 @@
 #include "pario/resilient.hpp"
 
+#include "metrics/metrics.hpp"
+
 namespace pario {
+
+void RetryStats::note_attempt() {
+  ++attempts;
+  if (metrics::Registry* r = metrics::current()) {
+    r->counter("pario.retry.attempts").inc();
+  }
+}
+
+void RetryStats::note_retry(simkit::Duration backoff) {
+  ++retries;
+  backoff_time += backoff;
+  if (metrics::Registry* r = metrics::current()) {
+    r->counter("pario.retry.retries").inc();
+    r->histogram("pario.retry.backoff_s").observe(backoff);
+  }
+}
+
+void RetryStats::note_failover(bool write) {
+  ++failovers;
+  if (write) ++diverged_writes;
+  if (metrics::Registry* r = metrics::current()) {
+    r->counter("pario.retry.failovers").inc();
+    if (write) r->counter("pario.retry.diverged_writes").inc();
+  }
+}
+
+void RetryStats::note_exhausted() {
+  ++exhausted;
+  if (metrics::Registry* r = metrics::current()) {
+    r->counter("pario.retry.exhausted").inc();
+  }
+}
+
 namespace {
 
 simkit::Task<void> resilient_op(pfs::OpKind kind, pfs::StripedFs& fs,
@@ -12,12 +47,16 @@ simkit::Task<void> resilient_op(pfs::OpKind kind, pfs::StripedFs& fs,
   simkit::Engine& eng = fs.machine().engine();
   pfs::FileId target = file;
   double delay_ms = policy.backoff_ms;
+  // Callers without their own stats still feed the metrics registry: the
+  // note_* entry points are the single accounting site either way.
+  RetryStats local;
+  if (!stats) stats = &local;
   for (int attempt = 1;; ++attempt) {
     // co_await is illegal inside a catch handler, so the handler only
     // classifies the failure and the backoff sleep happens after it.
     bool backoff = false;
     try {
-      if (stats) ++stats->attempts;
+      stats->note_attempt();
       if (kind == pfs::OpKind::kRead) {
         co_await fs.pread(client, target, offset, len, out);
       } else {
@@ -30,21 +69,15 @@ simkit::Task<void> resilient_op(pfs::OpKind kind, pfs::StripedFs& fs,
       if (e.kind() == pfs::IoErrorKind::kNodeDown &&
           policy.replica != pfs::kInvalidFile && target == file) {
         target = policy.replica;
-        if (stats) {
-          ++stats->failovers;
-          // A redirected write never reaches the primary: the pair is now
-          // divergent (see RetryStats::diverged_writes).
-          if (kind == pfs::OpKind::kWrite) ++stats->diverged_writes;
-        }
+        // A redirected write never reaches the primary: the pair is now
+        // divergent (see RetryStats::diverged_writes).
+        stats->note_failover(kind == pfs::OpKind::kWrite);
         // The fail-over try is free of backoff.
       } else if (attempt >= policy.max_attempts) {
-        if (stats) ++stats->exhausted;
+        stats->note_exhausted();
         throw;
       } else {
-        if (stats) {
-          ++stats->retries;
-          stats->backoff_time += simkit::milliseconds(delay_ms);
-        }
+        stats->note_retry(simkit::milliseconds(delay_ms));
         backoff = true;
       }
     }

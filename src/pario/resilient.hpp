@@ -34,6 +34,11 @@ struct RetryPolicy {
   pfs::FileId replica = pfs::kInvalidFile;
 };
 
+/// Per-callsite retry accounting.  The fields are the compatibility
+/// accessor (readers across ckpt/exp/tests consume them directly); all
+/// accounting flows through the note_* entry points below, which also
+/// mirror every event into the installed metrics registry (pario.retry.*)
+/// — there is exactly one place each counter is bumped.
 struct RetryStats {
   std::uint64_t attempts = 0;   // operations issued (first tries + retries)
   std::uint64_t retries = 0;    // re-issues after a failure
@@ -46,6 +51,12 @@ struct RetryStats {
   /// checkpoint engine does) whenever this is non-zero.
   std::uint64_t diverged_writes = 0;
   simkit::Duration backoff_time = 0.0;  // simulated time spent backing off
+
+  void note_attempt();
+  void note_retry(simkit::Duration backoff);
+  /// `write` marks the redirected operation as a divergence-creating one.
+  void note_failover(bool write);
+  void note_exhausted();
 
   void merge(const RetryStats& o) {
     attempts += o.attempts;

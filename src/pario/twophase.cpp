@@ -4,10 +4,29 @@
 #include <cassert>
 #include <cstring>
 
+#include "metrics/metrics.hpp"
 #include "mprt/collectives.hpp"
 
 namespace pario {
 namespace {
+
+/// Registry instruments for one collective call (pario.twophase.*); all
+/// null when metrics are off.  Resolved at call entry because TwoPhase is
+/// stateless — there is no constructor to cache handles in.
+struct TpMeters {
+  TpMeters() {
+    if (metrics::Registry* r = metrics::current()) {
+      io_s = &r->histogram("pario.twophase.io_s");
+      exchange_s = &r->histogram("pario.twophase.exchange_s");
+      io_calls = &r->counter("pario.twophase.io_calls");
+      io_bytes = &r->counter("pario.twophase.io_bytes");
+    }
+  }
+  metrics::Histogram* io_s = nullptr;
+  metrics::Histogram* exchange_s = nullptr;
+  metrics::Counter* io_calls = nullptr;
+  metrics::Counter* io_bytes = nullptr;
+};
 
 // ---------------------------------------------------------------------------
 // Extent metadata exchange: every rank learns every rank's (sorted) piece
@@ -144,6 +163,7 @@ simkit::Task<void> TwoPhase::write(mprt::Comm& comm, pfs::StripedFs& fs,
                                    TwoPhaseStats* stats,
                                    TwoPhaseOptions options) {
   simkit::Engine& eng = comm.engine();
+  const TpMeters m;
   const int p = comm.size();
   std::sort(mine.begin(), mine.end(), [](const Extent& a, const Extent& b) {
     return a.file_offset != b.file_offset ? a.file_offset < b.file_offset
@@ -161,6 +181,7 @@ simkit::Task<void> TwoPhase::write(mprt::Comm& comm, pfs::StripedFs& fs,
   const Domains dom =
       partition(all, aggs, fs.stripe_map(file).stripe_unit());
   if (stats) stats->exchange_time += eng.now() - t_meta;
+  if (m.exchange_s) m.exchange_s->observe(eng.now() - t_meta);
   if (dom.chunk == 0) co_return;
 
   // ---- exchange phase: ship my pieces to their domain owners ----------
@@ -243,6 +264,7 @@ simkit::Task<void> TwoPhase::write(mprt::Comm& comm, pfs::StripedFs& fs,
   }
   co_await comm.machine().mem_copy(unpacked);  // unpack pass
   if (stats) stats->exchange_time += eng.now() - t_x;
+  if (m.exchange_s) m.exchange_s->observe(eng.now() - t_x);
 
   const simkit::Time t_io = eng.now();
   std::exception_ptr deferred;  // see TwoPhaseOptions::retry
@@ -268,8 +290,13 @@ simkit::Task<void> TwoPhase::write(mprt::Comm& comm, pfs::StripedFs& fs,
       ++stats->io_calls;
       stats->io_bytes += runs[i].length;
     }
+    if (m.io_calls) {
+      m.io_calls->inc();
+      m.io_bytes->inc(runs[i].length);
+    }
   }
   if (stats) stats->io_time += eng.now() - t_io;
+  if (m.io_s) m.io_s->observe(eng.now() - t_io);
 
   co_await mprt::barrier(comm);  // collective completion
   if (deferred) std::rethrow_exception(deferred);
@@ -281,6 +308,7 @@ simkit::Task<void> TwoPhase::read(mprt::Comm& comm, pfs::StripedFs& fs,
                                   TwoPhaseStats* stats,
                                   TwoPhaseOptions options) {
   simkit::Engine& eng = comm.engine();
+  const TpMeters m;
   const int p = comm.size();
   std::sort(mine.begin(), mine.end(), [](const Extent& a, const Extent& b) {
     return a.file_offset != b.file_offset ? a.file_offset < b.file_offset
@@ -296,6 +324,7 @@ simkit::Task<void> TwoPhase::read(mprt::Comm& comm, pfs::StripedFs& fs,
   const Domains dom =
       partition(all, aggs, fs.stripe_map(file).stripe_unit());
   if (stats) stats->exchange_time += eng.now() - t_meta;
+  if (m.exchange_s) m.exchange_s->observe(eng.now() - t_meta);
   if (dom.chunk == 0) co_return;
 
   // Aggregator-side data handling keys off the FILE being backed (see the
@@ -335,8 +364,13 @@ simkit::Task<void> TwoPhase::read(mprt::Comm& comm, pfs::StripedFs& fs,
       ++stats->io_calls;
       stats->io_bytes += runs[i].length;
     }
+    if (m.io_calls) {
+      m.io_calls->inc();
+      m.io_bytes->inc(runs[i].length);
+    }
   }
   if (stats) stats->io_time += eng.now() - t_io;
+  if (m.io_s) m.io_s->observe(eng.now() - t_io);
   if (deferred && serve_data) {
     // A failed read broke out of the loop with later runs still unsized,
     // but the pack pass below reads from every run.  Give them valid
@@ -399,6 +433,7 @@ simkit::Task<void> TwoPhase::read(mprt::Comm& comm, pfs::StripedFs& fs,
   }
   co_await comm.machine().mem_copy(unpacked);  // unpack pass
   if (stats) stats->exchange_time += eng.now() - t_x;
+  if (m.exchange_s) m.exchange_s->observe(eng.now() - t_x);
   if (deferred) std::rethrow_exception(deferred);
 }
 

@@ -5,11 +5,35 @@
 
 namespace pfs {
 
+DiskArm::DiskArm(simkit::Engine& eng, const hw::DiskParams& params,
+                 bool scan)
+    : eng_(eng), model_(params), scan_(scan) {
+  // Disk-arm instruments aggregate over all arms in the simulation — the
+  // paper's seek-vs-transfer argument is machine-wide, not per-spindle.
+  if (metrics::Registry* r = metrics::current()) {
+    m_seeks_ = &r->counter("pfs.disk.seeks");
+    m_seek_s_ = &r->histogram("pfs.disk.seek_s");
+    m_transfer_s_ = &r->histogram("pfs.disk.transfer_s");
+    m_queue_wait_s_ = &r->histogram("pfs.disk.queue_wait_s");
+  }
+}
+
 simkit::Task<void> DiskArm::serve(std::uint64_t phys, std::uint64_t len,
                                   hw::AccessKind kind) {
+  const simkit::Time t_arrive = eng_.now();
   co_await Acquire{*this, phys};
-  const simkit::Duration t = model_.access(phys, len, kind);
+  hw::AccessBreakdown bd;
+  const simkit::Duration t =
+      model_.access(phys, len, kind, m_seek_s_ ? &bd : nullptr);
   ++services_;
+  if (m_seek_s_) {
+    m_queue_wait_s_->observe(eng_.now() - t_arrive);
+    m_transfer_s_->observe(bd.transfer);
+    if (bd.seek > 0.0) {
+      m_seeks_->inc();
+      m_seek_s_->observe(bd.seek);
+    }
+  }
   co_await eng_.delay(t);
   release();
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "hw/disk.hpp"
+#include "metrics/metrics.hpp"
 #include "simkit/engine.hpp"
 #include "simkit/task.hpp"
 
@@ -20,8 +21,7 @@ namespace pfs {
 
 class DiskArm {
  public:
-  DiskArm(simkit::Engine& eng, const hw::DiskParams& params, bool scan)
-      : eng_(eng), model_(params), scan_(scan) {}
+  DiskArm(simkit::Engine& eng, const hw::DiskParams& params, bool scan);
   DiskArm(const DiskArm&) = delete;
   DiskArm& operator=(const DiskArm&) = delete;
 
@@ -65,6 +65,12 @@ class DiskArm {
   simkit::Engine& eng_;
   hw::DiskModel model_;
   bool scan_;
+  // Instrument handles, resolved once from the registry installed at
+  // construction; all null when metrics are off (the default).
+  metrics::Counter* m_seeks_ = nullptr;
+  metrics::Histogram* m_seek_s_ = nullptr;
+  metrics::Histogram* m_transfer_s_ = nullptr;
+  metrics::Histogram* m_queue_wait_s_ = nullptr;
   bool busy_ = false;
   bool sweep_up_ = true;
   std::uint64_t next_seq_ = 0;

@@ -32,6 +32,24 @@ IoNode::IoNode(simkit::Engine& eng, hw::NodeId self, std::size_t index,
       injector_->attach_disk(index_, i, &disks_.back()->mutable_model());
     }
   }
+  if (metrics::Registry* r = metrics::current()) {
+    // Cache and disk-op counters aggregate across nodes; the queue-depth
+    // timeseries is per node (hot-spotting is a per-node phenomenon).
+    const std::string prefix = "pfs.node" + std::to_string(index_) + ".";
+    m_requests_ = &r->counter("pfs.requests");
+    m_cache_hits_ = &r->counter("pfs.cache.hits");
+    m_cache_misses_ = &r->counter("pfs.cache.misses");
+    m_disk_reads_ = &r->counter("pfs.disk.reads");
+    m_disk_writes_ = &r->counter("pfs.disk.writes");
+    m_queue_depth_ =
+        &r->timeseries(prefix + "queue_depth", /*interval=*/1e-3);
+  }
+}
+
+std::size_t IoNode::disk_queue_depth() const noexcept {
+  std::size_t depth = 0;
+  for (const auto& d : disks_) depth += d->queue_length();
+  return depth;
 }
 
 void IoNode::check_faults() {
@@ -69,6 +87,11 @@ simkit::Task<void> IoNode::process(hw::AccessKind kind, FileId file,
     throw IoError(IoErrorKind::kNodeDown, index_);
   }
   ++served_;
+  if (m_requests_) {
+    m_requests_->inc();
+    m_queue_depth_->record(eng_.now(),
+                           static_cast<double>(disk_queue_depth()));
+  }
   const simkit::Time t0 = eng_.now();
 
   // 1. Daemon CPU: strictly serialized per-node, the per-call cost.
@@ -78,10 +101,13 @@ simkit::Task<void> IoNode::process(hw::AccessKind kind, FileId file,
   const BlockKey key{file, local_offset / io_.stripe_unit_bytes};
 
   if (kind == hw::AccessKind::kRead) {
-    if (!cache_.lookup(key)) {
+    const bool hit = cache_.lookup(key);
+    if (m_cache_hits_) (hit ? m_cache_hits_ : m_cache_misses_)->inc();
+    if (!hit) {
       co_await disk_for(file).serve(phys_of(file, local_offset), length,
                                     hw::AccessKind::kRead);
       ++disk_reads_;
+      if (m_disk_reads_) m_disk_reads_->inc();
       // Only a full stripe unit read populates the cache (block-grained).
       if (length == io_.stripe_unit_bytes) cache_.insert(key, false);
     }
@@ -99,6 +125,7 @@ simkit::Task<void> IoNode::process(hw::AccessKind kind, FileId file,
     co_await disk_for(file).serve(phys_of(file, local_offset), length,
                                   hw::AccessKind::kWrite);
     ++disk_writes_;
+    if (m_disk_writes_) m_disk_writes_->inc();
     cache_.insert(key, false);
   }
   busy_ += eng_.now() - t0;
@@ -109,6 +136,7 @@ simkit::Task<void> IoNode::flush_block(FileId file, std::uint64_t local_offset,
   co_await disk_for(file).serve(phys_of(file, local_offset), length,
                                 hw::AccessKind::kWrite);
   ++disk_writes_;
+  if (m_disk_writes_) m_disk_writes_->inc();
   cache_.mark_clean(key);
   dirty_slots_.release();
   auto it = dirty_count_.find(file);

@@ -24,6 +24,7 @@
 #include "fault/injector.hpp"
 #include "hw/disk.hpp"
 #include "hw/machine.hpp"
+#include "metrics/metrics.hpp"
 #include "pfs/cache.hpp"
 #include "pfs/diskarm.hpp"
 #include "pfs/types.hpp"
@@ -57,6 +58,9 @@ class IoNode {
   std::uint64_t disk_writes() const noexcept { return disk_writes_; }
   const BlockCache& cache() const noexcept { return cache_; }
   simkit::Duration busy_time() const noexcept { return busy_; }
+  /// Total requests queued at this node's disks right now (the paper's
+  /// contention measure).
+  std::size_t disk_queue_depth() const noexcept;
 
  private:
   // One file's per-node data lives on one local disk (PIOFS servers kept
@@ -97,6 +101,15 @@ class IoNode {
   std::uint64_t disk_reads_ = 0;
   std::uint64_t disk_writes_ = 0;
   simkit::Duration busy_ = 0.0;
+
+  // Instrument handles from the registry installed at construction; all
+  // null when metrics are off (the default).
+  metrics::Counter* m_requests_ = nullptr;
+  metrics::Counter* m_cache_hits_ = nullptr;
+  metrics::Counter* m_cache_misses_ = nullptr;
+  metrics::Counter* m_disk_reads_ = nullptr;
+  metrics::Counter* m_disk_writes_ = nullptr;
+  metrics::Timeseries* m_queue_depth_ = nullptr;
 };
 
 }  // namespace pfs

@@ -199,5 +199,23 @@ TEST(Ckpt, ScfWorkloadAdapterDerivesStepIo) {
   EXPECT_GT(w.state_bytes_per_rank, 0u);
 }
 
+TEST(Ckpt, YoungDalyInterval) {
+  // Young's first-order form: sqrt(2 * C * MTBF).
+  EXPECT_DOUBLE_EQ(young_interval(2.0, 100.0), 20.0);
+  // Daly's refinement stays below Young (it subtracts C) but within a few
+  // percent of it when C << MTBF, and converges to Young as C/M -> 0.
+  const double young = young_interval(2.0, 100.0);
+  const double daly = young_daly_interval(2.0, 100.0);
+  EXPECT_LT(daly, young);
+  EXPECT_GT(daly, 0.9 * young);
+  EXPECT_NEAR(young_daly_interval(1e-6, 100.0),
+              young_interval(1e-6, 100.0), 1e-5);
+  // Once checkpointing costs more than it saves, the interval pins to M.
+  EXPECT_DOUBLE_EQ(young_daly_interval(500.0, 100.0), 100.0);
+  // Degenerate inputs are harmless.
+  EXPECT_DOUBLE_EQ(young_daly_interval(0.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(young_daly_interval(2.0, 0.0), 0.0);
+}
+
 }  // namespace
 }  // namespace ckpt
