@@ -9,7 +9,15 @@
 // checkpointing) and reports the exec-time split from ckpt::Report; the
 // --check shape asserts the minimum is interior — neither the smallest
 // tested interval nor "never checkpoint" wins.
+//
+// --policy=NAME (sync_full | sync_incr | async_full | async_incr) runs the
+// sweep under that checkpoint policy and appends a four-policy comparison
+// at the sync_full Young/Daly interval: the paper's software-technique
+// argument applied to resilience — overlap (async) and fewer/smaller
+// transfers (incremental) beat paying the full synchronous stall.
+#include <cmath>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "ckpt/ckpt.hpp"
@@ -30,7 +38,8 @@ constexpr std::size_t kIoNodes = 4;
 constexpr double kMtbf = 60.0;    // cluster-wide crash rate (s)
 constexpr double kOutage = 5.0;   // reboot window per crash (s)
 
-ckpt::Report run_once(int interval_steps, double scale) {
+ckpt::Report run_once(int interval_steps, double scale,
+                      ckpt::Policy pol = {}) {
   simkit::Engine eng;
   hw::MachineConfig mc = hw::MachineConfig::paragon_large(8, kIoNodes);
   hw::Machine machine(eng, mc);
@@ -55,9 +64,18 @@ ckpt::Report run_once(int interval_steps, double scale) {
 
   ckpt::Options opt;
   opt.ckpt_interval_steps = interval_steps;
+  opt.policy = pol;
+  // Alternate full/delta checkpoints: restart replays at most one delta,
+  // so chain recovery stays near sync_full cost while the byte savings
+  // (and for async, the faster-committing drains) remain.
+  opt.policy.full_every = 2;
   opt.retry.max_attempts = 4;
   opt.retry.backoff_ms = 5.0;
   return ckpt::run(machine, fs, &injector, w, opt);
+}
+
+double total_overhead(const ckpt::Report& r) {
+  return r.ckpt_overhead + r.lost_work + r.recovery_time;
 }
 
 }  // namespace
@@ -67,6 +85,22 @@ int main(int argc, char** argv) {
   opt.parse(argc, argv);
   expt::MetricsRun mrun(opt);
 
+  // Default (no --policy flag) is sync_full and prints byte-identically to
+  // the pre-policy bench — the determinism CI job pins that.
+  const bool policy_given = !opt.policy.empty();
+  ckpt::Policy pol;
+  if (policy_given) {
+    const auto parsed = ckpt::Policy::parse(opt.policy);
+    if (!parsed) {
+      std::fprintf(stderr,
+                   "unknown --policy=%s (want sync_full | sync_incr | "
+                   "async_full | async_incr)\n",
+                   opt.policy.c_str());
+      return 2;
+    }
+    pol = *parsed;
+  }
+
   const std::vector<int> intervals = {1, 2, 4, 8, 16, 24, 0};
   expt::Table table({"ckpt every", "exec (s)", "ckpt ovhd (s)",
                      "lost work (s)", "recovery (s)", "ckpts", "restarts"});
@@ -74,7 +108,7 @@ int main(int argc, char** argv) {
   int best = -1;
   for (std::size_t i = 0; i < intervals.size(); ++i) {
     const int iv = intervals[i];
-    reps.push_back(run_once(iv, opt.scale));
+    reps.push_back(run_once(iv, opt.scale, pol));
     const ckpt::Report& r = reps.back();
     table.add_row({iv == 0 ? "never" : expt::fmt_u64(iv) + " steps",
                    expt::fmt_s(r.exec_time), expt::fmt_s(r.ckpt_overhead),
@@ -87,8 +121,9 @@ int main(int argc, char** argv) {
   }
 
   std::printf("Fault+checkpoint: SCF 1.1 (MEDIUM, 8 procs, %zu I/O nodes), "
-              "poisson crashes MTBF=%.0fs outage=%.0fs\n%s\n",
+              "poisson crashes MTBF=%.0fs outage=%.0fs%s\n%s\n",
               kIoNodes, kMtbf, kOutage,
+              policy_given ? (", policy=" + pol.name()).c_str() : "",
               (opt.csv ? table.csv() : table.str()).c_str());
   std::printf("Best interval: %s\n%s\n",
               intervals[static_cast<std::size_t>(best)] == 0
@@ -116,6 +151,46 @@ int main(int argc, char** argv) {
               "(ckpt cost %.2f s, step %.2f s, MTBF %.0f s)\n\n",
               opt_s, opt_steps, ckpt_cost, step_s, kMtbf);
 
+  // With --policy: compare all four policies at the *sync_full* Young/Daly
+  // interval (the classic analysis prices a blocking full checkpoint; the
+  // software techniques then lower the bill at that same cadence).
+  std::vector<ckpt::Report> cmp;
+  int yd_steps = 0;
+  if (policy_given) {
+    ckpt::Report sync_every = pol.is_sync_full()
+                                  ? every
+                                  : run_once(1, opt.scale, ckpt::Policy{});
+    const double sync_cost =
+        sync_every.checkpoints > 0
+            ? sync_every.ckpt_overhead / sync_every.checkpoints
+            : 0.0;
+    const double sync_opt_s = ckpt::young_daly_interval(sync_cost, kMtbf);
+    yd_steps = step_s > 0.0
+                   ? std::max(1, static_cast<int>(std::lround(
+                                     sync_opt_s / step_s)))
+                   : 1;
+    expt::Table pt({"policy", "exec (s)", "blocked (s)", "lost (s)",
+                    "recovery (s)", "total ovhd (s)", "ckpts (f+d)",
+                    "dropped", "MB"});
+    for (const char* name :
+         {"sync_full", "sync_incr", "async_full", "async_incr"}) {
+      const ckpt::Policy p = *ckpt::Policy::parse(name);
+      cmp.push_back(run_once(yd_steps, opt.scale, p));
+      const ckpt::Report& r = cmp.back();
+      pt.add_row({name, expt::fmt_s(r.exec_time),
+                  expt::fmt_s(r.ckpt_overhead), expt::fmt_s(r.lost_work),
+                  expt::fmt_s(r.recovery_time),
+                  expt::fmt_s(total_overhead(r)),
+                  expt::fmt_u64(r.full_checkpoints) + "+" +
+                      expt::fmt_u64(r.delta_checkpoints),
+                  expt::fmt_u64(r.dropped_checkpoints),
+                  expt::fmt("%.1f",
+                            static_cast<double>(r.ckpt_bytes) / 1e6)});
+    }
+    std::printf("Policy comparison at Young/Daly interval (%d steps):\n%s\n",
+                yd_steps, (opt.csv ? pt.csv() : pt.str()).c_str());
+  }
+
   mrun.finish();
 
   if (opt.check) {
@@ -123,23 +198,48 @@ int main(int argc, char** argv) {
     bool all_done = true;
     for (const auto& r : reps) all_done = all_done && r.completed;
     chk.expect(all_done, "every configuration runs to completion");
-    chk.expect(intervals[static_cast<std::size_t>(best)] != 0,
-               "checkpointing beats never checkpointing under crashes");
-    chk.expect(static_cast<std::size_t>(best) != 0,
-               "an interior interval beats checkpointing every step");
-    chk.expect(never.lost_work >
-                   reps[static_cast<std::size_t>(best)].lost_work,
-               "longer intervals lose more work per crash");
-    // The swept minimum should land within one grid notch of the
-    // analytical optimum (the interval grid is 2x-spaced, so a factor-3
-    // band around Young/Daly covers exactly the neighbouring notches).
-    const double best_steps =
-        static_cast<double>(intervals[static_cast<std::size_t>(best)]);
-    chk.expect(opt_steps > 0.0 && best_steps > opt_steps / 3.0 &&
-                   best_steps < opt_steps * 3.0,
-               "swept best interval (" + expt::fmt("%.0f", best_steps) +
-                   " steps) within one grid notch of Young/Daly (" +
-                   expt::fmt("%.1f", opt_steps) + " steps)");
+    if (!policy_given || pol.is_sync_full()) {
+      // The interior-minimum shape is a property of *blocking* full
+      // checkpoints; async/incremental flatten the checkpoint-cost side
+      // of the tradeoff, so these sweep shapes only bind for sync_full.
+      chk.expect(intervals[static_cast<std::size_t>(best)] != 0,
+                 "checkpointing beats never checkpointing under crashes");
+      chk.expect(static_cast<std::size_t>(best) != 0,
+                 "an interior interval beats checkpointing every step");
+      chk.expect(never.lost_work >
+                     reps[static_cast<std::size_t>(best)].lost_work,
+                 "longer intervals lose more work per crash");
+      // The swept minimum should land within one grid notch of the
+      // analytical optimum (the interval grid is 2x-spaced, so a factor-3
+      // band around Young/Daly covers exactly the neighbouring notches).
+      const double best_steps =
+          static_cast<double>(intervals[static_cast<std::size_t>(best)]);
+      chk.expect(opt_steps > 0.0 && best_steps > opt_steps / 3.0 &&
+                     best_steps < opt_steps * 3.0,
+                 "swept best interval (" + expt::fmt("%.0f", best_steps) +
+                     " steps) within one grid notch of Young/Daly (" +
+                     expt::fmt("%.1f", opt_steps) + " steps)");
+    }
+    if (policy_given) {
+      const ckpt::Report& sf = cmp[0];
+      const ckpt::Report& si = cmp[1];
+      const ckpt::Report& af = cmp[2];
+      const ckpt::Report& ai = cmp[3];
+      bool cmp_done = true;
+      for (const auto& r : cmp) cmp_done = cmp_done && r.completed;
+      chk.expect(cmp_done, "every policy completes at the Y/D interval");
+      chk.expect(total_overhead(ai) < total_overhead(sf),
+                 "async_incr total overhead (" +
+                     expt::fmt_s(total_overhead(ai)) +
+                     " s) beats sync_full (" +
+                     expt::fmt_s(total_overhead(sf)) + " s)");
+      chk.expect(si.ckpt_bytes < sf.ckpt_bytes &&
+                     ai.ckpt_bytes < af.ckpt_bytes,
+                 "incremental writes fewer checkpoint bytes than full");
+      chk.expect(af.ckpt_overhead < sf.ckpt_overhead &&
+                     ai.ckpt_overhead < si.ckpt_overhead,
+                 "async blocks ranks for less time than sync");
+    }
     return chk.exit_code();
   }
   return 0;

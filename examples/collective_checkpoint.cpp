@@ -10,10 +10,19 @@
 //
 // and verifies (data-backed) that all three land identical bytes.
 //
+// A second act runs the same grid through `ckpt::run`'s checkpoint
+// policies ({sync|async} x {full|incremental}) under injected I/O-node
+// crashes — the write-strategy question one layer up: once the collective
+// write is fast, should the job still stop for it, and must it rewrite
+// bytes it never touched?
+//
 //   $ build/examples/collective_checkpoint
 #include <cstdio>
 #include <vector>
 
+#include "ckpt/ckpt.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
 #include "hw/machine.hpp"
 #include "mprt/collectives.hpp"
 #include "mprt/comm.hpp"
@@ -97,6 +106,34 @@ Outcome run(Strategy strat) {
   return out;
 }
 
+// Part 2: the same grid as a long-running stencil job checkpointed by
+// `ckpt::run`.  Each step dirties a 10% band of the slab, so incremental
+// checkpoints have something to skip; a deterministic crash plan makes
+// the rollback cost visible.
+ckpt::Report run_policy(ckpt::Policy pol) {
+  simkit::Engine eng;
+  hw::Machine machine(eng, hw::MachineConfig::sp2(kProcs));
+  fault::Injector injector(fault::InjectionPlan::poisson_node_crashes(
+      /*io_nodes=*/4, /*mtbf=*/45.0, /*outage=*/15.0,
+      /*horizon=*/20000.0, /*seed=*/7));
+  pfs::StripedFs fs(machine, &injector);
+
+  ckpt::Workload w;
+  w.name = "stencil";
+  w.nprocs = kProcs;
+  w.steps = 48;
+  w.flops_per_rank_step = 2e8;
+  w.state_bytes_per_rank = kGrid / kProcs * kGrid * 8;  // my slab
+  w.dirty_fraction_per_step = 0.10;
+
+  ckpt::Options o;
+  o.ckpt_interval_steps = 6;
+  o.policy = pol;
+  o.retry.max_attempts = 4;
+  o.retry.backoff_ms = 5.0;
+  return ckpt::run(machine, fs, &injector, w, o);
+}
+
 }  // namespace
 
 int main() {
@@ -118,5 +155,28 @@ int main() {
                          naive.file_bytes == collective.file_bytes;
   std::printf("checkpoint files byte-identical across strategies: %s\n",
               identical ? "yes" : "NO (bug!)");
-  return identical ? 0 : 1;
+
+  std::printf("\nsame job under ckpt::run with I/O-node crashes "
+              "(checkpoint every 6 steps):\n\n");
+  std::printf("  %-10s %9s %11s %10s %10s  ckpts\n", "policy", "exec (s)",
+              "blocked (s)", "lost (s)", "recov (s)");
+  bool all_completed = true;
+  for (const char* name :
+       {"sync_full", "sync_incr", "async_full", "async_incr"}) {
+    const ckpt::Report r = run_policy(*ckpt::Policy::parse(name));
+    std::printf("  %-10s %9.2f %11.2f %10.2f %10.2f  %d full + %d delta",
+                name, r.exec_time, r.ckpt_overhead, r.lost_work,
+                r.recovery_time, r.full_checkpoints, r.delta_checkpoints);
+    if (r.dropped_checkpoints > 0) {
+      std::printf(" (%d dropped)", r.dropped_checkpoints);
+    }
+    std::printf("\n");
+    all_completed = all_completed && r.completed;
+  }
+  std::printf("\nasync overlaps the drain with compute; incremental writes "
+              "only the dirtied\nband — together they shrink the stall the "
+              "collective write left behind.  The\nprice: a drain that dies "
+              "with its I/O node is dropped, thinning the chain a\nlater "
+              "rollback could need.\n");
+  return identical && all_completed ? 0 : 1;
 }

@@ -5,6 +5,9 @@
 #include <cmath>
 #include <cstddef>
 #include <functional>
+#include <map>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "metrics/metrics.hpp"
@@ -14,6 +17,33 @@
 #include "pfs/types.hpp"
 
 namespace ckpt {
+
+std::string Policy::name() const {
+  std::string n = write == Write::kSync ? "sync" : "async";
+  n += data == Data::kFull ? "_full" : "_incr";
+  return n;
+}
+
+std::optional<Policy> Policy::parse(std::string_view s) {
+  Policy p;
+  if (s == "sync_full") {
+    p.write = Write::kSync;
+    p.data = Data::kFull;
+  } else if (s == "sync_incr") {
+    p.write = Write::kSync;
+    p.data = Data::kIncremental;
+  } else if (s == "async_full") {
+    p.write = Write::kAsync;
+    p.data = Data::kFull;
+  } else if (s == "async_incr") {
+    p.write = Write::kAsync;
+    p.data = Data::kIncremental;
+  } else {
+    return std::nullopt;
+  }
+  return p;
+}
+
 namespace {
 
 /// Deterministic checkpoint-state content for (rank, step): restarts can
@@ -23,6 +53,17 @@ std::byte pattern_byte(int rank, int step, std::uint64_t i) {
       (static_cast<std::uint64_t>(rank) * 131 +
        static_cast<std::uint64_t>(step) * 17 + i * 7 + 0x2D) &
       0xFF);
+}
+
+/// Bytes the rotating dirty window covers per step.
+std::uint64_t dirty_window_bytes(const Workload& w) {
+  const std::uint64_t state = w.state_bytes_per_rank;
+  if (state == 0) return 0;
+  if (w.dirty_fraction_per_step >= 1.0) return state;
+  const double frac = std::max(w.dirty_fraction_per_step, 0.0);
+  const auto db =
+      static_cast<std::uint64_t>(frac * static_cast<double>(state));
+  return std::min(state, std::max<std::uint64_t>(db, 1));
 }
 
 /// Coordinated failure agreement over the compute interconnect (which an
@@ -61,9 +102,51 @@ std::vector<pario::Extent> state_extents(const Workload& w, int rank) {
   return ext;
 }
 
+/// Total payload of a delta covering steps (from_step, to_step].
+std::uint64_t delta_payload_bytes(const Workload& w, int from_step,
+                                  int to_step) {
+  std::uint64_t total = 0;
+  for (const auto& e : dirty_extents(w, from_step, to_step)) total += e.length;
+  return total;
+}
+
+/// One link of the committed restore chain (a delta checkpoint).
+struct ChainLink {
+  pfs::FileId file = pfs::kInvalidFile;
+  int from_step = 0;
+  int to_step = 0;
+  std::uint64_t per_rank_bytes = 0;
+};
+
+/// The restore chain: last committed full checkpoint plus the consecutive
+/// deltas committed on top of it.  Replayed in order at restart.
+struct Chain {
+  bool valid = false;
+  pfs::FileId full_file = pfs::kInvalidFile;
+  int full_step = 0;
+  std::vector<ChainLink> deltas;
+};
+
+/// One issued async checkpoint: ranks stage snapshots into it and detach
+/// drain tasks; the last drain to finish decides commit or drop.
+struct AsyncRec {
+  std::uint64_t epoch = 0;  // attempt epoch at issue (stale => dropped)
+  int step = 0;             // steps covered (to_step)
+  int prev_step = 0;        // chain must end here for a delta to commit
+  bool full = false;
+  pfs::FileId file = pfs::kInvalidFile;
+  std::uint64_t per_rank_bytes = 0;
+  int pending = 0;          // ranks whose drain has not finished
+  bool failed = false;      // some rank's drain exhausted its retries
+  simkit::Time issue_time = simkit::kTimeZero;
+  simkit::Time snapshot_done = simkit::kTimeZero;  // last rank's stage copy
+  std::vector<std::vector<std::byte>> staged;      // per rank (backed runs)
+};
+
 /// Mutable run state shared by the driver and every rank's coroutine.
-/// Single-threaded simulation: no synchronization needed, but only rank 0
-/// writes the bookkeeping fields so they change exactly once per event.
+/// Single-threaded simulation: no synchronization needed; the bookkeeping
+/// fields change either on rank 0 (sync commits) or inside the last
+/// finishing drain task (async commits), so each event writes them once.
 struct RunState {
   bool prologue_done = false;
   bool have_ckpt = false;
@@ -72,18 +155,31 @@ struct RunState {
   bool failed = false;   // this attempt hit a coordinated failure
   bool productive = false;
   simkit::Time anchor = simkit::kTimeZero;  // lost-work accrues from here
+  Chain chain;
+  std::uint64_t epoch = 0;        // bumped per restart; stale drains drop
+  std::uint64_t staged_bytes = 0; // async staging occupancy (all ranks)
+  std::map<int, std::shared_ptr<AsyncRec>> inflight;  // by to_step
   Report rep;
 
   // Registry instruments (ckpt.*), resolved once in run(); all null when
-  // metrics are off.
+  // metrics are off.  The policy-specific instruments are only created
+  // for non-sync_full policies, so sync_full metrics output is unchanged.
   metrics::Histogram* m_write_s = nullptr;
   metrics::Histogram* m_lost_work_s = nullptr;
   metrics::Histogram* m_recovery_s = nullptr;
   metrics::Counter* m_checkpoints = nullptr;
   metrics::Counter* m_restarts = nullptr;
   metrics::Counter* m_bytes = nullptr;
+  metrics::Gauge* m_staging = nullptr;        // ckpt.staging_bytes
+  metrics::Histogram* m_overlap_s = nullptr;  // issue -> commit overlap
+  metrics::Histogram* m_delta_bytes = nullptr;
+  metrics::Histogram* m_stage_wait_s = nullptr;
+  metrics::Counter* m_dropped = nullptr;
+  metrics::Timeseries* ts_issue = nullptr;   // async issues: (time, step)
+  metrics::Timeseries* ts_commit = nullptr;  // commits: (time, step);
+                                             // drops: (time, -step)
 
-  void resolve_meters() {
+  void resolve_meters(const Policy& pol) {
     if (metrics::Registry* r = metrics::current()) {
       m_write_s = &r->histogram("ckpt.write_s");
       m_lost_work_s = &r->histogram("ckpt.lost_work_s");
@@ -91,6 +187,15 @@ struct RunState {
       m_checkpoints = &r->counter("ckpt.checkpoints");
       m_restarts = &r->counter("ckpt.restarts");
       m_bytes = &r->counter("ckpt.bytes");
+      if (!pol.is_sync_full()) {
+        m_staging = &r->gauge("ckpt.staging_bytes");
+        m_overlap_s = &r->histogram("ckpt.drain_overlap_s");
+        m_delta_bytes = &r->histogram("ckpt.delta_bytes", 1.0);
+        m_stage_wait_s = &r->histogram("ckpt.stage_wait_s");
+        m_dropped = &r->counter("ckpt.dropped");
+        ts_issue = &r->timeseries("ckpt.issue");
+        ts_commit = &r->timeseries("ckpt.commit");
+      }
     }
   }
 
@@ -106,14 +211,120 @@ struct RunState {
     productive = true;
     anchor = now;
   }
+
+  void note_staging(std::int64_t delta_bytes_signed) {
+    staged_bytes = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(staged_bytes) + delta_bytes_signed);
+    if (m_staging) m_staging->set(static_cast<double>(staged_bytes));
+  }
+
+  /// Commit a checkpoint covering `step`: update the restore chain and the
+  /// rollback anchor.  `snap_done` is the instant the committed state was
+  /// captured — work performed after it is lost on the next rollback.
+  void commit(int step, bool full, pfs::FileId file, int from_step,
+              std::uint64_t per_rank_bytes, std::uint64_t bytes_written,
+              simkit::Time snap_done) {
+    have_ckpt = true;
+    ckpt_step = step;
+    resume_step = step;
+    if (full) {
+      chain.valid = true;
+      chain.full_file = file;
+      chain.full_step = step;
+      chain.deltas.clear();
+      rep.full_checkpoints += 1;
+    } else {
+      chain.deltas.push_back({file, from_step, step, per_rank_bytes});
+      rep.delta_checkpoints += 1;
+      rep.delta_bytes += bytes_written;
+    }
+    rep.checkpoints += 1;
+    rep.ckpt_bytes += bytes_written;
+    anchor = std::max(anchor, snap_done);
+    if (m_checkpoints) {
+      m_checkpoints->inc();
+      m_bytes->inc(bytes_written);
+    }
+  }
+
+  /// Last drain of an async checkpoint finished: commit it, or drop it if
+  /// it is stale (pre-restart epoch, job already complete), failed, or no
+  /// longer extends the committed chain (a lost delta permanently breaks
+  /// the chain until the next full checkpoint).
+  void finalize_async(const std::shared_ptr<AsyncRec>& rec, simkit::Time now,
+                      int nprocs) {
+    auto it = inflight.find(rec->step);
+    if (it != inflight.end() && it->second == rec) inflight.erase(it);
+    const bool stale = rec->epoch != epoch || rep.completed;
+    const bool extends =
+        rec->full || (have_ckpt && ckpt_step == rec->prev_step);
+    if (stale || rec->failed || rec->step <= ckpt_step || !extends) {
+      rep.dropped_checkpoints += 1;
+      if (m_dropped) m_dropped->inc();
+      if (ts_commit) ts_commit->record(now, -static_cast<double>(rec->step));
+      return;
+    }
+    const std::uint64_t bytes =
+        rec->per_rank_bytes * static_cast<std::uint64_t>(nprocs);
+    commit(rec->step, rec->full, rec->file, rec->prev_step,
+           rec->per_rank_bytes, bytes, rec->snapshot_done);
+    if (ts_commit) ts_commit->record(now, static_cast<double>(rec->step));
+    if (m_overlap_s) m_overlap_s->observe(now - rec->issue_time);
+    if (!rec->full && m_delta_bytes) {
+      m_delta_bytes->observe(static_cast<double>(bytes));
+    }
+  }
 };
 
 }  // namespace
+
+std::vector<pario::Extent> dirty_extents(const Workload& w, int from_step,
+                                         int to_step) {
+  std::vector<pario::Extent> out;
+  const std::uint64_t state = w.state_bytes_per_rank;
+  const std::uint64_t db = dirty_window_bytes(w);
+  if (state == 0 || db == 0 || to_step <= from_step) return out;
+  const auto count = static_cast<std::uint64_t>(to_step - from_step);
+  const std::uint64_t total = count * db;
+  if (total >= state || total / count != db) {  // laps (or overflows): all
+    out.push_back({.file_offset = 0, .length = state, .buf_offset = 0});
+    return out;
+  }
+  const std::uint64_t start =
+      (static_cast<std::uint64_t>(from_step) * db) % state;
+  if (start + total <= state) {
+    out.push_back({.file_offset = start, .length = total, .buf_offset = 0});
+  } else {
+    const std::uint64_t first = state - start;
+    out.push_back({.file_offset = start, .length = first, .buf_offset = 0});
+    out.push_back(
+        {.file_offset = 0, .length = total - first, .buf_offset = first});
+  }
+  return out;
+}
+
+int last_dirty_step(const Workload& w, int at_step, std::uint64_t i) {
+  const std::uint64_t state = w.state_bytes_per_rank;
+  const std::uint64_t db = dirty_window_bytes(w);
+  if (state == 0 || i >= state || db == 0 || at_step <= 0) return 0;
+  if (db >= state) return at_step;
+  for (int t = at_step; t >= 1; --t) {
+    const std::uint64_t start =
+        (static_cast<std::uint64_t>(t - 1) * db) % state;
+    const std::uint64_t rel = (i + state - start) % state;
+    if (rel < db) return t;
+  }
+  return 0;
+}
 
 Report run(hw::Machine& machine, pfs::StripedFs& fs,
            fault::Injector* injector, Workload w, Options opt) {
   simkit::Engine& eng = machine.engine();
   const simkit::Time job_start = eng.now();
+  const Policy pol = opt.policy;
+  const bool incremental = pol.data == Policy::Data::kIncremental;
+  const bool async_write = pol.write == Policy::Write::kAsync;
+  const int full_every = std::max(pol.full_every, 1);
 
   // -- files ---------------------------------------------------------------
   const pfs::FileId ckpt_file =
@@ -132,16 +343,38 @@ Report run(hw::Machine& machine, pfs::StripedFs& fs,
   } else if (w.io == StepIo::kCollectiveDump) {
     dump = fs.create(w.name + ".dump");
   }
+  // Non-sync_full policies create more checkpoint targets lazily, AFTER
+  // the files above, so the sync_full file/stripe layout is untouched:
+  // a second full-checkpoint buffer for async double-buffering (an
+  // in-flight full must never overwrite the committed one) and one file
+  // per delta, cached by checkpoint index so restarted attempts reuse it.
+  pfs::FileId ckpt_file_b = pfs::kInvalidFile;
+  std::map<int, pfs::FileId> delta_file_by_k;
+  auto delta_file = [&](int k) {
+    auto it = delta_file_by_k.find(k);
+    if (it == delta_file_by_k.end()) {
+      it = delta_file_by_k
+               .emplace(k, fs.create("ckpt." + w.name + ".d" +
+                                         std::to_string(k),
+                                     w.backed_state))
+               .first;
+    }
+    return it->second;
+  };
 
   // Step/prologue I/O retries without fail-over (those files have no
-  // mirror); checkpoint restores may fail over to the mirror copy.
+  // mirror); sync_full checkpoint restores may fail over to the mirror.
   pario::RetryPolicy step_retry = opt.retry;
   step_retry.replica = pfs::kInvalidFile;
   pario::RetryPolicy ckpt_retry = opt.retry;
-  ckpt_retry.replica = ckpt_replica;
+  ckpt_retry.replica = pol.is_sync_full() ? ckpt_replica : pfs::kInvalidFile;
+  pario::RetryPolicy drain_retry =
+      opt.drain_retry.max_attempts > 0 ? opt.drain_retry : step_retry;
+  drain_retry.replica = pfs::kInvalidFile;  // drains never fail over
 
   RunState st;
-  st.resolve_meters();
+  st.rep.policy = pol;
+  st.resolve_meters(pol);
   pario::TwoPhaseOptions tp_step;
   tp_step.retry = &step_retry;
   tp_step.retry_stats = &st.rep.retry;
@@ -149,10 +382,13 @@ Report run(hw::Machine& machine, pfs::StripedFs& fs,
   pario::TwoPhaseOptions tp_ckpt_read;
   tp_ckpt_read.retry = &ckpt_retry;
   tp_ckpt_read.retry_stats = &st.rep.retry;
+  pario::TwoPhaseOptions tp_delta_read = tp_step;  // deltas have no mirror
 
   const int interval = std::max(opt.ckpt_interval_steps, 0);
   const std::uint64_t chunk =
       std::max<std::uint64_t>(w.io_chunk_bytes, 1);
+  const std::uint64_t rank_budget = std::max<std::uint64_t>(
+      pol.staging_budget_bytes / std::max(w.nprocs, 1), 1);
 
   // Per-rank live state buffers (content-backed runs only).
   std::vector<std::vector<std::byte>> state;
@@ -163,6 +399,77 @@ Report run(hw::Machine& machine, pfs::StripedFs& fs,
   auto state_span = [&](int r) -> std::span<std::byte> {
     if (!w.backed_state) return {};
     return std::span<std::byte>(state[static_cast<std::size_t>(r)]);
+  };
+  // Live-state content model: byte i of rank r after step s holds the
+  // pattern of the last step whose dirty window covered i (step 0 = the
+  // initial state).  With the default dirty fraction of 1.0 every step
+  // rewrites everything, which reduces to the pre-incremental behavior.
+  auto init_state = [&](int r) {
+    if (!w.backed_state) return;
+    auto& buf = state[static_cast<std::size_t>(r)];
+    for (std::uint64_t i = 0; i < w.state_bytes_per_rank; ++i) {
+      buf[i] = pattern_byte(r, 0, i);
+    }
+  };
+  auto apply_step = [&](int r, int done_step) {
+    if (!w.backed_state) return;
+    auto& buf = state[static_cast<std::size_t>(r)];
+    for (const auto& e : dirty_extents(w, done_step - 1, done_step)) {
+      for (std::uint64_t j = 0; j < e.length; ++j) {
+        buf[e.file_offset + j] =
+            pattern_byte(r, done_step, e.file_offset + j);
+      }
+    }
+  };
+  auto gather_delta = [&](int r, int from_step, int to_step) {
+    std::vector<std::byte> payload;
+    if (!w.backed_state) return payload;
+    const auto& buf = state[static_cast<std::size_t>(r)];
+    payload.resize(delta_payload_bytes(w, from_step, to_step));
+    for (const auto& e : dirty_extents(w, from_step, to_step)) {
+      std::copy_n(buf.begin() + static_cast<std::ptrdiff_t>(e.file_offset),
+                  e.length,
+                  payload.begin() + static_cast<std::ptrdiff_t>(e.buf_offset));
+    }
+    return payload;
+  };
+
+  // -- async background drain ----------------------------------------------
+  // One detached task per rank per issued checkpoint: stream the staged
+  // snapshot through the striped FS with large per-rank calls.  This is
+  // where async checkpoint traffic genuinely contends with foreground I/O
+  // at the I/O nodes.  The last drain to finish commits (or drops) the
+  // checkpoint; failures are absorbed here — a lost background checkpoint
+  // must not crash the job, it only weakens the restore chain.
+  std::vector<std::optional<simkit::ProcHandle>> prev_drain(
+      static_cast<std::size_t>(w.nprocs));
+  auto drain_body = [&](std::shared_ptr<AsyncRec> rec, int r,
+                        hw::NodeId node,
+                        std::vector<pario::WritePiece> pieces)
+      -> simkit::Task<void> {
+    const simkit::Time d0 = eng.now();
+    bool ok = true;
+    try {
+      std::span<const std::byte> payload;
+      if (w.backed_state) {
+        payload = rec->staged[static_cast<std::size_t>(r)];
+      }
+      co_await pario::resilient_pwritev(fs, node, rec->file,
+                                        std::move(pieces), payload,
+                                        drain_retry, &st.rep.retry);
+    } catch (const pfs::IoError&) {
+      ok = false;
+    }
+    st.rep.drain_time += eng.now() - d0;
+    st.note_staging(-static_cast<std::int64_t>(rec->per_rank_bytes));
+    if (w.backed_state) {
+      auto& staged = rec->staged[static_cast<std::size_t>(r)];
+      staged.clear();
+      staged.shrink_to_fit();
+    }
+    if (!ok) rec->failed = true;
+    rec->pending -= 1;
+    if (rec->pending == 0) st.finalize_async(rec, eng.now(), w.nprocs);
   };
 
   auto body = [&](mprt::Comm& c) -> simkit::Task<void> {
@@ -196,17 +503,46 @@ Report run(hw::Machine& machine, pfs::StripedFs& fs,
       if (r == 0) st.prologue_done = true;
     }
 
-    // Restore from the last committed checkpoint (restarts only).
+    // Restore from the last committed checkpoint chain (restarts only):
+    // the full checkpoint, then every consecutive delta on top of it.
     if (st.have_ckpt && st.resume_step > 0) {
       const simkit::Time t0 = eng.now();
       bool ok = true;
       try {
-        co_await pario::TwoPhase::read(c, fs, ckpt_file, state_extents(w, r),
-                                       state_span(r), nullptr, tp_ckpt_read);
+        co_await pario::TwoPhase::read(c, fs, st.chain.full_file,
+                                       state_extents(w, r), state_span(r),
+                                       nullptr, tp_ckpt_read);
+        for (const ChainLink& link : st.chain.deltas) {
+          std::vector<std::byte> scratch;
+          std::span<std::byte> scratch_span;
+          if (w.backed_state) {
+            scratch.resize(link.per_rank_bytes);
+            scratch_span = scratch;
+          }
+          std::vector<pario::Extent> mine{
+              {.file_offset = static_cast<std::uint64_t>(r) *
+                              link.per_rank_bytes,
+               .length = link.per_rank_bytes,
+               .buf_offset = 0}};
+          co_await pario::TwoPhase::read(c, fs, link.file, std::move(mine),
+                                         scratch_span, nullptr,
+                                         tp_delta_read);
+          if (w.backed_state) {  // scatter the delta into the live state
+            auto& buf = state[static_cast<std::size_t>(r)];
+            for (const auto& e :
+                 dirty_extents(w, link.from_step, link.to_step)) {
+              std::copy_n(
+                  scratch.begin() + static_cast<std::ptrdiff_t>(e.buf_offset),
+                  e.length,
+                  buf.begin() + static_cast<std::ptrdiff_t>(e.file_offset));
+            }
+          }
+        }
         if (w.backed_state) {
           const auto& buf = state[static_cast<std::size_t>(r)];
           for (std::uint64_t i = 0; i < w.state_bytes_per_rank; ++i) {
-            if (buf[i] != pattern_byte(r, st.ckpt_step, i)) {
+            if (buf[i] !=
+                pattern_byte(r, last_dirty_step(w, st.ckpt_step, i), i)) {
               st.rep.state_verified = false;
               break;
             }
@@ -224,11 +560,14 @@ Report run(hw::Machine& machine, pfs::StripedFs& fs,
         if (r == 0) st.note_failure(eng.now());
         co_return;
       }
+    } else {
+      init_state(r);  // fresh attempt from step 0: (re)set initial state
     }
     if (r == 0) st.begin_productive(eng.now());
 
     for (int step = st.resume_step; step < w.steps; ++step) {
       co_await machine.compute(w.flops_per_rank_step);
+      apply_step(r, step + 1);
 
       if (w.io != StepIo::kNone) {
         bool ok = true;
@@ -266,51 +605,154 @@ Report run(hw::Machine& machine, pfs::StripedFs& fs,
       const int done_steps = step + 1;
       if (interval > 0 && done_steps % interval == 0 &&
           done_steps < w.steps) {
-        const simkit::Time t0 = eng.now();
-        bool ok = true;
-        if (w.backed_state) {
-          auto& buf = state[static_cast<std::size_t>(r)];
-          for (std::uint64_t i = 0; i < w.state_bytes_per_rank; ++i) {
-            buf[i] = pattern_byte(r, done_steps, i);
-          }
-        }
-        try {
-          co_await pario::TwoPhase::write(c, fs, ckpt_file,
-                                          state_extents(w, r), state_span(r),
-                                          nullptr, tp_ckpt_write);
-          if (ckpt_replica != pfs::kInvalidFile) {
-            co_await pario::TwoPhase::write(c, fs, ckpt_replica,
-                                            state_extents(w, r),
-                                            state_span(r), nullptr,
-                                            tp_ckpt_write);
-          }
-        } catch (const pfs::IoError&) {
-          ok = false;
-        }
-        ok = co_await agree(c, ok);
-        if (r == 0) {
-          if (ok) {
-            const std::uint64_t bytes =
-                w.state_bytes_per_rank *
-                static_cast<std::uint64_t>(w.nprocs) *
-                (ckpt_replica != pfs::kInvalidFile ? 2u : 1u);
-            st.rep.ckpt_overhead += eng.now() - t0;
-            st.rep.checkpoints += 1;
-            st.rep.ckpt_bytes += bytes;
-            if (st.m_checkpoints) {
-              st.m_checkpoints->inc();
-              st.m_bytes->inc(bytes);
-              st.m_write_s->observe(eng.now() - t0);
+        // Checkpoint index decides full vs delta deterministically (the
+        // first and every full_every-th checkpoint are full), so restarted
+        // attempts re-issue the same kind to the same file.
+        const int k = done_steps / interval;
+        const bool full = !incremental || ((k - 1) % full_every) == 0;
+        const int prev_step = done_steps - interval;
+        const std::uint64_t per_rank_bytes =
+            full ? w.state_bytes_per_rank
+                 : delta_payload_bytes(w, prev_step, done_steps);
+
+        if (!async_write) {
+          // -- synchronous: ranks block inside the coordinated write ------
+          const simkit::Time t0 = eng.now();
+          bool ok = true;
+          try {
+            if (full) {
+              co_await pario::TwoPhase::write(c, fs, ckpt_file,
+                                              state_extents(w, r),
+                                              state_span(r), nullptr,
+                                              tp_ckpt_write);
+              if (pol.is_sync_full() && ckpt_replica != pfs::kInvalidFile) {
+                co_await pario::TwoPhase::write(c, fs, ckpt_replica,
+                                                state_extents(w, r),
+                                                state_span(r), nullptr,
+                                                tp_ckpt_write);
+              }
+            } else {
+              const std::vector<std::byte> payload =
+                  gather_delta(r, prev_step, done_steps);
+              std::vector<pario::Extent> mine{
+                  {.file_offset =
+                       static_cast<std::uint64_t>(r) * per_rank_bytes,
+                   .length = per_rank_bytes,
+                   .buf_offset = 0}};
+              co_await pario::TwoPhase::write(c, fs, delta_file(k),
+                                              std::move(mine), payload,
+                                              nullptr, tp_ckpt_write);
             }
-            st.have_ckpt = true;
-            st.ckpt_step = done_steps;
-            st.resume_step = done_steps;
-            st.begin_productive(eng.now());
-          } else {
-            st.note_failure(eng.now());
+          } catch (const pfs::IoError&) {
+            ok = false;
           }
+          ok = co_await agree(c, ok);
+          if (r == 0) {
+            if (ok) {
+              const std::uint64_t bytes =
+                  per_rank_bytes * static_cast<std::uint64_t>(w.nprocs) *
+                  (full && pol.is_sync_full() &&
+                           ckpt_replica != pfs::kInvalidFile
+                       ? 2u
+                       : 1u);
+              st.rep.ckpt_overhead += eng.now() - t0;
+              st.commit(done_steps, full,
+                        full ? ckpt_file : delta_file(k), prev_step,
+                        per_rank_bytes, bytes, eng.now());
+              if (st.m_checkpoints) st.m_write_s->observe(eng.now() - t0);
+              if (!full && st.m_delta_bytes) {
+                st.m_delta_bytes->observe(static_cast<double>(bytes));
+              }
+              st.begin_productive(eng.now());
+            } else {
+              st.note_failure(eng.now());
+            }
+          }
+          if (!ok) co_return;
+        } else {
+          // -- asynchronous: stage a snapshot, drain in the background ----
+          // Blocking cost = staging copy + waiting for this rank's previous
+          // drain (one snapshot per rank in flight) + a full degrade to
+          // blocking when the snapshot exceeds the rank's staging budget.
+          const simkit::Time t0 = eng.now();
+          if (prev_drain[static_cast<std::size_t>(r)] &&
+              !prev_drain[static_cast<std::size_t>(r)]->done()) {
+            co_await prev_drain[static_cast<std::size_t>(r)]->join();
+            if (r == 0) {
+              st.rep.stage_wait += eng.now() - t0;
+              if (st.m_stage_wait_s) {
+                st.m_stage_wait_s->observe(eng.now() - t0);
+              }
+            }
+          }
+
+          std::shared_ptr<AsyncRec> rec;
+          auto it = st.inflight.find(done_steps);
+          if (it != st.inflight.end() && it->second->epoch == st.epoch) {
+            rec = it->second;
+          } else {
+            rec = std::make_shared<AsyncRec>();
+            rec->epoch = st.epoch;
+            rec->step = done_steps;
+            rec->prev_step = prev_step;
+            rec->full = full;
+            rec->per_rank_bytes = per_rank_bytes;
+            rec->pending = w.nprocs;
+            rec->issue_time = eng.now();
+            if (full) {
+              // Double-buffer: never target the committed full checkpoint.
+              if (st.chain.valid && st.chain.full_file == ckpt_file) {
+                if (ckpt_file_b == pfs::kInvalidFile) {
+                  ckpt_file_b =
+                      fs.create("ckpt." + w.name + ".b", w.backed_state);
+                }
+                rec->file = ckpt_file_b;
+              } else {
+                rec->file = ckpt_file;
+              }
+            } else {
+              rec->file = delta_file(k);
+            }
+            if (w.backed_state) {
+              rec->staged.resize(static_cast<std::size_t>(w.nprocs));
+            }
+            st.inflight[done_steps] = rec;
+            if (st.ts_issue) {
+              st.ts_issue->record(eng.now(),
+                                  static_cast<double>(done_steps));
+            }
+          }
+
+          // Stage: a timed memory copy into the bounded staging buffer.
+          co_await machine.mem_copy(per_rank_bytes);
+          if (w.backed_state) {
+            rec->staged[static_cast<std::size_t>(r)] =
+                full ? state[static_cast<std::size_t>(r)]
+                     : gather_delta(r, prev_step, done_steps);
+          }
+          rec->snapshot_done = std::max(rec->snapshot_done, eng.now());
+          st.note_staging(static_cast<std::int64_t>(per_rank_bytes));
+
+          std::vector<pario::WritePiece> pieces;
+          if (full) {
+            for (const auto& e : state_extents(w, r)) {
+              pieces.push_back({e.file_offset, e.length, e.buf_offset});
+            }
+          } else {
+            pieces.push_back(
+                {static_cast<std::uint64_t>(r) * per_rank_bytes,
+                 per_rank_bytes, 0});
+          }
+          simkit::ProcHandle h =
+              eng.spawn(drain_body(rec, r, node, std::move(pieces)),
+                        "ckpt.drain." + w.name);
+          prev_drain[static_cast<std::size_t>(r)] = h;
+          if (per_rank_bytes > rank_budget) {
+            co_await h.join();  // budget exceeded: degrade to blocking
+          }
+          if (r == 0) st.rep.ckpt_overhead += eng.now() - t0;
+          if (r == 0 && st.m_write_s) st.m_write_s->observe(eng.now() - t0);
         }
-        if (!ok) co_return;
       }
     }
   };
@@ -335,6 +777,10 @@ Report run(hw::Machine& machine, pfs::StripedFs& fs,
     }
     st.rep.restarts += 1;
     if (st.m_restarts) st.m_restarts->inc();
+    // In-flight drains belong to the attempt that just died: whatever they
+    // commit from here on no longer matches the job's rollback decision,
+    // so a new epoch sends them to the dropped pile.
+    st.epoch += 1;
     if (st.rep.restarts > opt.max_restarts) break;
     if (injector) {
       // Sit out the remaining outage: the reboot edges are scheduled
@@ -350,9 +796,10 @@ Report run(hw::Machine& machine, pfs::StripedFs& fs,
   }
   st.rep.exec_time = eng.now() - job_start;
 
-  // Drain leftover fault edges so their coroutine frames don't leak (they
-  // are finite arm/clear processes; the measurement above is already
-  // taken, so the clock moving to the plan horizon is harmless).
+  // Drain leftover fault edges and background checkpoint drains so their
+  // coroutine frames don't leak (they are finite processes; the
+  // measurement above is already taken, so the clock moving to the plan
+  // horizon is harmless — completions past this point count as dropped).
   eng.run();
   return st.rep;
 }

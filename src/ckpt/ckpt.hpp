@@ -22,15 +22,58 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "fault/injector.hpp"
 #include "hw/machine.hpp"
+#include "pario/extent.hpp"
 #include "pario/resilient.hpp"
 #include "pfs/fs.hpp"
 #include "simkit/time.hpp"
 
 namespace ckpt {
+
+/// Checkpoint policy: {sync|async} write path x {full|incremental} data
+/// selection.  The paper's thesis — software I/O techniques (overlap,
+/// fewer/larger transfers) beat hardware scaling — applies verbatim to
+/// checkpoint traffic: `kAsync` overlaps the drain with compute behind a
+/// bounded staging buffer, `kIncremental` shrinks the volume to the
+/// regions dirtied since the previous checkpoint.
+struct Policy {
+  enum class Write : std::uint8_t {
+    kSync,   // ranks block inside the coordinated two-phase write
+    kAsync,  // ranks stage a snapshot and a background task drains it
+  };
+  enum class Data : std::uint8_t {
+    kFull,         // every checkpoint writes the whole rank state
+    kIncremental,  // deltas between periodic full checkpoints
+  };
+
+  Write write = Write::kSync;
+  Data data = Data::kFull;
+
+  /// Job-wide staging budget for async snapshots, split evenly across
+  /// ranks.  A snapshot that exceeds its rank's share degrades to
+  /// blocking: the rank stages, then waits for its own drain to finish
+  /// before computing on (so async never needs more memory than budgeted).
+  std::uint64_t staging_budget_bytes = 64ULL << 20;
+
+  /// In incremental mode every Nth checkpoint is full (the first always
+  /// is); the deltas in between only cover regions dirtied since the
+  /// previous checkpoint.  Restart replays full + consecutive deltas.
+  int full_every = 4;
+
+  bool is_sync_full() const noexcept {
+    return write == Write::kSync && data == Data::kFull;
+  }
+  /// "sync_full" | "sync_incr" | "async_full" | "async_incr".
+  std::string name() const;
+  /// Inverse of name(); nullopt on anything else.
+  static std::optional<Policy> parse(std::string_view s);
+};
 
 /// Per-step I/O issued by every rank between checkpoints.
 enum class StepIo : std::uint8_t {
@@ -65,28 +108,56 @@ struct Workload {
   /// bytes read back match the checkpointed step.  Costs host RAM — meant
   /// for tests, not for paper-sized benches.
   bool backed_state = false;
+  /// Fraction of the rank state dirtied by each step — a rotating window
+  /// that advances deterministically with the step number, so dirty
+  /// tracking is a pure function of (workload, step range).  1.0 (the
+  /// default) rewrites everything and makes incremental checkpoints
+  /// degenerate to full ones.
+  double dirty_fraction_per_step = 1.0;
 };
 
 struct Options {
   /// Steps between coordinated checkpoints; 0 disables checkpointing
   /// (a failure then rolls back to the start of the job).
   int ckpt_interval_steps = 8;
+  Policy policy;                     // write path x data selection
   pario::RetryPolicy retry;          // recovery policy for all job I/O
+  /// Retry policy for async background drain writes.  max_attempts == 0
+  /// (the default) inherits `retry` (without its replica — drains never
+  /// fail over).  Tests use a weaker drain ladder to lose a delta without
+  /// failing the foreground job.
+  pario::RetryPolicy drain_retry{.max_attempts = 0};
   bool replicate_checkpoint = false; // mirror ckpt file for fail-over
+                                     // (sync full checkpoints only)
   int max_restarts = 64;             // give up (completed=false) beyond
 };
 
 struct Report {
   simkit::Duration exec_time = 0.0;     // end-to-end, including recoveries
-  simkit::Duration ckpt_overhead = 0.0; // wall time inside checkpoint writes
+  simkit::Duration ckpt_overhead = 0.0; // wall time ranks BLOCK for
+                                        // checkpointing (sync: the write;
+                                        // async: staging + budget waits)
   simkit::Duration lost_work = 0.0;     // productive time discarded by rollbacks
   simkit::Duration recovery_time = 0.0; // outage wait + checkpoint re-reads
-  int checkpoints = 0;                  // committed coordinated checkpoints
+  int checkpoints = 0;                  // committed checkpoints (full+delta)
   int restarts = 0;
   std::uint64_t ckpt_bytes = 0;         // total checkpoint volume written
   bool completed = false;
   bool state_verified = true;           // meaningful when backed_state
   pario::RetryStats retry;              // aggregated over all job I/O
+
+  // -- policy-dependent split (zero under sync_full) -----------------------
+  Policy policy;                        // echo of the policy that ran
+  int full_checkpoints = 0;             // committed fulls
+  int delta_checkpoints = 0;            // committed deltas
+  int dropped_checkpoints = 0;          // issued but never committed (failed
+                                        // drain, broken chain, stale epoch)
+  std::uint64_t delta_bytes = 0;        // bytes written by committed deltas
+  simkit::Duration stage_wait = 0.0;    // rank-0 async waits for staging
+                                        // space / the previous drain
+  simkit::Duration drain_time = 0.0;    // summed background drain busy time
+                                        // (overlapped with compute, NOT a
+                                        // component of exec_time)
 
   /// exec time of a hypothetical fault-free, checkpoint-free run is
   /// exec_time - ckpt_overhead - lost_work - recovery_time minus retry
@@ -98,6 +169,21 @@ struct Report {
 /// set it must be the same injector the StripedFs was built with.
 Report run(hw::Machine& machine, pfs::StripedFs& fs,
            fault::Injector* injector, Workload w, Options opt);
+
+// -- dirty-region model (exposed for tests and restart replay) -------------
+
+/// State-space regions (file_offset = offset into the rank's state,
+/// buf_offset = position in a delta's packed payload) dirtied by steps
+/// (from_step, to_step].  The rotating window makes consecutive steps
+/// contiguous, so the union is one wrapped run: at most two extents, or
+/// one covering the whole state once the window budget laps it.
+std::vector<pario::Extent> dirty_extents(const Workload& w, int from_step,
+                                         int to_step);
+
+/// The step (<= at_step) whose window last covered state byte `i`; 0 means
+/// never dirtied (initial state).  Drives backed-state verification of
+/// full+delta chain restores.
+int last_dirty_step(const Workload& w, int at_step, std::uint64_t i);
 
 /// Young's [1974] first-order optimal checkpoint interval (productive
 /// seconds between checkpoints): sqrt(2 * C * MTBF) for checkpoint cost C

@@ -16,13 +16,18 @@ namespace ckpt {
 /// Fock matrix by re-reading the whole per-rank private integral file in
 /// M-sized chunks.  The prologue stands in for iteration 1's integral
 /// write.  Checkpoint state is the density/Fock matrix pair (2 * N^2
-/// doubles, replicated per rank in SCF 1.1).
+/// doubles, replicated per rank in SCF 1.1).  Near convergence an SCF
+/// iteration perturbs only a band of the matrices, so the adapter sets
+/// dirty_fraction_per_step = 0.05: incremental checkpoints have real
+/// bytes to skip.
 Workload scf11_workload(const apps::ScfConfig& cfg);
 
 /// BTIO: one step = one solution-dump period — steps_per_dump implicit
 /// solver sweeps, then a collective append of this rank's share of the
 /// solution.  Checkpoint state is the rank's slab of the 5-component
-/// grid (same bytes a dump writes).
+/// grid (same bytes a dump writes).  Every sweep rewrites the whole
+/// slab (dirty_fraction_per_step = 1.0), so incremental checkpoints
+/// honestly degenerate to full ones here.
 Workload btio_workload(const apps::BtioConfig& cfg);
 
 }  // namespace ckpt

@@ -7,6 +7,8 @@
 //   --csv          print CSV instead of the ASCII table
 //   --metrics      collect metrics and print the registry table
 //   --metrics-out=PATH  collect metrics and write them as JSON to PATH
+//   --policy=NAME  checkpoint policy (bench_fault_ckpt):
+//                  sync_full | sync_incr | async_full | async_incr
 #pragma once
 
 #include <cstdio>
@@ -22,6 +24,7 @@ struct Options {
   bool csv = false;
   bool metrics = false;      // print the metrics registry table
   std::string metrics_out;   // write metrics JSON here ("" = don't)
+  std::string policy;        // ckpt policy name ("" = bench default)
 
   explicit Options(double default_scale = 0.25) : scale(default_scale) {}
 
@@ -45,10 +48,12 @@ struct Options {
         metrics = true;
       } else if (std::strncmp(a, "--metrics-out=", 14) == 0) {
         metrics_out = a + 14;
+      } else if (std::strncmp(a, "--policy=", 9) == 0) {
+        policy = a + 9;
       } else if (std::strcmp(a, "--help") == 0) {
         std::printf(
             "usage: %s [--full] [--scale=X] [--check] [--csv] [--metrics] "
-            "[--metrics-out=PATH]\n",
+            "[--metrics-out=PATH] [--policy=NAME]\n",
             argv[0]);
         std::exit(0);
       }

@@ -35,6 +35,21 @@ std::string resilience_report(const ckpt::Report& rep,
          " (" + fmt_u64(rep.retry.diverged_writes) + " diverged writes)" +
          ", exhausted: " + fmt_u64(rep.retry.exhausted) +
          ", backoff: " + fmt_s(rep.retry.backoff_time) + " s\n";
+  // Policy-specific lines only for non-default policies, so the sync_full
+  // report stays byte-identical to the pre-policy engine's output.
+  if (!rep.policy.is_sync_full()) {
+    out += "policy: " + rep.policy.name() + ", " +
+           fmt_u64(rep.full_checkpoints) + " full + " +
+           fmt_u64(rep.delta_checkpoints) + " delta (" +
+           fmt("%.1f", static_cast<double>(rep.delta_bytes) / 1e6) +
+           " MB deltas), dropped: " + fmt_u64(rep.dropped_checkpoints) +
+           "\n";
+    if (rep.policy.write == ckpt::Policy::Write::kAsync) {
+      out += "async drain: " + fmt_s(rep.drain_time) +
+             " s busy (overlapped), stage wait: " + fmt_s(rep.stage_wait) +
+             " s\n";
+    }
+  }
   if (injector) {
     out += "injected: " + fmt_u64(injector->transient_errors()) +
            " transient errors, " + fmt_u64(injector->rejected_requests()) +

@@ -95,7 +95,13 @@ std::string to_json(const Registry& reg) {
                 for (const Sample& s : ts.samples()) {
                   if (!first) o += ", ";
                   first = false;
-                  o += "[" + num(s.t) + ", " + num(s.value) + "]";
+                  // Appended piecewise: GCC 12's -Wrestrict misfires on
+                  // the chained-temporary form at -O3.
+                  o += "[";
+                  o += num(s.t);
+                  o += ", ";
+                  o += num(s.value);
+                  o += "]";
                 }
                 o += "]}";
               });

@@ -108,4 +108,20 @@ simkit::Task<void> resilient_pwrite(pfs::StripedFs& fs, hw::NodeId client,
                         {}, data, policy, stats);
 }
 
+simkit::Task<void> resilient_pwritev(pfs::StripedFs& fs, hw::NodeId client,
+                                     pfs::FileId file,
+                                     std::vector<WritePiece> pieces,
+                                     std::span<const std::byte> data,
+                                     RetryPolicy policy, RetryStats* stats) {
+  for (const WritePiece& p : pieces) {
+    std::span<const std::byte> slice;
+    if (!data.empty()) {
+      slice = data.subspan(static_cast<std::size_t>(p.buf_offset),
+                           static_cast<std::size_t>(p.length));
+    }
+    co_await resilient_pwrite(fs, client, file, p.file_offset, p.length,
+                              slice, policy, stats);
+  }
+}
+
 }  // namespace pario

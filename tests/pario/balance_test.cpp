@@ -130,7 +130,9 @@ TEST(BalanceFiles, NoOpWhenAlreadyBalanced) {
   pfs::StripedFs fs(machine);
   std::vector<pfs::FileId> files;
   for (int r = 0; r < 4; ++r) {
-    files.push_back(fs.create("f" + std::to_string(r)));
+    // Left operand spelled as std::string: GCC 12's -Wrestrict misfires
+    // on the `const char* + string&&` overload at -O3.
+    files.push_back(fs.create(std::string("f") + std::to_string(r)));
   }
   double balance_time = 0.0;
   mprt::Cluster::execute(machine, 4, [&](mprt::Comm& c)

@@ -121,7 +121,9 @@ TEST(FsEdge, ManyFilesSpreadAcrossDisksOfANode) {
   {
     std::vector<FileId> fs;
     for (int i = 0; i < 4; ++i) {
-      fs.push_back(four_files.fs.create("f" + std::to_string(i)));
+      // Left operand spelled as std::string: GCC 12's -Wrestrict misfires
+      // on the `const char* + string&&` overload at -O3.
+      fs.push_back(four_files.fs.create(std::string("f") + std::to_string(i)));
     }
     for (int c = 0; c < 4; ++c) {
       four_files.eng.spawn([](Rig& r, FileId f, int c) -> simkit::Task<void> {
