@@ -116,6 +116,7 @@ struct ChainLink {
   int from_step = 0;
   int to_step = 0;
   std::uint64_t per_rank_bytes = 0;
+  simkit::Time commit_time = simkit::kTimeZero;  // scrubs after this kill it
 };
 
 /// The restore chain: last committed full checkpoint plus the consecutive
@@ -124,6 +125,7 @@ struct Chain {
   bool valid = false;
   pfs::FileId full_file = pfs::kInvalidFile;
   int full_step = 0;
+  simkit::Time full_commit = simkit::kTimeZero;
   std::vector<ChainLink> deltas;
 };
 
@@ -156,6 +158,13 @@ struct RunState {
   bool productive = false;
   simkit::Time anchor = simkit::kTimeZero;  // lost-work accrues from here
   Chain chain;
+  // Scrub-aware restore routing, recomputed by the driver before every
+  // restart: which full-checkpoint copy the next restore reads, and which
+  // scrub-invalidated copy (if any) health-aware recovery re-mirrors from
+  // the surviving one after the restore.  kInvalidFile restore_source
+  // means "the committed chain's full_file".
+  pfs::FileId restore_source = pfs::kInvalidFile;
+  pfs::FileId remirror_target = pfs::kInvalidFile;
   std::uint64_t epoch = 0;        // bumped per restart; stale drains drop
   std::uint64_t staged_bytes = 0; // async staging occupancy (all ranks)
   std::map<int, std::shared_ptr<AsyncRec>> inflight;  // by to_step
@@ -220,10 +229,12 @@ struct RunState {
 
   /// Commit a checkpoint covering `step`: update the restore chain and the
   /// rollback anchor.  `snap_done` is the instant the committed state was
-  /// captured — work performed after it is lost on the next rollback.
+  /// captured — work performed after it is lost on the next rollback;
+  /// `commit_now` is when the data became durable (scrubbing crashes after
+  /// it invalidate the copy).
   void commit(int step, bool full, pfs::FileId file, int from_step,
               std::uint64_t per_rank_bytes, std::uint64_t bytes_written,
-              simkit::Time snap_done) {
+              simkit::Time snap_done, simkit::Time commit_now) {
     have_ckpt = true;
     ckpt_step = step;
     resume_step = step;
@@ -231,10 +242,14 @@ struct RunState {
       chain.valid = true;
       chain.full_file = file;
       chain.full_step = step;
+      chain.full_commit = commit_now;
       chain.deltas.clear();
+      restore_source = file;
+      remirror_target = pfs::kInvalidFile;
       rep.full_checkpoints += 1;
     } else {
-      chain.deltas.push_back({file, from_step, step, per_rank_bytes});
+      chain.deltas.push_back(
+          {file, from_step, step, per_rank_bytes, commit_now});
       rep.delta_checkpoints += 1;
       rep.delta_bytes += bytes_written;
     }
@@ -267,7 +282,7 @@ struct RunState {
     const std::uint64_t bytes =
         rec->per_rank_bytes * static_cast<std::uint64_t>(nprocs);
     commit(rec->step, rec->full, rec->file, rec->prev_step,
-           rec->per_rank_bytes, bytes, rec->snapshot_done);
+           rec->per_rank_bytes, bytes, rec->snapshot_done, now);
     if (ts_commit) ts_commit->record(now, static_cast<double>(rec->step));
     if (m_overlap_s) m_overlap_s->observe(now - rec->issue_time);
     if (!rec->full && m_delta_bytes) {
@@ -327,11 +342,26 @@ Report run(hw::Machine& machine, pfs::StripedFs& fs,
   const int full_every = std::max(pol.full_every, 1);
 
   // -- files ---------------------------------------------------------------
+  // Checkpoint files follow opt.placement: kStriped uses the default
+  // whole-partition layout (identical to the pre-placement engine); the
+  // pinned placements confine the primary to failure domain 0 and the
+  // mirror to domain 0 (kSameDomain) or the next domain (kOtherDomain).
+  auto create_ckpt_target = [&](const std::string& nm, bool mirror) {
+    if (opt.placement == Options::Placement::kStriped ||
+        machine.io_domain_count() == 0) {
+      return fs.create(nm, w.backed_state);
+    }
+    const std::size_t d =
+        (mirror && opt.placement == Options::Placement::kOtherDomain)
+            ? 1 % machine.io_domain_count()
+            : 0;
+    return fs.create_placed(nm, w.backed_state, machine.io_domain_members(d));
+  };
   const pfs::FileId ckpt_file =
-      fs.create("ckpt." + w.name, w.backed_state);
+      create_ckpt_target("ckpt." + w.name, /*mirror=*/false);
   const pfs::FileId ckpt_replica =
       opt.replicate_checkpoint
-          ? fs.create("ckpt." + w.name + ".mirror", w.backed_state)
+          ? create_ckpt_target("ckpt." + w.name + ".mirror", /*mirror=*/true)
           : pfs::kInvalidFile;
   std::vector<pfs::FileId> priv;
   pfs::FileId dump = pfs::kInvalidFile;
@@ -354,9 +384,9 @@ Report run(hw::Machine& machine, pfs::StripedFs& fs,
     auto it = delta_file_by_k.find(k);
     if (it == delta_file_by_k.end()) {
       it = delta_file_by_k
-               .emplace(k, fs.create("ckpt." + w.name + ".d" +
-                                         std::to_string(k),
-                                     w.backed_state))
+               .emplace(k, create_ckpt_target("ckpt." + w.name + ".d" +
+                                                  std::to_string(k),
+                                              /*mirror=*/false))
                .first;
     }
     return it->second;
@@ -371,6 +401,18 @@ Report run(hw::Machine& machine, pfs::StripedFs& fs,
   pario::RetryPolicy drain_retry =
       opt.drain_retry.max_attempts > 0 ? opt.drain_retry : step_retry;
   drain_retry.replica = pfs::kInvalidFile;  // drains never fail over
+
+  // Health-aware recovery: every job I/O path feeds one tracker (pure
+  // observation — no simulated events), and checkpoint restores hedge
+  // against the mirror once a latency estimate exists.
+  std::optional<pario::HealthTracker> health;
+  if (opt.health_aware) {
+    health.emplace(fs.io_node_count());
+    step_retry.health = &*health;
+    drain_retry.health = &*health;
+    ckpt_retry.health = &*health;
+    ckpt_retry.hedge_latency_multiple = opt.hedge_latency_multiple;
+  }
 
   RunState st;
   st.rep.policy = pol;
@@ -509,7 +551,10 @@ Report run(hw::Machine& machine, pfs::StripedFs& fs,
       const simkit::Time t0 = eng.now();
       bool ok = true;
       try {
-        co_await pario::TwoPhase::read(c, fs, st.chain.full_file,
+        const pfs::FileId full_src =
+            st.restore_source != pfs::kInvalidFile ? st.restore_source
+                                                   : st.chain.full_file;
+        co_await pario::TwoPhase::read(c, fs, full_src,
                                        state_extents(w, r), state_span(r),
                                        nullptr, tp_ckpt_read);
         for (const ChainLink& link : st.chain.deltas) {
@@ -548,6 +593,14 @@ Report run(hw::Machine& machine, pfs::StripedFs& fs,
             }
           }
         }
+        // Health-aware recovery re-mirrors a scrub-invalidated copy from
+        // the state just restored, so the next burst cannot strand the job
+        // with a single copy (counted as a repaired divergence).
+        if (st.remirror_target != pfs::kInvalidFile) {
+          co_await pario::TwoPhase::write(c, fs, st.remirror_target,
+                                          state_extents(w, r), state_span(r),
+                                          nullptr, tp_ckpt_write);
+        }
       } catch (const pfs::IoError&) {
         ok = false;
       }
@@ -555,6 +608,14 @@ Report run(hw::Machine& machine, pfs::StripedFs& fs,
       if (r == 0) {
         st.rep.recovery_time += eng.now() - t0;
         if (st.m_recovery_s) st.m_recovery_s->observe(eng.now() - t0);
+        if (ok && st.remirror_target != pfs::kInvalidFile) {
+          health->note_repaired();
+          // The re-mirrored copy is whole again as of now: future scrub
+          // checks must measure from this instant, and restores may fail
+          // over to it again.
+          st.chain.full_commit = eng.now();
+          st.remirror_target = pfs::kInvalidFile;
+        }
       }
       if (!ok) {
         if (r == 0) st.note_failure(eng.now());
@@ -658,7 +719,7 @@ Report run(hw::Machine& machine, pfs::StripedFs& fs,
               st.rep.ckpt_overhead += eng.now() - t0;
               st.commit(done_steps, full,
                         full ? ckpt_file : delta_file(k), prev_step,
-                        per_rank_bytes, bytes, eng.now());
+                        per_rank_bytes, bytes, eng.now(), eng.now());
               if (st.m_checkpoints) st.m_write_s->observe(eng.now() - t0);
               if (!full && st.m_delta_bytes) {
                 st.m_delta_bytes->observe(static_cast<double>(bytes));
@@ -703,8 +764,8 @@ Report run(hw::Machine& machine, pfs::StripedFs& fs,
               // Double-buffer: never target the committed full checkpoint.
               if (st.chain.valid && st.chain.full_file == ckpt_file) {
                 if (ckpt_file_b == pfs::kInvalidFile) {
-                  ckpt_file_b =
-                      fs.create("ckpt." + w.name + ".b", w.backed_state);
+                  ckpt_file_b = create_ckpt_target("ckpt." + w.name + ".b",
+                                                   /*mirror=*/false);
                 }
                 rec->file = ckpt_file_b;
               } else {
@@ -793,8 +854,93 @@ Report run(hw::Machine& machine, pfs::StripedFs& fs,
         if (st.m_recovery_s) st.m_recovery_s->observe(eng.now() - t0);
       }
     }
+    // Decide whether the committed chain survived the scrubbing crashes
+    // since commit, and route the next restore accordingly.  Pure plan
+    // queries — with no scrubbing windows armed (every pre-domain plan)
+    // this resolves to exactly the old behavior.
+    if (injector && st.have_ckpt) {
+      const simkit::Time now = eng.now();
+      const int lost_before = st.rep.lost_checkpoints;
+      auto scrubbed = [&](pfs::FileId f, simkit::Time since) {
+        for (const std::uint32_t s : fs.stripe_map(f).server_list()) {
+          if (injector->node_scrubbed_in(s, since, now)) return true;
+        }
+        return false;
+      };
+      // A scrubbed delta truncates the replay chain at that link; the
+      // links above it are unreachable and count as lost.
+      for (std::size_t i = 0; i < st.chain.deltas.size(); ++i) {
+        if (scrubbed(st.chain.deltas[i].file,
+                     st.chain.deltas[i].commit_time)) {
+          st.rep.lost_checkpoints +=
+              static_cast<int>(st.chain.deltas.size() - i);
+          st.chain.deltas.resize(i);
+          st.ckpt_step = st.chain.deltas.empty()
+                             ? st.chain.full_step
+                             : st.chain.deltas.back().to_step;
+          st.resume_step = st.ckpt_step;
+          break;
+        }
+      }
+      const pfs::FileId mirror =
+          pol.is_sync_full() ? ckpt_replica : pfs::kInvalidFile;
+      const bool primary_ok =
+          !scrubbed(st.chain.full_file, st.chain.full_commit);
+      const bool mirror_ok =
+          mirror != pfs::kInvalidFile &&
+          !scrubbed(mirror, st.chain.full_commit);
+      if (!primary_ok && !mirror_ok) {
+        // Every copy of the full checkpoint is gone: the whole chain is
+        // unrestorable — back to step 0.
+        st.rep.lost_checkpoints +=
+            1 + static_cast<int>(st.chain.deltas.size());
+        st.have_ckpt = false;
+        st.ckpt_step = 0;
+        st.resume_step = 0;
+        st.chain = Chain{};
+        st.restore_source = pfs::kInvalidFile;
+        st.remirror_target = pfs::kInvalidFile;
+        ckpt_retry.replica = mirror;
+      } else if (primary_ok && mirror_ok) {
+        st.restore_source = st.chain.full_file;
+        ckpt_retry.replica = mirror;
+        st.remirror_target = pfs::kInvalidFile;
+        if (health) {
+          // Both copies are whole: read the one whose servers look
+          // healthier, keep the other as the fail-over/hedge target.
+          const auto a = fs.stripe_map(st.chain.full_file).server_list();
+          const auto b = fs.stripe_map(mirror).server_list();
+          if (health->pick_healthier(a, b, now) == 1) {
+            st.restore_source = mirror;
+            ckpt_retry.replica = st.chain.full_file;
+          }
+        }
+      } else {
+        // One copy survived; nothing valid to fail over to.  Health-aware
+        // recovery re-mirrors the scrubbed copy after the restore.
+        const pfs::FileId good = primary_ok ? st.chain.full_file : mirror;
+        const pfs::FileId bad = primary_ok ? mirror : st.chain.full_file;
+        st.restore_source = good;
+        ckpt_retry.replica = pfs::kInvalidFile;
+        st.remirror_target =
+            health && bad != pfs::kInvalidFile ? bad : pfs::kInvalidFile;
+      }
+      const int newly_lost = st.rep.lost_checkpoints - lost_before;
+      if (newly_lost > 0) {
+        if (metrics::Registry* reg = metrics::current()) {
+          reg->counter("ckpt.lost_checkpoints")
+              .inc(static_cast<std::uint64_t>(newly_lost));
+        }
+      }
+    }
   }
   st.rep.exec_time = eng.now() - job_start;
+  if (health) {
+    st.rep.hedged_reads = health->hedges_issued();
+    st.rep.hedge_wins = health->hedge_wins();
+    st.rep.divergences_repaired =
+        static_cast<int>(health->divergences_repaired());
+  }
 
   // Drain leftover fault edges and background checkpoint drains so their
   // coroutine frames don't leak (they are finite processes; the

@@ -130,6 +130,27 @@ struct Options {
   bool replicate_checkpoint = false; // mirror ckpt file for fail-over
                                      // (sync full checkpoints only)
   int max_restarts = 64;             // give up (completed=false) beyond
+
+  /// Where checkpoint files (primary, mirror, async B buffer) live.
+  /// kStriped (default) spreads them over the whole I/O partition —
+  /// byte-identical to the pre-placement engine, but a scrubbing crash
+  /// anywhere invalidates every copy.  The pinned placements confine each
+  /// copy to one failure domain: kSameDomain puts primary AND mirror
+  /// behind the same rack switch (the naive layout the bench indicts),
+  /// kOtherDomain puts the mirror in the next domain so one rack's power
+  /// event cannot take both copies.
+  enum class Placement : std::uint8_t { kStriped, kSameDomain, kOtherDomain };
+  Placement placement = Placement::kStriped;
+
+  /// Health-aware recovery: maintain a pario::HealthTracker fed by all
+  /// job I/O, pick the restore source by observed server health, hedge
+  /// restore reads against the mirror (see hedge_latency_multiple), and
+  /// re-mirror a scrub-invalidated copy from the surviving one after a
+  /// restore (counted in Report::divergences_repaired).
+  bool health_aware = false;
+  /// Hedge multiple for restore reads when health_aware (see
+  /// pario::RetryPolicy::hedge_latency_multiple); 0 disables hedging.
+  double hedge_latency_multiple = 3.0;
 };
 
 struct Report {
@@ -158,6 +179,17 @@ struct Report {
   simkit::Duration drain_time = 0.0;    // summed background drain busy time
                                         // (overlapped with compute, NOT a
                                         // component of exec_time)
+
+  // -- robustness split (zero unless scrubbing faults / health_aware) ------
+  int lost_checkpoints = 0;             // committed checkpoints (fulls +
+                                        // deltas) made unrestorable because
+                                        // scrubbing crashes destroyed every
+                                        // copy (a surviving mirror keeps the
+                                        // checkpoint out of this count)
+  int divergences_repaired = 0;         // scrub-invalidated copies re-mirrored
+                                        // from the surviving one after restore
+  std::uint64_t hedged_reads = 0;       // hedges issued during restores
+  std::uint64_t hedge_wins = 0;         // hedges the mirror copy won
 
   /// exec time of a hypothetical fault-free, checkpoint-free run is
   /// exec_time - ckpt_overhead - lost_work - recovery_time minus retry

@@ -9,8 +9,10 @@
 //   --metrics-out=PATH  collect metrics and write them as JSON to PATH
 //   --policy=NAME  checkpoint policy (bench_fault_ckpt):
 //                  sync_full | sync_incr | async_full | async_incr
+//   --seed=N       fault-plan seed (benches with stochastic fault plans)
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,6 +27,7 @@ struct Options {
   bool metrics = false;      // print the metrics registry table
   std::string metrics_out;   // write metrics JSON here ("" = don't)
   std::string policy;        // ckpt policy name ("" = bench default)
+  std::uint64_t seed = 42;   // fault-plan seed (stochastic-plan benches)
 
   explicit Options(double default_scale = 0.25) : scale(default_scale) {}
 
@@ -50,10 +53,12 @@ struct Options {
         metrics_out = a + 14;
       } else if (std::strncmp(a, "--policy=", 9) == 0) {
         policy = a + 9;
+      } else if (std::strncmp(a, "--seed=", 7) == 0) {
+        seed = std::strtoull(a + 7, nullptr, 10);
       } else if (std::strcmp(a, "--help") == 0) {
         std::printf(
             "usage: %s [--full] [--scale=X] [--check] [--csv] [--metrics] "
-            "[--metrics-out=PATH] [--policy=NAME]\n",
+            "[--metrics-out=PATH] [--policy=NAME] [--seed=N]\n",
             argv[0]);
         std::exit(0);
       }

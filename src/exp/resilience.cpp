@@ -50,10 +50,29 @@ std::string resilience_report(const ckpt::Report& rep,
              " s\n";
     }
   }
+  // Robustness lines only when the run exercised the correlated-failure /
+  // health-aware machinery, so every pre-domain report (and its pinned
+  // golden) stays byte-identical.
+  if (rep.lost_checkpoints > 0 || rep.divergences_repaired > 0 ||
+      rep.hedged_reads > 0) {
+    out += "robustness: " + fmt_u64(rep.lost_checkpoints) +
+           " checkpoints lost to scrubs, " +
+           fmt_u64(rep.divergences_repaired) + " copies re-mirrored, " +
+           fmt_u64(rep.hedged_reads) + " hedged reads (" +
+           fmt_u64(rep.hedge_wins) + " won by the mirror)\n";
+  }
   if (injector) {
     out += "injected: " + fmt_u64(injector->transient_errors()) +
            " transient errors, " + fmt_u64(injector->rejected_requests()) +
            " requests rejected at down nodes\n";
+    if (!injector->plan().domain_outages.empty() ||
+        injector->plan().disk_markov.enabled) {
+      out += "correlated: " +
+             fmt_u64(injector->plan().domain_outages.size()) +
+             " domain outages, " + fmt_u64(injector->sticky_transitions()) +
+             " sticky + " + fmt_u64(injector->stuck_transitions()) +
+             " stuck disk-arm episodes\n";
+    }
   }
   return out;
 }

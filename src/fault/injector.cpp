@@ -7,6 +7,7 @@ namespace fault {
 simkit::Task<void> Injector::arm_crash(std::size_t node) {
   if (node >= down_.size()) down_.resize(node + 1, 0);
   ++down_[node];
+  if (m_crashes_) m_crashes_->inc();
   co_return;
 }
 
@@ -32,9 +33,62 @@ simkit::Task<void> Injector::clear_episode(std::uint64_t disk_key) {
   if (it != disks_.end()) it->second->set_service_scale(1.0);
 }
 
+simkit::Task<void> Injector::markov_step(std::uint64_t disk_key,
+                                         double factor, int state) {
+  auto it = disks_.find(disk_key);
+  if (it != disks_.end()) it->second->set_service_scale(factor);
+  if (state == 1) ++sticky_transitions_;
+  if (state == 2) ++stuck_transitions_;
+  if (state != 0 && m_disk_transitions_) m_disk_transitions_->inc();
+  co_return;
+}
+
+void Injector::schedule_markov(simkit::Engine& eng) {
+  // One trajectory per attached disk, on a stream split from the plan
+  // seed by the disk's stable key: generation order (disks_ is a sorted
+  // map) and disk count don't perturb each other's walks.  All edges are
+  // pre-materialized here, so the run replays bit-identically.
+  const MarkovDiskParams& mp = plan_.disk_markov;
+  for (const auto& [k, model] : disks_) {
+    (void)model;
+    simkit::Rng walk = simkit::Rng(plan_.seed ^ 0xD15Cul).split(k + 1);
+    simkit::Time t = 0.0;
+    int state = 0;  // 0 healthy, 1 sticky, 2 stuck
+    for (;;) {
+      const double dwell = state == 0   ? walk.exponential(mp.mean_healthy_s)
+                           : state == 1 ? walk.exponential(mp.mean_sticky_s)
+                                        : walk.exponential(mp.mean_stuck_s);
+      t += dwell;
+      if (t >= mp.horizon) break;
+      state = state == 0   ? 1
+              : state == 2 ? 1
+                           : (walk.uniform() < mp.p_stick ? 2 : 0);
+      const double factor = state == 0   ? 1.0
+                            : state == 1 ? mp.sticky_factor
+                                         : mp.stuck_factor;
+      eng.spawn_at(t, markov_step(k, factor, state), "fault_markov");
+    }
+    // A walk that ends away from healthy heals at the horizon; without
+    // this the tail of the run would stay degraded forever.
+    if (state != 0) {
+      eng.spawn_at(mp.horizon, markov_step(k, 1.0, 0), "fault_markov");
+    }
+  }
+}
+
 void Injector::start(simkit::Engine& eng) {
   if (started_) return;
   started_ = true;
+  if (metrics::Registry* r = metrics::current()) {
+    m_crashes_ = &r->counter("fault.node_crashes");
+    m_transients_ = &r->counter("fault.transient_errors");
+    m_rejections_ = &r->counter("fault.rejected_requests");
+    m_disk_transitions_ = &r->counter("fault.disk_transitions");
+    if (!plan_.domain_outages.empty()) {
+      // Known at arm time (outages are plan data, not runtime state).
+      r->counter("fault.domain_outages").inc(plan_.domain_outages.size());
+    }
+  }
   // Crash windows already open at the current time must arm immediately;
   // spawn_at clamps past times to now, so scheduling is uniform.  Reboot
   // edges are scheduled after crash edges at equal times (schedule order
@@ -48,6 +102,7 @@ void Injector::start(simkit::Engine& eng) {
     eng.spawn_at(e.start, arm_episode(k, e.latency_factor), "fault_degrade");
     eng.spawn_at(e.end, clear_episode(k), "fault_heal");
   }
+  if (plan_.disk_markov.enabled) schedule_markov(eng);
 }
 
 simkit::Time Injector::all_up_by(simkit::Time now) const noexcept {
@@ -65,6 +120,36 @@ simkit::Time Injector::all_up_by(simkit::Time now) const noexcept {
     }
   }
   return t;
+}
+
+simkit::Time Injector::nodes_up_by(std::span<const std::uint32_t> nodes,
+                                   simkit::Time now) const noexcept {
+  simkit::Time t = now;
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const auto& c : plan_.crashes) {
+      if (!(c.crash <= t && t < c.reboot)) continue;
+      for (const std::uint32_t n : nodes) {
+        if (c.io_node == n) {
+          t = c.reboot;
+          moved = true;
+          break;
+        }
+      }
+    }
+  }
+  return t;
+}
+
+bool Injector::node_scrubbed_in(std::size_t io_node, simkit::Time t0,
+                                simkit::Time t1) const noexcept {
+  for (const auto& c : plan_.crashes) {
+    if (c.scrub && c.io_node == io_node && t0 < c.crash && c.crash <= t1) {
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace fault

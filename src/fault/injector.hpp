@@ -13,10 +13,12 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <vector>
 
 #include "fault/plan.hpp"
 #include "hw/disk.hpp"
+#include "metrics/metrics.hpp"
 #include "simkit/engine.hpp"
 #include "simkit/rng.hpp"
 
@@ -47,6 +49,7 @@ class Injector {
     if (plan_.transient_error_prob <= 0.0) return false;
     if (rng_.uniform() >= plan_.transient_error_prob) return false;
     ++transient_errors_;
+    if (m_transients_) m_transients_->inc();
     return true;
   }
 
@@ -56,17 +59,38 @@ class Injector {
     disks_[key(io_node, disk)] = model;
   }
 
-  void count_rejection() noexcept { ++rejected_requests_; }
+  void count_rejection() noexcept {
+    ++rejected_requests_;
+    if (m_rejections_) m_rejections_->inc();
+  }
 
   // -- plan queries (no armed state needed) -------------------------------
   /// Earliest time >= now at which no crash window keeps a node down: the
   /// instant a recovery manager can expect requests to succeed again.
   simkit::Time all_up_by(simkit::Time now) const noexcept;
 
+  /// Like all_up_by, but only windows on the listed nodes block recovery —
+  /// a reader that needs one replica shouldn't wait for the other rack.
+  simkit::Time nodes_up_by(std::span<const std::uint32_t> nodes,
+                           simkit::Time now) const noexcept;
+
+  /// Did a scrubbing crash hit `io_node` in (t0, t1]?  A checkpoint copy
+  /// committed at t0 that stripes over this node is untrustworthy at t1 if
+  /// so — the crash destroyed the node's stored data.
+  bool node_scrubbed_in(std::size_t io_node, simkit::Time t0,
+                        simkit::Time t1) const noexcept;
+
   // -- counters -----------------------------------------------------------
   std::uint64_t transient_errors() const noexcept { return transient_errors_; }
   std::uint64_t rejected_requests() const noexcept {
     return rejected_requests_;
+  }
+  /// Markov disk-state entries (healthy excluded), split by severity.
+  std::uint64_t sticky_transitions() const noexcept {
+    return sticky_transitions_;
+  }
+  std::uint64_t stuck_transitions() const noexcept {
+    return stuck_transitions_;
   }
 
  private:
@@ -78,6 +102,9 @@ class Injector {
   simkit::Task<void> clear_crash(std::size_t node);
   simkit::Task<void> arm_episode(std::uint64_t disk_key, double factor);
   simkit::Task<void> clear_episode(std::uint64_t disk_key);
+  simkit::Task<void> markov_step(std::uint64_t disk_key, double factor,
+                                 int state);
+  void schedule_markov(simkit::Engine& eng);
 
   InjectionPlan plan_;
   simkit::Rng rng_;
@@ -89,6 +116,15 @@ class Injector {
   std::map<std::uint64_t, hw::DiskModel*> disks_;
   std::uint64_t transient_errors_ = 0;
   std::uint64_t rejected_requests_ = 0;
+  std::uint64_t sticky_transitions_ = 0;
+  std::uint64_t stuck_transitions_ = 0;
+  // Resolved once in start(); null when no registry is installed.  Metric
+  // increments piggyback on existing events so observation never changes
+  // the schedule.
+  metrics::Counter* m_crashes_ = nullptr;
+  metrics::Counter* m_transients_ = nullptr;
+  metrics::Counter* m_rejections_ = nullptr;
+  metrics::Counter* m_disk_transitions_ = nullptr;
 };
 
 }  // namespace fault

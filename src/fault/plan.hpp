@@ -29,15 +29,55 @@ struct DiskDegradeEpisode {
 /// Fail-stop crash of a whole I/O node: every request arriving during
 /// [crash, reboot) is rejected with pfs::IoError (kNodeDown).  The node
 /// serves normally again from `reboot` on.
+///
+/// `scrub` distinguishes power-loss semantics from a clean reboot: a
+/// scrubbing crash (rack/switch power event) destroys data the node
+/// stored before `crash` — write-behind buffers and staged local files
+/// are gone when it comes back.  Recovery layers consult
+/// Injector::node_scrubbed_in to decide whether a checkpoint copy that
+/// striped over this node is still trustworthy.  Plain crashes (the
+/// default) keep data intact, so pre-existing plans replay identically.
 struct NodeCrashWindow {
   std::size_t io_node = 0;
   simkit::Time crash = 0.0;
   simkit::Time reboot = 0.0;
+  bool scrub = false;
+};
+
+/// A correlated outage of one failure domain (every I/O node behind a
+/// rack switch goes down together).  Bookkeeping only: building one also
+/// materializes per-member NodeCrashWindows, which is what the injector
+/// arms — so the runtime crash path is identical for correlated and
+/// independent faults, and only reporting and placement logic care.
+struct DomainOutage {
+  std::size_t domain = 0;
+  simkit::Time start = 0.0;
+  simkit::Time end = 0.0;
+};
+
+/// Continuous-time Markov model of disk-arm sticking, the stochastic
+/// replacement for hand-planned DiskDegradeEpisodes.  Each attached disk
+/// walks healthy -> sticky -> (stuck | healthy) -> ... independently on a
+/// stream split from the plan seed, so trajectories don't depend on
+/// attach order or on how many disks the machine has.  Dwell times are
+/// exponential; transitions stop at `horizon`, after which every disk
+/// heals permanently (the plan's horizon() covers this).
+struct MarkovDiskParams {
+  bool enabled = false;
+  simkit::Time horizon = 0.0;     // generate transitions in [0, horizon)
+  double mean_healthy_s = 600.0;  // dwell before the arm starts sticking
+  double mean_sticky_s = 20.0;    // dwell while sticking
+  double mean_stuck_s = 5.0;      // dwell while fully stuck
+  double p_stick = 0.25;          // sticky -> stuck (else heals)
+  double sticky_factor = 4.0;     // service-time stretch while sticky
+  double stuck_factor = 40.0;     // stretch while stuck
 };
 
 struct InjectionPlan {
   std::vector<DiskDegradeEpisode> disk_episodes;
   std::vector<NodeCrashWindow> crashes;
+  std::vector<DomainOutage> domain_outages;
+  MarkovDiskParams disk_markov;
 
   /// Per-request probability of a transient failure (command timeout,
   /// dropped server buffer).  Rolled on the injector's own RNG stream in
@@ -46,8 +86,12 @@ struct InjectionPlan {
   double transient_error_prob = 0.0;
   std::uint64_t seed = 0x5EEDFA17u;
 
+  /// True only when arming the plan is a guaranteed no-op.  Stochastic
+  /// processes count as content: a Markov-disk plan with no planned
+  /// episodes still perturbs every disk it touches.
   bool empty() const noexcept {
     return disk_episodes.empty() && crashes.empty() &&
+           domain_outages.empty() && !disk_markov.enabled &&
            transient_error_prob <= 0.0;
   }
 
@@ -60,8 +104,17 @@ struct InjectionPlan {
                               simkit::Time start, simkit::Time end,
                               double latency_factor);
   InjectionPlan& crash_node(std::size_t io_node, simkit::Time crash,
-                            simkit::Time reboot);
+                            simkit::Time reboot, bool scrub = false);
   InjectionPlan& with_transient_errors(double prob);
+
+  /// Take a whole failure domain down together: records a DomainOutage
+  /// and materializes one scrubbing (by default) crash window per member
+  /// node, since a rack power event loses what those nodes stored.
+  InjectionPlan& outage_domain(std::size_t domain,
+                               const std::vector<std::uint32_t>& members,
+                               simkit::Time start, simkit::Time end,
+                               bool scrub = true);
+  InjectionPlan& with_markov_disks(MarkovDiskParams p);
 
   /// Deterministic random crash schedule: exponential inter-crash gaps
   /// with mean `mtbf` seconds over [0, horizon), each crash taking down a
@@ -71,6 +124,19 @@ struct InjectionPlan {
                                             double outage,
                                             simkit::Time horizon,
                                             std::uint64_t seed);
+
+  /// MTBF-matched correlated schedule: the same exponential event process
+  /// as poisson_node_crashes (mean gap `mtbf`), but a fraction
+  /// `correlated_fraction` of events are rack-scoped — a uniformly chosen
+  /// failure domain of `nodes_per_domain` consecutive I/O nodes loses
+  /// power together (scrubbing every member), while the rest crash one
+  /// uniform node cleanly.  Event *instants* depend only on (seed, mtbf,
+  /// horizon), so sweeping the fraction compares identical fault clocks
+  /// with different blast radii.
+  static InjectionPlan correlated_node_crashes(
+      std::size_t io_nodes, std::size_t nodes_per_domain, double mtbf,
+      double outage, double correlated_fraction, simkit::Time horizon,
+      std::uint64_t seed);
 };
 
 }  // namespace fault

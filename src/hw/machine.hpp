@@ -6,10 +6,12 @@
 // the mesh) and keeps rank->node mapping trivial for the runtime.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "hw/disk.hpp"
 #include "hw/network.hpp"
@@ -38,6 +40,12 @@ struct MachineConfig {
   std::string name;
   std::size_t compute_nodes = 4;
   std::size_t io_nodes = 2;
+  /// Failure-domain fan-in: consecutive I/O nodes share one rack switch,
+  /// so a switch/rack fault takes all of them out together (fault::
+  /// InjectionPlan's domain outages are scoped by this grouping).  0 (the
+  /// default) puts every I/O node in its own domain — no correlated
+  /// blast radius, and bit-identical behavior to pre-domain builds.
+  std::size_t io_nodes_per_switch = 0;
   double cpu_mflops = 25.0;            // effective, not peak
   double mem_copy_mb_per_s = 30.0;     // memcpy bandwidth (buffer copies)
   std::uint64_t mem_bytes_per_node = 32ULL << 20;
@@ -81,6 +89,32 @@ class Machine {
   }
   bool is_io_node(NodeId n) const noexcept {
     return n >= cfg_.compute_nodes && n < cfg_.total_nodes();
+  }
+
+  // -- I/O failure domains (rack switches, see io_nodes_per_switch) -------
+  /// Fan-in actually in effect: clamped to [1, io_nodes].
+  std::size_t io_domain_fan_in() const noexcept {
+    const std::size_t f =
+        cfg_.io_nodes_per_switch == 0 ? 1 : cfg_.io_nodes_per_switch;
+    return cfg_.io_nodes == 0 ? 1 : std::min(f, cfg_.io_nodes);
+  }
+  std::size_t io_domain_count() const noexcept {
+    const std::size_t f = io_domain_fan_in();
+    return (cfg_.io_nodes + f - 1) / f;
+  }
+  /// Domain of I/O node `i` (index into the I/O partition, not a NodeId).
+  std::size_t io_domain_of(std::size_t i) const noexcept {
+    return i / io_domain_fan_in();
+  }
+  /// I/O-partition indices belonging to domain `d`.
+  std::vector<std::uint32_t> io_domain_members(std::size_t d) const {
+    std::vector<std::uint32_t> m;
+    const std::size_t f = io_domain_fan_in();
+    for (std::size_t i = d * f; i < std::min((d + 1) * f, cfg_.io_nodes);
+         ++i) {
+      m.push_back(static_cast<std::uint32_t>(i));
+    }
+    return m;
   }
 
   /// Timed computation of `flops` floating-point operations on a node.

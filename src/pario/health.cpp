@@ -1,0 +1,114 @@
+#include "pario/health.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "metrics/metrics.hpp"
+
+namespace pario {
+
+HealthTracker::HealthTracker(std::size_t servers, Params p)
+    : p_(p), lat_(servers, 0.0), err_(servers) {}
+
+void HealthTracker::note_success(std::size_t server, simkit::Time now,
+                                 simkit::Duration latency) {
+  if (server >= lat_.size()) return;
+  double& l = lat_[server];
+  l = l == 0.0 ? latency : (1.0 - p_.latency_alpha) * l +
+                               p_.latency_alpha * latency;
+  // Touch the error state so its decay clock doesn't jump later.
+  err_[server].score = decayed(err_[server], now);
+  err_[server].last = now;
+}
+
+void HealthTracker::note_error(std::size_t server, simkit::Time now) {
+  if (server >= err_.size()) return;
+  err_[server].score = decayed(err_[server], now) + 1.0;
+  err_[server].last = now;
+  if (metrics::Registry* r = metrics::current()) {
+    r->counter("pario.health.errors").inc();
+  }
+}
+
+double HealthTracker::decayed(const ErrorState& e,
+                              simkit::Time now) const noexcept {
+  if (e.score == 0.0) return 0.0;
+  const double dt = std::max(0.0, now - e.last);
+  return e.score * std::exp2(-dt / p_.error_halflife_s);
+}
+
+double HealthTracker::ewma_latency(std::size_t server) const noexcept {
+  return server < lat_.size() ? lat_[server] : 0.0;
+}
+
+double HealthTracker::error_score(std::size_t server,
+                                  simkit::Time now) const noexcept {
+  return server < err_.size() ? decayed(err_[server], now) : 0.0;
+}
+
+double HealthTracker::badness(std::size_t server,
+                              simkit::Time now) const noexcept {
+  return ewma_latency(server) + p_.error_cost_s * error_score(server, now);
+}
+
+double HealthTracker::expected_latency(
+    std::span<const std::uint32_t> servers) const noexcept {
+  double worst = 0.0;
+  for (const std::uint32_t s : servers) {
+    worst = std::max(worst, ewma_latency(s));
+  }
+  return worst;
+}
+
+std::size_t HealthTracker::pick_healthier(
+    std::span<const std::uint32_t> a, std::span<const std::uint32_t> b,
+    simkit::Time now) const noexcept {
+  double worst_a = 0.0;
+  double worst_b = 0.0;
+  for (const std::uint32_t s : a) worst_a = std::max(worst_a, badness(s, now));
+  for (const std::uint32_t s : b) worst_b = std::max(worst_b, badness(s, now));
+  return worst_a <= worst_b ? 0 : 1;
+}
+
+void HealthTracker::note_hedge_issued() {
+  ++hedges_issued_;
+  if (metrics::Registry* r = metrics::current()) {
+    r->counter("pario.health.hedges").inc();
+  }
+}
+
+void HealthTracker::note_hedge_win() {
+  ++hedge_wins_;
+  if (metrics::Registry* r = metrics::current()) {
+    r->counter("pario.health.hedge_wins").inc();
+  }
+}
+
+void HealthTracker::note_hedge_loss() {
+  ++hedge_losses_;
+  if (metrics::Registry* r = metrics::current()) {
+    r->counter("pario.health.hedge_losses").inc();
+  }
+}
+
+void HealthTracker::note_divergence(Divergence d) {
+  divergences_.push_back(d);
+  if (metrics::Registry* r = metrics::current()) {
+    r->counter("pario.health.divergences").inc();
+  }
+}
+
+std::vector<HealthTracker::Divergence> HealthTracker::take_divergences() {
+  std::vector<Divergence> out;
+  out.swap(divergences_);
+  return out;
+}
+
+void HealthTracker::note_repaired(std::uint64_t n) {
+  repaired_ += n;
+  if (metrics::Registry* r = metrics::current()) {
+    r->counter("pario.health.repairs").inc(n);
+  }
+}
+
+}  // namespace pario

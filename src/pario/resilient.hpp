@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "pario/health.hpp"
 #include "pfs/fs.hpp"
 #include "simkit/task.hpp"
 
@@ -33,6 +34,22 @@ struct RetryPolicy {
   /// Mirror file to fail over to on a node-down error (same offsets).
   /// kInvalidFile (default) disables fail-over.
   pfs::FileId replica = pfs::kInvalidFile;
+  /// Optional health feed: completions update the tracker's per-server
+  /// EWMA latency and error scores, and failed-over writes land in its
+  /// divergence ledger.  Null (default) observes nothing.
+  HealthTracker* health = nullptr;
+  /// Straggler hedging for reads: once the primary read has been
+  /// outstanding for this multiple of the tracker's expected latency, the
+  /// same range is re-issued against the replica and the first completion
+  /// wins.  Requires `health` and `replica`; 0 (default) disables.  Never
+  /// hedges before the tracker has latency samples.
+  double hedge_latency_multiple = 0.0;
+
+  /// Reject nonsensical configurations (max_attempts < 1, negative
+  /// backoff, multiplier < 1, negative hedge multiple) with
+  /// std::invalid_argument.  The resilient_* entry points call this
+  /// before any simulated time elapses.
+  void validate() const;
 };
 
 /// Per-callsite retry accounting.  The fields are the compatibility
@@ -70,7 +87,9 @@ struct RetryStats {
 };
 
 /// pread with retry/backoff/fail-over.  Throws pfs::IoError only after the
-/// policy is exhausted.  (Coroutine parameters are by value, repo-wide.)
+/// policy is exhausted, and std::invalid_argument immediately (before the
+/// coroutine runs) on an invalid policy.  (Coroutine parameters are by
+/// value, repo-wide; these wrappers validate eagerly, then delegate.)
 simkit::Task<void> resilient_pread(pfs::StripedFs& fs, hw::NodeId client,
                                    pfs::FileId file, std::uint64_t offset,
                                    std::uint64_t len,
@@ -113,5 +132,15 @@ simkit::Task<void> resilient_pwritev(pfs::StripedFs& fs, hw::NodeId client,
                                      std::span<const std::byte> data,
                                      RetryPolicy policy,
                                      RetryStats* stats = nullptr);
+
+/// Reconcile every range in the tracker's divergence ledger: re-read the
+/// authoritative replica copy and rewrite the stale primary, through the
+/// same resilient policy.  Counts repairs in the tracker.  The ledger is
+/// drained up front; ranges whose repair itself exhausts the policy are
+/// NOT re-queued (the next diverged write will re-report them).
+simkit::Task<void> repair_divergences(pfs::StripedFs& fs, hw::NodeId client,
+                                      HealthTracker& health,
+                                      RetryPolicy policy,
+                                      RetryStats* stats = nullptr);
 
 }  // namespace pario

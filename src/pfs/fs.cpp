@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 #include "simkit/combinators.hpp"
 
@@ -31,6 +33,31 @@ FileId StripedFs::create(std::string name, bool backed) {
       std::move(name), backed,
       StripeMap(io_.stripe_unit_bytes,
                 static_cast<std::uint32_t>(nodes_.size()), first)));
+  return id;
+}
+
+FileId StripedFs::create_placed(std::string name, bool backed,
+                                std::vector<std::uint32_t> servers) {
+  if (servers.empty()) {
+    throw std::invalid_argument("create_placed: empty server list");
+  }
+  std::vector<bool> seen(nodes_.size(), false);
+  for (const std::uint32_t s : servers) {
+    if (s >= nodes_.size()) {
+      throw std::invalid_argument("create_placed: server index " +
+                                  std::to_string(s) + " out of range");
+    }
+    if (seen[s]) {
+      throw std::invalid_argument("create_placed: duplicate server " +
+                                  std::to_string(s));
+    }
+    seen[s] = true;
+  }
+  const auto id = static_cast<FileId>(files_.size());
+  const auto first = static_cast<std::uint32_t>(id % servers.size());
+  files_.push_back(std::make_unique<FileMeta>(
+      std::move(name), backed,
+      StripeMap(io_.stripe_unit_bytes, std::move(servers), first)));
   return id;
 }
 

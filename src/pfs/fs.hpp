@@ -93,6 +93,15 @@ class StripedFs {
   /// are sized but hole-only (timing runs at 37 GB scale without RAM).
   FileId create(std::string name, bool backed = false);
 
+  /// Create a file whose stripes are confined to `servers` (distinct I/O
+  /// node indices) instead of the whole partition.  Failure-domain-aware
+  /// placement: a replica created on a different rack's servers survives
+  /// the switch outage that takes its primary down.  Throws
+  /// std::invalid_argument on an empty list, duplicates, or out-of-range
+  /// indices.
+  FileId create_placed(std::string name, bool backed,
+                       std::vector<std::uint32_t> servers);
+
   /// Open an existing file (timed metadata round-trip to its first server).
   simkit::Task<FileHandle> open(hw::NodeId client, FileId file,
                                 IoObserver* observer = nullptr);

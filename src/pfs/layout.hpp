@@ -28,11 +28,34 @@ class StripeMap {
     assert(stripe_unit > 0 && nservers > 0);
   }
 
+  /// Placement-restricted map: stripes rotate over `servers` (distinct I/O
+  /// node indices) instead of the full partition.  This is how files are
+  /// pinned to a failure domain — a domain-aware replica lists the nodes
+  /// of a different rack than its primary.
+  StripeMap(std::uint64_t stripe_unit, std::vector<std::uint32_t> servers,
+            std::uint32_t first_server = 0)
+      : su_(stripe_unit),
+        n_(static_cast<std::uint32_t>(servers.size())),
+        first_(first_server),
+        servers_(std::move(servers)) {
+    assert(stripe_unit > 0 && n_ > 0);
+  }
+
   std::uint64_t stripe_unit() const noexcept { return su_; }
   std::uint32_t servers() const noexcept { return n_; }
 
+  /// The distinct servers this map touches, in rotation-slot order.
+  std::vector<std::uint32_t> server_list() const {
+    if (!servers_.empty()) return servers_;
+    std::vector<std::uint32_t> all(n_);
+    for (std::uint32_t i = 0; i < n_; ++i) all[i] = i;
+    return all;
+  }
+
   std::uint32_t server_of(std::uint64_t offset) const noexcept {
-    return static_cast<std::uint32_t>((offset / su_ + first_) % n_);
+    const auto slot =
+        static_cast<std::uint32_t>((offset / su_ + first_) % n_);
+    return servers_.empty() ? slot : servers_[slot];
   }
 
   std::uint64_t local_offset_of(std::uint64_t offset) const noexcept {
@@ -63,6 +86,7 @@ class StripeMap {
   std::uint64_t su_;
   std::uint32_t n_;
   std::uint32_t first_;
+  std::vector<std::uint32_t> servers_;  // empty = identity (0..n_-1)
 };
 
 }  // namespace pfs

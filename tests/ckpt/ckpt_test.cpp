@@ -199,6 +199,115 @@ TEST(Ckpt, ScfWorkloadAdapterDerivesStepIo) {
   EXPECT_GT(w.state_bytes_per_rank, 0u);
 }
 
+// -- correlated failure domains + health-aware recovery --------------------
+
+// 4 I/O nodes behind 2 rack switches (fan-in 2): domain 0 = {0, 1},
+// domain 1 = {2, 3}.
+hw::MachineConfig domain_config() {
+  hw::MachineConfig cfg = hw::MachineConfig::paragon_small(4, 4);
+  cfg.io_nodes_per_switch = 2;
+  return cfg;
+}
+
+struct DomainRun {
+  Report rep;
+  std::vector<std::uint32_t> ckpt_servers;
+  std::vector<std::uint32_t> mirror_servers;
+};
+
+DomainRun run_domains(fault::InjectionPlan plan, Options opt) {
+  simkit::Engine eng;
+  hw::Machine machine(eng, domain_config());
+  fault::Injector injector(std::move(plan));
+  pfs::StripedFs fs(machine, &injector);
+  DomainRun out;
+  out.rep = run(machine, fs, &injector, small_workload(), std::move(opt));
+  // run() creates the checkpoint primary first, then the mirror.
+  out.ckpt_servers = fs.stripe_map(0).server_list();
+  if (fs.file_name(1) == "ckpt.unit.mirror") {
+    out.mirror_servers = fs.stripe_map(1).server_list();
+  }
+  return out;
+}
+
+Options domain_options(Options::Placement placement) {
+  Options opt;
+  opt.ckpt_interval_steps = 2;
+  opt.retry.max_attempts = 3;
+  opt.replicate_checkpoint = true;
+  opt.placement = placement;
+  return opt;
+}
+
+// Fault-free duration on the domain machine: the scrubbing outage is
+// placed after the first committed checkpoint and ends before the
+// restarted job needs the scrubbed nodes again.
+double domain_fault_free_exec() {
+  static const double t =
+      run_domains(fault::InjectionPlan{},
+                  domain_options(Options::Placement::kOtherDomain))
+          .rep.exec_time;
+  return t;
+}
+
+// Rack switch 0 dies at ~45% of the fault-free run and its nodes reboot
+// with scrubbed disks (a power event, not a transient hiccup).
+fault::InjectionPlan rack0_scrub_outage() {
+  const double t = domain_fault_free_exec();
+  fault::InjectionPlan plan;
+  plan.outage_domain(0, {0, 1}, 0.45 * t, 1.5 * t, /*scrub=*/true);
+  return plan;
+}
+
+TEST(Ckpt, SameDomainPlacementLosesScrubbedCheckpoint) {
+  // Primary AND mirror behind rack switch 0: one scrubbing power event
+  // destroys every copy of the committed checkpoint, and the job has to
+  // restart from step 0.
+  const DomainRun dr = run_domains(rack0_scrub_outage(),
+                                   domain_options(Options::Placement::kSameDomain));
+  for (const std::uint32_t s : dr.ckpt_servers) EXPECT_LT(s, 2u);
+  for (const std::uint32_t s : dr.mirror_servers) EXPECT_LT(s, 2u);
+  EXPECT_TRUE(dr.rep.completed);
+  EXPECT_TRUE(dr.rep.state_verified);
+  EXPECT_GE(dr.rep.restarts, 1);
+  EXPECT_GE(dr.rep.lost_checkpoints, 1)
+      << "both copies sat in the scrubbed domain";
+}
+
+TEST(Ckpt, OtherDomainMirrorSurvivesScrubAndHealthAwareRepair) {
+  // Mirror behind the other rack switch: the same power event destroys
+  // only the primary, the restore reads the mirror, and health-aware
+  // recovery re-mirrors the scrubbed copy before computing on.
+  Options opt = domain_options(Options::Placement::kOtherDomain);
+  opt.health_aware = true;
+  const DomainRun dr = run_domains(rack0_scrub_outage(), opt);
+  for (const std::uint32_t s : dr.ckpt_servers) EXPECT_LT(s, 2u);
+  for (const std::uint32_t s : dr.mirror_servers) EXPECT_GE(s, 2u);
+  EXPECT_TRUE(dr.rep.completed);
+  EXPECT_TRUE(dr.rep.state_verified)
+      << "the mirror must hold the committed step's bytes";
+  EXPECT_GE(dr.rep.restarts, 1);
+  EXPECT_EQ(dr.rep.lost_checkpoints, 0)
+      << "the other-domain mirror survived the burst";
+  EXPECT_GE(dr.rep.divergences_repaired, 1)
+      << "the scrubbed primary must be re-mirrored after the restore";
+}
+
+TEST(Ckpt, PlacementDefaultsMatchPrePlacementEngine) {
+  // kStriped placement and health_aware=false are the defaults: a run on
+  // a domain machine must produce the exact same report as before the
+  // robustness features existed (whole-partition striping, no routing).
+  Options opt;
+  opt.ckpt_interval_steps = 2;
+  opt.retry.max_attempts = 3;
+  const DomainRun dr = run_domains(fault::InjectionPlan{}, opt);
+  EXPECT_TRUE(dr.rep.completed);
+  EXPECT_EQ(dr.ckpt_servers.size(), 4u) << "default stays whole-partition";
+  EXPECT_EQ(dr.rep.lost_checkpoints, 0);
+  EXPECT_EQ(dr.rep.divergences_repaired, 0);
+  EXPECT_EQ(dr.rep.hedged_reads, 0u);
+}
+
 TEST(Ckpt, YoungDalyInterval) {
   // Young's first-order form: sqrt(2 * C * MTBF).
   EXPECT_DOUBLE_EQ(young_interval(2.0, 100.0), 20.0);

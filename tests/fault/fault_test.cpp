@@ -140,6 +140,192 @@ TEST(Injector, EmptyPlanIsBitIdenticalToNoInjector) {
   EXPECT_EQ(timed_run(nullptr), timed_run(&empty));  // exact equality
 }
 
+TEST(InjectionPlan, PoissonMeanGapMatchesMtbf) {
+  // Empirical check of the generator's event process: with a long horizon
+  // the mean inter-crash gap converges to the configured MTBF.
+  const double mtbf = 30.0;
+  const auto plan =
+      InjectionPlan::poisson_node_crashes(4, mtbf, 2.0, 600'000.0, 42);
+  ASSERT_GT(plan.crashes.size(), 1000u);
+  double prev = 0.0;
+  double sum = 0.0;
+  for (const auto& c : plan.crashes) {
+    sum += c.crash - prev;
+    prev = c.crash;
+  }
+  const double mean_gap = sum / static_cast<double>(plan.crashes.size());
+  EXPECT_NEAR(mean_gap, mtbf, 0.05 * mtbf);
+}
+
+TEST(Injector, OverlappingSameNodeWindowsFormDownTimeUnion) {
+  // Dense schedule: many overlapping windows on few nodes.  The armed
+  // state must match the union of the planned intervals at every probe.
+  const auto plan =
+      InjectionPlan::poisson_node_crashes(2, 3.0, 10.0, 200.0, 11);
+  bool has_overlap = false;
+  for (std::size_t i = 0; i + 1 < plan.crashes.size() && !has_overlap; ++i) {
+    for (std::size_t j = i + 1; j < plan.crashes.size(); ++j) {
+      if (plan.crashes[i].io_node == plan.crashes[j].io_node &&
+          plan.crashes[j].crash < plan.crashes[i].reboot &&
+          plan.crashes[i].crash < plan.crashes[j].reboot) {
+        has_overlap = true;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(has_overlap) << "schedule too sparse to exercise overlap";
+  auto planned_down = [&plan](std::size_t node, simkit::Time t) {
+    for (const auto& c : plan.crashes) {
+      if (c.io_node == node && c.crash <= t && t < c.reboot) return true;
+    }
+    return false;
+  };
+  simkit::Engine eng;
+  Injector inj(plan);
+  inj.start(eng);
+  int mismatches = 0;
+  eng.spawn([](simkit::Engine& e, Injector& i, auto planned,
+               int& bad) -> simkit::Task<void> {
+    // Probe off the fault edges (edges fire at integer-free instants with
+    // probability 1; +0.25 keeps probes strictly inside intervals).
+    for (int k = 0; k < 880; ++k) {
+      co_await e.delay(0.25);
+      for (std::size_t node = 0; node < 2; ++node) {
+        if (i.node_down(node) != planned(node, e.now())) ++bad;
+      }
+    }
+  }(eng, inj, planned_down, mismatches));
+  eng.run();
+  EXPECT_EQ(mismatches, 0);
+}
+
+TEST(InjectionPlan, CorrelatedGeneratorMixesBurstsAndSingles) {
+  const auto a = InjectionPlan::correlated_node_crashes(
+      4, 2, 40.0, 5.0, 0.5, 4000.0, 13);
+  const auto b = InjectionPlan::correlated_node_crashes(
+      4, 2, 40.0, 5.0, 0.5, 4000.0, 13);
+  ASSERT_EQ(a.crashes.size(), b.crashes.size());
+  ASSERT_FALSE(a.domain_outages.empty());
+  for (std::size_t i = 0; i < a.crashes.size(); ++i) {
+    EXPECT_EQ(a.crashes[i].crash, b.crashes[i].crash);  // exact replay
+    EXPECT_EQ(a.crashes[i].scrub, b.crashes[i].scrub);
+  }
+  // Bursts scrub every member of one domain; singles reboot cleanly.
+  std::size_t scrubbed = 0;
+  std::size_t clean = 0;
+  for (const auto& c : a.crashes) (c.scrub ? scrubbed : clean)++;
+  EXPECT_GT(scrubbed, 0u);
+  EXPECT_GT(clean, 0u);
+  for (const auto& d : a.domain_outages) {
+    EXPECT_LT(d.domain, 2u);
+    // Every member window of the burst exists, scrubbed, same interval.
+    int members = 0;
+    for (const auto& c : a.crashes) {
+      if (c.crash == d.start && c.reboot == d.end && c.scrub) ++members;
+    }
+    EXPECT_EQ(members, 2);
+  }
+}
+
+TEST(InjectionPlan, CorrelatedEventClockInvariantUnderFractionSweep) {
+  // Same seed, different blast radii: the fault instants line up, so a
+  // correlated-vs-independent comparison isolates the correlation itself.
+  const auto indep = InjectionPlan::correlated_node_crashes(
+      4, 2, 40.0, 5.0, 0.0, 4000.0, 99);
+  const auto corr = InjectionPlan::correlated_node_crashes(
+      4, 2, 40.0, 5.0, 0.6, 4000.0, 99);
+  std::vector<simkit::Time> ti;
+  std::vector<simkit::Time> tc;
+  for (const auto& c : indep.crashes) ti.push_back(c.crash);
+  for (const auto& d : corr.domain_outages) tc.push_back(d.start);
+  for (const auto& c : corr.crashes) {
+    if (!c.scrub) tc.push_back(c.crash);
+  }
+  std::sort(tc.begin(), tc.end());
+  EXPECT_EQ(ti, tc);
+  EXPECT_TRUE(indep.domain_outages.empty());
+}
+
+TEST(InjectionPlan, MarkovPlanIsNotEmptyAndExtendsHorizon) {
+  // Regression: a stochastic-only plan must count as content — empty()
+  // once looked only at planned episodes, so arming a Markov plan was
+  // skipped by callers that early-out on empty().
+  InjectionPlan p;
+  MarkovDiskParams mp;
+  mp.enabled = true;
+  mp.horizon = 321.0;
+  p.with_markov_disks(mp);
+  EXPECT_FALSE(p.empty());
+  EXPECT_DOUBLE_EQ(p.horizon(), 321.0);
+  p.crash_node(0, 10.0, 400.0);
+  EXPECT_DOUBLE_EQ(p.horizon(), 400.0);
+
+  InjectionPlan q;
+  q.outage_domain(1, {2, 3}, 5.0, 50.0);
+  EXPECT_FALSE(q.empty());
+  EXPECT_DOUBLE_EQ(q.horizon(), 50.0);
+  EXPECT_EQ(q.crashes.size(), 2u);
+  EXPECT_TRUE(q.crashes[0].scrub);
+}
+
+TEST(Injector, MarkovDisksStretchServiceAndReplayExactly) {
+  auto timed_read = [](Injector* inj) {
+    Rig rig(inj);
+    const pfs::FileId f = rig.fs.create("markov");
+    double done = -1.0;
+    rig.eng.spawn([](Rig& r, pfs::FileId f, double& out) -> simkit::Task<void> {
+      for (int rep = 0; rep < 12; ++rep) {
+        co_await r.fs.pwrite(r.machine.compute_node(0), f, 0, 256 * 1024);
+        co_await r.fs.flush(r.machine.compute_node(0), f);
+        co_await r.fs.pread(r.machine.compute_node(0), f, 0, 256 * 1024);
+      }
+      out = r.eng.now();
+    }(rig, f, done));
+    rig.eng.run();
+    return done;  // workload completion, not the fault-edge drain
+  };
+  MarkovDiskParams mp;
+  mp.enabled = true;
+  mp.horizon = 400.0;
+  mp.mean_healthy_s = 0.05;  // sticks almost immediately and often
+  mp.mean_sticky_s = 5.0;
+  mp.mean_stuck_s = 5.0;
+  mp.p_stick = 0.5;
+  mp.sticky_factor = 6.0;
+  mp.stuck_factor = 60.0;
+  InjectionPlan plan;
+  plan.with_markov_disks(mp);
+  const double healthy = timed_read(nullptr);
+  Injector a{plan};
+  const double run1 = timed_read(&a);
+  Injector b{plan};
+  const double run2 = timed_read(&b);
+  EXPECT_GT(run1, healthy);
+  EXPECT_EQ(run1, run2);  // bit-identical replay of the stochastic walk
+  EXPECT_GT(a.sticky_transitions(), 0u);
+}
+
+TEST(Injector, ScrubQueryAndScopedRecoveryWait) {
+  InjectionPlan plan;
+  plan.crash_node(0, 10.0, 20.0, /*scrub=*/true)
+      .crash_node(1, 15.0, 40.0)  // clean reboot
+      .crash_node(2, 35.0, 50.0, /*scrub=*/true);
+  Injector inj(plan);
+  // Scrub happened strictly after t0 and at-or-before t1.
+  EXPECT_TRUE(inj.node_scrubbed_in(0, 0.0, 30.0));
+  EXPECT_TRUE(inj.node_scrubbed_in(0, 5.0, 10.0));   // inclusive right edge
+  EXPECT_FALSE(inj.node_scrubbed_in(0, 10.0, 30.0));  // exclusive left edge
+  EXPECT_FALSE(inj.node_scrubbed_in(1, 0.0, 100.0));  // clean crash
+  EXPECT_FALSE(inj.node_scrubbed_in(3, 0.0, 100.0));
+  // Scoped wait: a reader of nodes {0} ignores the long outage on node 1.
+  const std::vector<std::uint32_t> zero{0};
+  const std::vector<std::uint32_t> both{0, 1};
+  EXPECT_DOUBLE_EQ(inj.nodes_up_by(zero, 12.0), 20.0);
+  EXPECT_DOUBLE_EQ(inj.nodes_up_by(both, 12.0), 40.0);
+  EXPECT_DOUBLE_EQ(inj.all_up_by(12.0), 50.0);  // chains through node 2
+  EXPECT_DOUBLE_EQ(inj.nodes_up_by(zero, 25.0), 25.0);
+}
+
 TEST(Injector, DiskDegradeEpisodeStretchesServiceTime) {
   auto timed_read = [](Injector* inj) {
     Rig rig(inj);

@@ -77,5 +77,34 @@ TEST(MachineConfig, ParagonWriteBehindSp2Not) {
   EXPECT_FALSE(MachineConfig::sp2(16).io.write_behind);
 }
 
+TEST(Machine, DefaultFailureDomainsAreSingletons) {
+  simkit::Engine eng;
+  Machine m(eng, MachineConfig::paragon_small(8, 4));
+  EXPECT_EQ(m.io_domain_fan_in(), 1u);
+  EXPECT_EQ(m.io_domain_count(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(m.io_domain_of(i), i);
+  EXPECT_EQ(m.io_domain_members(2),
+            (std::vector<std::uint32_t>{2}));
+}
+
+TEST(Machine, SwitchFanInGroupsIoNodesIntoDomains) {
+  MachineConfig cfg = MachineConfig::paragon_small(8, 6);
+  cfg.io_nodes_per_switch = 4;  // 6 nodes behind 4-port switches: 4 + 2
+  simkit::Engine eng;
+  Machine m(eng, cfg);
+  EXPECT_EQ(m.io_domain_count(), 2u);
+  EXPECT_EQ(m.io_domain_of(0), 0u);
+  EXPECT_EQ(m.io_domain_of(3), 0u);
+  EXPECT_EQ(m.io_domain_of(4), 1u);
+  EXPECT_EQ(m.io_domain_members(0),
+            (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(m.io_domain_members(1), (std::vector<std::uint32_t>{4, 5}));
+
+  cfg.io_nodes_per_switch = 16;  // fan-in above the partition: one domain
+  Machine wide(eng, cfg);
+  EXPECT_EQ(wide.io_domain_count(), 1u);
+  EXPECT_EQ(wide.io_domain_of(5), 0u);
+}
+
 }  // namespace
 }  // namespace hw

@@ -108,5 +108,32 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values<std::uint32_t>(1, 2, 3, 4, 12, 64),
                        ::testing::Values<std::uint32_t>(0, 1, 5)));
 
+TEST(StripeMap, PlacedMapConfinesStripesToListedServers) {
+  // Stripes rotate over the listed servers only (domain-pinned file).
+  StripeMap m(1024, std::vector<std::uint32_t>{2, 3}, /*first=*/1);
+  EXPECT_EQ(m.servers(), 2u);
+  EXPECT_EQ(m.server_list(), (std::vector<std::uint32_t>{2, 3}));
+  EXPECT_EQ(m.server_of(0), 3u);     // rotation starts at slot 1
+  EXPECT_EQ(m.server_of(1024), 2u);
+  EXPECT_EQ(m.server_of(2048), 3u);
+  // Local offsets are dense per listed server, exactly as with the
+  // identity map: stripe k lands at (k / nservers) * su locally.
+  EXPECT_EQ(m.local_offset_of(0), 0u);
+  EXPECT_EQ(m.local_offset_of(2048), 1024u);
+  for (const auto& p : m.split(512, 2048)) {
+    EXPECT_TRUE(p.server == 2u || p.server == 3u);
+  }
+}
+
+TEST(StripeMap, IdentityServerListMatchesUnplacedMap) {
+  StripeMap placed(4096, std::vector<std::uint32_t>{0, 1, 2}, 2);
+  StripeMap plain(4096, 3, 2);
+  for (std::uint64_t off = 0; off < 16 * 4096; off += 4096) {
+    EXPECT_EQ(placed.server_of(off), plain.server_of(off));
+    EXPECT_EQ(placed.local_offset_of(off), plain.local_offset_of(off));
+  }
+  EXPECT_EQ(plain.server_list(), (std::vector<std::uint32_t>{0, 1, 2}));
+}
+
 }  // namespace
 }  // namespace pfs
