@@ -1,0 +1,13 @@
+// Back-compat shim: each historical bench_<name> binary is the iosim
+// driver pinned to one scenario (same flags, same stdout), so existing
+// EXPERIMENTS.md command lines and CI goldens keep working.  The scenario
+// name is baked in per-target via the IOSIM_ALIAS_SCENARIO define.
+#include "scenario/driver.hpp"
+
+#ifndef IOSIM_ALIAS_SCENARIO
+#error "IOSIM_ALIAS_SCENARIO must be defined to the scenario name"
+#endif
+
+int main(int argc, char** argv) {
+  return scenario::alias_main(IOSIM_ALIAS_SCENARIO, argc, argv);
+}

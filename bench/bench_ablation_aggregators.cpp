@@ -1,21 +1,21 @@
-// Ablation: two-phase aggregator count (ROMIO cb_nodes) on the paper's
-// SP-2 — how many of the P processes should perform the file I/O in a
-// collective write when only 4 I/O nodes exist?
+// Scenario "ablation_aggregators" — two-phase aggregator count (ROMIO
+// cb_nodes) on the paper's SP-2 — how many of the P processes should
+// perform the file I/O in a collective write when only 4 I/O nodes exist?
 //
 // With the exchange phase absorbing the redistribution, the I/O phase
 // wants roughly as many aggregators as the file system has service
 // capacity; far more aggregators than I/O nodes just adds interleaving.
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
-#include "exp/metrics_run.hpp"
-#include "exp/options.hpp"
 #include "exp/report.hpp"
 #include "exp/table.hpp"
 #include "hw/machine.hpp"
 #include "mprt/comm.hpp"
 #include "pario/twophase.hpp"
 #include "pfs/fs.hpp"
+#include "scenario/scenario.hpp"
 #include "simkit/engine.hpp"
 
 namespace {
@@ -49,39 +49,49 @@ double run_with_aggregators(int procs, int aggregators) {
       });
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  expt::Options opt(1.0);
-  opt.parse(argc, argv);
-  expt::MetricsRun mrun(opt);
+void run(scenario::Context& ctx) {
+  const expt::Options& opt = ctx.opt();
 
   constexpr int kProcs = 36;
+  const int agg_counts[] = {1, 2, 4, 8, 16, 36};
+  const std::vector<double> times =
+      ctx.map<double>(std::size(agg_counts), [&](std::size_t i) {
+        return run_with_aggregators(kProcs, agg_counts[i]);
+      });
+
   expt::Table table({"aggregators", "exec (s)"});
   double best = 1e30, all_ranks = 0;
-  for (int aggs : {1, 2, 4, 8, 16, 36}) {
-    const double t = run_with_aggregators(kProcs, aggs);
-    if (aggs == kProcs) all_ranks = t;
+  for (std::size_t i = 0; i < std::size(agg_counts); ++i) {
+    const double t = times[i];
+    if (agg_counts[i] == kProcs) all_ranks = t;
     best = std::min(best, t);
-    table.add_row({expt::fmt_u64(static_cast<unsigned long long>(aggs)),
-                   expt::fmt("%.2f", t)});
+    table.add_row(
+        {expt::fmt_u64(static_cast<unsigned long long>(agg_counts[i])),
+         expt::fmt("%.2f", t)});
   }
-  std::printf("Ablation: collective-buffering aggregator count, %d procs "
-              "on the 4-I/O-node SP-2\n%s\n",
-              kProcs, (opt.csv ? table.csv() : table.str()).c_str());
+  ctx.printf("Ablation: collective-buffering aggregator count, %d procs "
+             "on the 4-I/O-node SP-2\n%s\n",
+             kProcs, (opt.csv ? table.csv() : table.str()).c_str());
 
-  mrun.finish();
+  ctx.finish_metrics();
   if (opt.metrics) {
-    std::printf("%s", expt::metrics_report(mrun.registry).c_str());
+    ctx.printf("%s", expt::metrics_report(ctx.registry()).c_str());
   }
 
   if (opt.check) {
-    expt::Checker chk;
-    chk.expect(best <= all_ranks * 1.05,
+    ctx.expect(best <= all_ranks * 1.05,
                "a tuned aggregator count is at least as good as all-ranks");
-    chk.expect(all_ranks / best < 4.0,
+    ctx.expect(all_ranks / best < 4.0,
                "and the penalty for the naive choice stays bounded");
-    return chk.exit_code();
   }
-  return 0;
 }
+
+const scenario::Registration reg{{
+    .name = "ablation_aggregators",
+    .title = "Ablation: two-phase aggregator (cb_nodes) count",
+    .default_scale = 1.0,
+    .grid = {{"aggregators", {"1", "2", "4", "8", "16", "36"}}},
+    .run = run,
+}};
+
+}  // namespace

@@ -1,18 +1,17 @@
-// Ablation: PFS shared-file I/O modes (paper §5: "both PFS and PIOFS
-// have different I/O modes which make the programming for I/O very
-// difficult").  Eight processes each append 32 records of 64 KB to one
-// shared file under each mode; the mode choice alone swings the I/O time
-// by an order of magnitude — the usability/performance trap the paper
-// complains about.
+// Scenario "ablation_iomode" — PFS shared-file I/O modes (paper §5:
+// "both PFS and PIOFS have different I/O modes which make the programming
+// for I/O very difficult").  Eight processes each append 32 records of
+// 64 KB to one shared file under each mode; the mode choice alone swings
+// the I/O time by an order of magnitude — the usability/performance trap
+// the paper complains about.
 #include <cstdio>
 
-#include "exp/metrics_run.hpp"
-#include "exp/options.hpp"
 #include "exp/report.hpp"
 #include "exp/table.hpp"
 #include "hw/machine.hpp"
 #include "mprt/comm.hpp"
 #include "pfs/modes.hpp"
+#include "scenario/scenario.hpp"
 #include "simkit/engine.hpp"
 
 namespace {
@@ -35,19 +34,13 @@ double run_mode(pfs::IoMode mode, int procs, int records,
       });
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  expt::Options opt(1.0);
-  opt.parse(argc, argv);
-  expt::MetricsRun mrun(opt);
+void run(scenario::Context& ctx) {
+  const expt::Options& opt = ctx.opt();
 
   constexpr int kProcs = 8;
   constexpr int kRecords = 32;
   constexpr std::uint64_t kRecordSize = 64 * 1024;
 
-  expt::Table table({"mode", "semantics", "time (s)"});
-  double t_log = 0, t_sync = 0, t_record = 0;
   struct Row {
     pfs::IoMode mode;
     const char* semantics;
@@ -58,32 +51,47 @@ int main(int argc, char** argv) {
       {pfs::IoMode::kSync, "shared pointer, strict rank order"},
       {pfs::IoMode::kRecord, "fixed records, offsets computed locally"},
   };
-  for (const Row& r : rows) {
-    const double t = run_mode(r.mode, kProcs, kRecords, kRecordSize);
+  const std::vector<double> times =
+      ctx.map<double>(std::size(rows), [&](std::size_t i) {
+        return run_mode(rows[i].mode, kProcs, kRecords, kRecordSize);
+      });
+
+  expt::Table table({"mode", "semantics", "time (s)"});
+  double t_log = 0, t_sync = 0, t_record = 0;
+  for (std::size_t i = 0; i < std::size(rows); ++i) {
+    const Row& r = rows[i];
+    const double t = times[i];
     if (r.mode == pfs::IoMode::kLog) t_log = t;
     if (r.mode == pfs::IoMode::kSync) t_sync = t;
     if (r.mode == pfs::IoMode::kRecord) t_record = t;
     table.add_row({std::string(pfs::to_string(r.mode)), r.semantics,
                    expt::fmt("%.2f", t)});
   }
-  std::printf("Ablation: PFS I/O modes — %d procs x %d records x %llu KB "
-              "to one shared file\n%s\n",
-              kProcs, kRecords,
-              static_cast<unsigned long long>(kRecordSize / 1024),
-              (opt.csv ? table.csv() : table.str()).c_str());
+  ctx.printf("Ablation: PFS I/O modes — %d procs x %d records x %llu KB "
+             "to one shared file\n%s\n",
+             kProcs, kRecords,
+             static_cast<unsigned long long>(kRecordSize / 1024),
+             (opt.csv ? table.csv() : table.str()).c_str());
 
-  mrun.finish();
+  ctx.finish_metrics();
   if (opt.metrics) {
-    std::printf("%s", expt::metrics_report(mrun.registry).c_str());
+    ctx.printf("%s", expt::metrics_report(ctx.registry()).c_str());
   }
 
   if (opt.check) {
-    expt::Checker chk;
-    chk.expect(t_record < t_log,
+    ctx.expect(t_record < t_log,
                "M_RECORD (no coordination) beats M_LOG (token traffic)");
-    chk.expect(t_sync >= t_log * 0.9,
+    ctx.expect(t_sync >= t_log * 0.9,
                "M_SYNC (strict order) is at least as serial as M_LOG");
-    return chk.exit_code();
   }
-  return 0;
 }
+
+const scenario::Registration reg{{
+    .name = "ablation_iomode",
+    .title = "Ablation: PFS shared-file I/O mode comparison",
+    .default_scale = 1.0,
+    .grid = {{"mode", {"M_UNIX", "M_LOG", "M_SYNC", "M_RECORD"}}},
+    .run = run,
+}};
+
+}  // namespace

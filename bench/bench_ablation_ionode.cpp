@@ -1,4 +1,5 @@
-// Ablation: I/O-node cache size and write-behind (DESIGN.md §5.3).
+// Scenario "ablation_ionode" — I/O-node cache size and write-behind
+// (DESIGN.md §5.3).
 //
 // Workload: a strided write pass followed by two sequential re-read
 // passes of the same 16 MB file (the FFT transpose's access texture).
@@ -6,12 +7,11 @@
 // overhead only); cache size controls how much of the re-reads hit.
 #include <cstdio>
 
-#include "exp/metrics_run.hpp"
-#include "exp/options.hpp"
 #include "exp/report.hpp"
 #include "exp/table.hpp"
 #include "hw/machine.hpp"
 #include "pfs/fs.hpp"
+#include "scenario/scenario.hpp"
 #include "simkit/engine.hpp"
 
 namespace {
@@ -53,19 +53,22 @@ Result run_one(std::uint64_t cache_bytes, bool write_behind) {
   return res;
 }
 
-}  // namespace
+void run(scenario::Context& ctx) {
+  const expt::Options& opt = ctx.opt();
 
-int main(int argc, char** argv) {
-  expt::Options opt(1.0);
-  opt.parse(argc, argv);
-  expt::MetricsRun mrun(opt);
+  const std::uint64_t mbs[] = {1, 4, 16};
+  const std::vector<Result> results =
+      ctx.map<Result>(std::size(mbs) * 2, [&](std::size_t i) {
+        return run_one(mbs[i / 2] << 20, (i % 2) == 1);
+      });
 
   expt::Table table({"cache MB", "write-behind", "write+flush (s)",
                      "2x reread (s)", "cache hits"});
   double wb_write = 0, sync_write = 0, small_reread = 0, big_reread = 0;
-  for (std::uint64_t mb : {1ULL, 4ULL, 16ULL}) {
+  for (std::size_t mi = 0; mi < std::size(mbs); ++mi) {
+    const std::uint64_t mb = mbs[mi];
     for (bool wb : {false, true}) {
-      const Result r = run_one(mb << 20, wb);
+      const Result& r = results[mi * 2 + (wb ? 1 : 0)];
       if (mb == 4 && wb) wb_write = r.write_time;
       if (mb == 4 && !wb) sync_write = r.write_time;
       if (mb == 1 && wb) small_reread = r.reread_time;
@@ -76,26 +79,34 @@ int main(int argc, char** argv) {
                      expt::fmt_u64(r.cache_hits)});
     }
   }
-  std::printf(
+  ctx.printf(
       "Ablation: I/O-node cache and write-behind (strided write + "
       "re-read)\n%s\n",
       (opt.csv ? table.csv() : table.str()).c_str());
 
-  mrun.finish();
+  ctx.finish_metrics();
   if (opt.metrics) {
-    std::printf("%s", expt::metrics_report(mrun.registry).c_str());
+    ctx.printf("%s", expt::metrics_report(ctx.registry()).c_str());
   }
 
   if (opt.check) {
-    expt::Checker chk;
     // Write-behind defers disk work but flush() must still pay it, so the
     // comparison is about overlap: buffered writes + flush should not be
     // slower than synchronous writes.
-    chk.expect(wb_write <= sync_write * 1.05,
+    ctx.expect(wb_write <= sync_write * 1.05,
                "write-behind never loses to synchronous writes");
-    chk.expect(big_reread < small_reread,
+    ctx.expect(big_reread < small_reread,
                "larger caches absorb the re-read passes");
-    return chk.exit_code();
   }
-  return 0;
 }
+
+const scenario::Registration reg{{
+    .name = "ablation_ionode",
+    .title = "Ablation: I/O-node cache size and write-behind",
+    .default_scale = 1.0,
+    .grid = {{"cache_mb", {"1", "4", "16"}},
+             {"write_behind", {"off", "on"}}},
+    .run = run,
+}};
+
+}  // namespace

@@ -1,4 +1,4 @@
-// Ablation: network model fidelity (DESIGN.md §5.2).
+// Scenario "ablation_network" — network model fidelity (DESIGN.md §5.2).
 //
 // The simulator models endpoint (NIC) contention plus per-hop latency,
 // not per-link wormhole contention.  This bench quantifies how much each
@@ -7,15 +7,15 @@
 // Expected: bandwidth dominates by orders of magnitude; hop latency is a
 // small correction — which is why endpoint contention is the right
 // fidelity class for these studies.
+#include <cmath>
 #include <cstdio>
 
-#include "exp/metrics_run.hpp"
-#include "exp/options.hpp"
 #include "exp/report.hpp"
 #include "exp/table.hpp"
 #include "hw/machine.hpp"
 #include "mprt/collectives.hpp"
 #include "mprt/comm.hpp"
+#include "scenario/scenario.hpp"
 #include "simkit/engine.hpp"
 
 namespace {
@@ -38,40 +38,54 @@ double run_exchange(double hop_us, double bw_mb) {
   });
 }
 
-}  // namespace
+void run(scenario::Context& ctx) {
+  const expt::Options& opt = ctx.opt();
 
-int main(int argc, char** argv) {
-  expt::Options opt(1.0);
-  opt.parse(argc, argv);
-  expt::MetricsRun mrun(opt);
+  struct Point {
+    double hop_us;
+    double bw_mb;
+  };
+  // base, no_hops, slow_hops, slow_nic.
+  const Point pts[] = {{0.6, 70.0}, {0.0, 70.0}, {6.0, 70.0}, {0.6, 17.5}};
+  const std::vector<double> times =
+      ctx.map<double>(std::size(pts), [&](std::size_t i) {
+        return run_exchange(pts[i].hop_us, pts[i].bw_mb);
+      });
+  const double base = times[0];
+  const double no_hops = times[1];
+  const double slow_hops = times[2];
+  const double slow_nic = times[3];
 
   expt::Table table({"hop latency us", "NIC MB/s", "alltoallv 32x64KB (s)"});
-  const double base = run_exchange(0.6, 70.0);
-  const double no_hops = run_exchange(0.0, 70.0);
-  const double slow_hops = run_exchange(6.0, 70.0);
-  const double slow_nic = run_exchange(0.6, 17.5);
   table.add_row({"0.0", "70", expt::fmt("%.4f", no_hops)});
   table.add_row({"0.6 (preset)", "70", expt::fmt("%.4f", base)});
   table.add_row({"6.0", "70", expt::fmt("%.4f", slow_hops)});
   table.add_row({"0.6", "17.5", expt::fmt("%.4f", slow_nic)});
-  std::printf("Ablation: exchange-phase sensitivity to network "
-              "parameters\n%s\n",
-              (opt.csv ? table.csv() : table.str()).c_str());
+  ctx.printf("Ablation: exchange-phase sensitivity to network "
+             "parameters\n%s\n",
+             (opt.csv ? table.csv() : table.str()).c_str());
 
-  mrun.finish();
+  ctx.finish_metrics();
   if (opt.metrics) {
-    std::printf("%s", expt::metrics_report(mrun.registry).c_str());
+    ctx.printf("%s", expt::metrics_report(ctx.registry()).c_str());
   }
 
   if (opt.check) {
-    expt::Checker chk;
-    chk.expect(std::abs(no_hops - base) / base < 0.05,
+    ctx.expect(std::abs(no_hops - base) / base < 0.05,
                "hop latency is a <5% effect at preset values");
-    chk.expect(slow_nic > 3.0 * base,
+    ctx.expect(slow_nic > 3.0 * base,
                "NIC bandwidth is a first-order effect (4x slower link)");
-    chk.expect(slow_hops < 1.5 * base,
+    ctx.expect(slow_hops < 1.5 * base,
                "even 10x hop latency stays a second-order effect");
-    return chk.exit_code();
   }
-  return 0;
 }
+
+const scenario::Registration reg{{
+    .name = "ablation_network",
+    .title = "Ablation: exchange-phase network-parameter sensitivity",
+    .default_scale = 1.0,
+    .grid = {{"point", {"base", "no_hops", "slow_hops", "slow_nic"}}},
+    .run = run,
+}};
+
+}  // namespace

@@ -1,21 +1,21 @@
-// Ablation: per-call software overhead as the dominant factor in
-// unoptimized I/O (DESIGN.md §5.4).
+// Scenario "ablation_overhead" — per-call software overhead as the
+// dominant factor in unoptimized I/O (DESIGN.md §5.4).
 //
 // Replays BTIO's unoptimized access pattern (4096 seek+write pairs of
 // 2560 B per dump) against the SP-2 model while sweeping the client
 // syscall and I/O-node daemon costs.  The simulated I/O time should track
 // the per-call overhead almost linearly — the paper's core software
 // observation — while a single large write barely notices.
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
-#include "exp/metrics_run.hpp"
-#include "exp/options.hpp"
 #include "exp/report.hpp"
 #include "exp/table.hpp"
 #include "hw/machine.hpp"
 #include "mprt/comm.hpp"
 #include "pfs/fs.hpp"
+#include "scenario/scenario.hpp"
 #include "simkit/engine.hpp"
 
 namespace {
@@ -56,52 +56,63 @@ Result run_pattern(double client_ms, double server_ms) {
   return res;
 }
 
-}  // namespace
+void run(scenario::Context& ctx) {
+  const expt::Options& opt = ctx.opt();
 
-int main(int argc, char** argv) {
-  expt::Options opt(1.0);
-  opt.parse(argc, argv);
-  expt::MetricsRun mrun(opt);
-
-  expt::Table table({"client ms", "server ms", "scattered 4096x2.5KB (s)",
-                     "bulk 16x640KB (s)", "ratio"});
-  std::vector<double> scattered;
-  double bulk_spread_min = 1e30, bulk_spread_max = 0;
   // The scattered pattern has a disk-seek floor (~6.5 s here); per-call
   // software costs surface once they cross it — exactly the regime split
   // between Figure 2's small-P and large-P behavior.
   const double clients[] = {0.1, 1.0};
   const double servers[] = {0.2, 4.0, 16.0};
-  for (double cl : clients) {
-    for (double sv : servers) {
-      const Result r = run_pattern(cl, sv);
+  const std::vector<Result> results = ctx.map<Result>(
+      std::size(clients) * std::size(servers), [&](std::size_t i) {
+        return run_pattern(clients[i / std::size(servers)],
+                           servers[i % std::size(servers)]);
+      });
+
+  expt::Table table({"client ms", "server ms", "scattered 4096x2.5KB (s)",
+                     "bulk 16x640KB (s)", "ratio"});
+  std::vector<double> scattered;
+  double bulk_spread_min = 1e30, bulk_spread_max = 0;
+  for (std::size_t ci = 0; ci < std::size(clients); ++ci) {
+    for (std::size_t si = 0; si < std::size(servers); ++si) {
+      const Result& r = results[ci * std::size(servers) + si];
       scattered.push_back(r.scattered);
       bulk_spread_min = std::min(bulk_spread_min, r.bulk);
       bulk_spread_max = std::max(bulk_spread_max, r.bulk);
-      table.add_row({expt::fmt("%.2f", cl), expt::fmt("%.2f", sv),
+      table.add_row({expt::fmt("%.2f", clients[ci]),
+                     expt::fmt("%.2f", servers[si]),
                      expt::fmt("%.2f", r.scattered),
                      expt::fmt("%.3f", r.bulk),
                      expt::fmt("%.0fx", r.scattered / r.bulk)});
     }
   }
-  std::printf("Ablation: per-call overhead vs I/O time (BTIO pattern)\n%s\n",
-              (opt.csv ? table.csv() : table.str()).c_str());
+  ctx.printf("Ablation: per-call overhead vs I/O time (BTIO pattern)\n%s\n",
+             (opt.csv ? table.csv() : table.str()).c_str());
 
-  mrun.finish();
+  ctx.finish_metrics();
   if (opt.metrics) {
-    std::printf("%s", expt::metrics_report(mrun.registry).c_str());
+    ctx.printf("%s", expt::metrics_report(ctx.registry()).c_str());
   }
 
   if (opt.check) {
-    expt::Checker chk;
     const double scattered_growth = scattered.back() / scattered.front();
     const double bulk_growth = bulk_spread_max / bulk_spread_min;
-    chk.expect(scattered_growth > 1.8,
+    ctx.expect(scattered_growth > 1.8,
                "past the disk floor, scattered I/O tracks per-call cost");
-    chk.expect(scattered_growth > 2.0 * bulk_growth ||
+    ctx.expect(scattered_growth > 2.0 * bulk_growth ||
                    bulk_spread_max < 0.5,
                "bulk I/O is far less sensitive to per-call cost");
-    return chk.exit_code();
   }
-  return 0;
 }
+
+const scenario::Registration reg{{
+    .name = "ablation_overhead",
+    .title = "Ablation: per-call software overhead vs I/O time",
+    .default_scale = 1.0,
+    .grid = {{"client_ms", {"0.1", "1.0"}},
+             {"server_ms", {"0.2", "4.0", "16.0"}}},
+    .run = run,
+}};
+
+}  // namespace

@@ -1,5 +1,5 @@
-// Ablation: disk scheduling discipline (FIFO vs SCAN) under the paper's
-// scattered-access patterns.
+// Scenario "ablation_scan" — disk scheduling discipline (FIFO vs SCAN)
+// under the paper's scattered-access patterns.
 //
 // The reproduction's default is FIFO — the conservative choice, since PFS
 // and PIOFS server documentation does not promise elevator scheduling —
@@ -7,16 +7,16 @@
 // unoptimized pencil writes under both disciplines: SCAN softens (but
 // does not remove) the unoptimized penalty, so the paper's conclusions
 // hold either way.
+#include <algorithm>
 #include <cstdio>
 
-#include "exp/metrics_run.hpp"
-#include "exp/options.hpp"
 #include "exp/report.hpp"
 #include "exp/table.hpp"
 #include "hw/machine.hpp"
 #include "mprt/collectives.hpp"
 #include "mprt/comm.hpp"
 #include "pfs/fs.hpp"
+#include "scenario/scenario.hpp"
 #include "simkit/engine.hpp"
 
 namespace {
@@ -42,37 +42,51 @@ double run_btio_pattern(bool scan, int procs) {
       });
 }
 
-}  // namespace
+void run(scenario::Context& ctx) {
+  const expt::Options& opt = ctx.opt();
 
-int main(int argc, char** argv) {
-  expt::Options opt(1.0);
-  opt.parse(argc, argv);
-  expt::MetricsRun mrun(opt);
+  const int procs[] = {4, 16, 64};
+  struct Point {
+    double fifo;
+    double scan;
+  };
+  const std::vector<Point> points =
+      ctx.map<Point>(std::size(procs), [&](std::size_t i) {
+        return Point{run_btio_pattern(false, procs[i]),
+                     run_btio_pattern(true, procs[i])};
+      });
 
   expt::Table table({"procs", "FIFO (s)", "SCAN (s)", "SCAN speedup"});
   double worst_gain = 1e9;
-  for (int p : {4, 16, 64}) {
-    const double fifo = run_btio_pattern(false, p);
-    const double scan = run_btio_pattern(true, p);
-    worst_gain = std::min(worst_gain, fifo / scan);
-    table.add_row({expt::fmt_u64(static_cast<unsigned long long>(p)),
-                   expt::fmt("%.2f", fifo), expt::fmt("%.2f", scan),
-                   expt::fmt("%.2fx", fifo / scan)});
+  for (std::size_t i = 0; i < std::size(procs); ++i) {
+    const Point& pt = points[i];
+    worst_gain = std::min(worst_gain, pt.fifo / pt.scan);
+    table.add_row(
+        {expt::fmt_u64(static_cast<unsigned long long>(procs[i])),
+         expt::fmt("%.2f", pt.fifo), expt::fmt("%.2f", pt.scan),
+         expt::fmt("%.2fx", pt.fifo / pt.scan)});
   }
-  std::printf("Ablation: disk scheduling under BTIO's scattered writes "
-              "(one Class-A dump)\n%s\n",
-              (opt.csv ? table.csv() : table.str()).c_str());
+  ctx.printf("Ablation: disk scheduling under BTIO's scattered writes "
+             "(one Class-A dump)\n%s\n",
+             (opt.csv ? table.csv() : table.str()).c_str());
 
-  mrun.finish();
+  ctx.finish_metrics();
   if (opt.metrics) {
-    std::printf("%s", expt::metrics_report(mrun.registry).c_str());
+    ctx.printf("%s", expt::metrics_report(ctx.registry()).c_str());
   }
 
   if (opt.check) {
-    expt::Checker chk;
-    chk.expect(worst_gain >= 0.95,
+    ctx.expect(worst_gain >= 0.95,
                "SCAN never loses to FIFO on scattered access");
-    return chk.exit_code();
   }
-  return 0;
 }
+
+const scenario::Registration reg{{
+    .name = "ablation_scan",
+    .title = "Ablation: FIFO vs SCAN disk scheduling",
+    .default_scale = 1.0,
+    .grid = {{"procs", {"4", "16", "64"}}, {"discipline", {"FIFO", "SCAN"}}},
+    .run = run,
+}};
+
+}  // namespace

@@ -1,20 +1,20 @@
-// Ablation: stripe unit size (the paper varies Su only for SCF 1.1,
-// Figure 1 configs VI/VII).
+// Scenario "ablation_stripe" — stripe unit size (the paper varies Su only
+// for SCF 1.1, Figure 1 configs VI/VII).
 //
 // Two access patterns over a 12-node PFS partition:
 //   sequential — one process streams 32 MB (bigger stripes amortize
 //                per-request cost but engage fewer nodes per MB),
 //   chunked    — eight processes each read 64 KB chunks SCF-style (the
 //                stripe unit decides how many servers one chunk touches).
+#include <algorithm>
 #include <cstdio>
 
-#include "exp/metrics_run.hpp"
-#include "exp/options.hpp"
 #include "exp/report.hpp"
 #include "exp/table.hpp"
 #include "hw/machine.hpp"
 #include "mprt/comm.hpp"
 #include "pfs/fs.hpp"
+#include "scenario/scenario.hpp"
 #include "simkit/engine.hpp"
 
 namespace {
@@ -59,18 +59,19 @@ Result run_su(std::uint64_t su_kb) {
   return res;
 }
 
-}  // namespace
+void run(scenario::Context& ctx) {
+  const expt::Options& opt = ctx.opt();
 
-int main(int argc, char** argv) {
-  expt::Options opt(1.0);
-  opt.parse(argc, argv);
-  expt::MetricsRun mrun(opt);
+  const std::uint64_t sus[] = {16, 32, 64, 128, 256};
+  const std::vector<Result> results = ctx.map<Result>(
+      std::size(sus), [&](std::size_t i) { return run_su(sus[i]); });
 
   expt::Table table({"stripe unit KB", "1 proc stream 32MB (s)",
                      "8 procs x 64KB chunks (s)"});
   double seq16 = 0, seq256 = 0, chunk64 = 0, chunk_max = 0;
-  for (std::uint64_t su : {16ull, 32ull, 64ull, 128ull, 256ull}) {
-    const Result r = run_su(su);
+  for (std::size_t i = 0; i < std::size(sus); ++i) {
+    const std::uint64_t su = sus[i];
+    const Result& r = results[i];
     if (su == 16) seq16 = r.sequential;
     if (su == 256) seq256 = r.sequential;
     if (su == 64) chunk64 = r.chunked;
@@ -78,22 +79,29 @@ int main(int argc, char** argv) {
     table.add_row({expt::fmt_u64(su), expt::fmt("%.2f", r.sequential),
                    expt::fmt("%.2f", r.chunked)});
   }
-  std::printf("Ablation: PFS stripe unit size, 12 I/O nodes\n%s\n",
-              (opt.csv ? table.csv() : table.str()).c_str());
+  ctx.printf("Ablation: PFS stripe unit size, 12 I/O nodes\n%s\n",
+             (opt.csv ? table.csv() : table.str()).c_str());
 
-  mrun.finish();
+  ctx.finish_metrics();
   if (opt.metrics) {
-    std::printf("%s", expt::metrics_report(mrun.registry).c_str());
+    ctx.printf("%s", expt::metrics_report(ctx.registry()).c_str());
   }
 
   if (opt.check) {
-    expt::Checker chk;
-    chk.expect(seq16 > 0 && seq256 > 0, "sweep ran");
+    ctx.expect(seq16 > 0 && seq256 > 0, "sweep ran");
     // The paper's implicit finding: Su is a second-order knob (configs
     // VI/VII differ mildly from IV/V) — no setting should be ruinous.
-    chk.expect(chunk_max < 3.0 * chunk64,
+    ctx.expect(chunk_max < 3.0 * chunk64,
                "stripe unit is a second-order factor for 64 KB chunks");
-    return chk.exit_code();
   }
-  return 0;
 }
+
+const scenario::Registration reg{{
+    .name = "ablation_stripe",
+    .title = "Ablation: PFS stripe-unit size sweep",
+    .default_scale = 1.0,
+    .grid = {{"su_kb", {"16", "32", "64", "128", "256"}}},
+    .run = run,
+}};
+
+}  // namespace

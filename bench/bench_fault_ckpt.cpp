@@ -1,5 +1,5 @@
-// Checkpoint-interval x fault-rate tradeoff for SCF 1.1 under injected
-// I/O-node crashes.
+// Scenario "fault_ckpt" — checkpoint-interval x fault-rate tradeoff for
+// SCF 1.1 under injected I/O-node crashes.
 //
 // The classic result (Young's approximation): checkpoint too often and
 // the coordinated writes eat the run; too rarely and every crash rolls
@@ -22,14 +22,13 @@
 
 #include "ckpt/ckpt.hpp"
 #include "ckpt/workloads.hpp"
-#include "exp/metrics_run.hpp"
-#include "exp/options.hpp"
 #include "exp/report.hpp"
 #include "exp/resilience.hpp"
 #include "exp/table.hpp"
 #include "fault/plan.hpp"
 #include "hw/machine.hpp"
 #include "pfs/fs.hpp"
+#include "scenario/scenario.hpp"
 #include "simkit/engine.hpp"
 
 namespace {
@@ -78,12 +77,8 @@ double total_overhead(const ckpt::Report& r) {
   return r.ckpt_overhead + r.lost_work + r.recovery_time;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  expt::Options opt(0.25);
-  opt.parse(argc, argv);
-  expt::MetricsRun mrun(opt);
+void run(scenario::Context& ctx) {
+  const expt::Options& opt = ctx.opt();
 
   // Default (no --policy flag) is sync_full and prints byte-identically to
   // the pre-policy bench — the determinism CI job pins that.
@@ -92,24 +87,25 @@ int main(int argc, char** argv) {
   if (policy_given) {
     const auto parsed = ckpt::Policy::parse(opt.policy);
     if (!parsed) {
-      std::fprintf(stderr,
-                   "unknown --policy=%s (want sync_full | sync_incr | "
-                   "async_full | async_incr)\n",
-                   opt.policy.c_str());
-      return 2;
+      throw scenario::UsageError(
+          "unknown --policy=" + opt.policy +
+          " (want sync_full | sync_incr | async_full | async_incr)");
     }
     pol = *parsed;
   }
 
   const std::vector<int> intervals = {1, 2, 4, 8, 16, 24, 0};
+  const std::vector<ckpt::Report> reps = ctx.map<ckpt::Report>(
+      intervals.size(), [&](std::size_t i) {
+        return run_once(intervals[i], opt.scale, pol);
+      });
+
   expt::Table table({"ckpt every", "exec (s)", "ckpt ovhd (s)",
                      "lost work (s)", "recovery (s)", "ckpts", "restarts"});
-  std::vector<ckpt::Report> reps;
   int best = -1;
   for (std::size_t i = 0; i < intervals.size(); ++i) {
     const int iv = intervals[i];
-    reps.push_back(run_once(iv, opt.scale, pol));
-    const ckpt::Report& r = reps.back();
+    const ckpt::Report& r = reps[i];
     table.add_row({iv == 0 ? "never" : expt::fmt_u64(iv) + " steps",
                    expt::fmt_s(r.exec_time), expt::fmt_s(r.ckpt_overhead),
                    expt::fmt_s(r.lost_work), expt::fmt_s(r.recovery_time),
@@ -120,20 +116,20 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("Fault+checkpoint: SCF 1.1 (MEDIUM, 8 procs, %zu I/O nodes), "
-              "poisson crashes MTBF=%.0fs outage=%.0fs%s\n%s\n",
-              kIoNodes, kMtbf, kOutage,
-              policy_given ? (", policy=" + pol.name()).c_str() : "",
-              (opt.csv ? table.csv() : table.str()).c_str());
-  std::printf("Best interval: %s\n%s\n",
-              intervals[static_cast<std::size_t>(best)] == 0
-                  ? "never"
-                  : expt::fmt_u64(intervals[static_cast<std::size_t>(best)])
-                        .c_str(),
-              expt::resilience_report(reps[static_cast<std::size_t>(best)],
-                                      nullptr,
-                                      opt.metrics ? &mrun.registry : nullptr)
-                  .c_str());
+  ctx.printf("Fault+checkpoint: SCF 1.1 (MEDIUM, 8 procs, %zu I/O nodes), "
+             "poisson crashes MTBF=%.0fs outage=%.0fs%s\n%s\n",
+             kIoNodes, kMtbf, kOutage,
+             policy_given ? (", policy=" + pol.name()).c_str() : "",
+             (opt.csv ? table.csv() : table.str()).c_str());
+  ctx.printf("Best interval: %s\n%s\n",
+             intervals[static_cast<std::size_t>(best)] == 0
+                 ? "never"
+                 : expt::fmt_u64(intervals[static_cast<std::size_t>(best)])
+                       .c_str(),
+             expt::resilience_report(reps[static_cast<std::size_t>(best)],
+                                     nullptr,
+                                     opt.metrics ? &ctx.registry() : nullptr)
+                 .c_str());
 
   // Young/Daly analytical optimum from measured per-checkpoint cost (the
   // interval-1 run averages it over the most checkpoints) and the
@@ -147,9 +143,9 @@ int main(int argc, char** argv) {
       (never.exec_time - never.lost_work - never.recovery_time) / steps;
   const double opt_s = ckpt::young_daly_interval(ckpt_cost, kMtbf);
   const double opt_steps = step_s > 0.0 ? opt_s / step_s : 0.0;
-  std::printf("Young/Daly optimum: checkpoint every %.1f s = %.1f steps "
-              "(ckpt cost %.2f s, step %.2f s, MTBF %.0f s)\n\n",
-              opt_s, opt_steps, ckpt_cost, step_s, kMtbf);
+  ctx.printf("Young/Daly optimum: checkpoint every %.1f s = %.1f steps "
+             "(ckpt cost %.2f s, step %.2f s, MTBF %.0f s)\n\n",
+             opt_s, opt_steps, ckpt_cost, step_s, kMtbf);
 
   // With --policy: compare all four policies at the *sync_full* Young/Daly
   // interval (the classic analysis prices a blocking full checkpoint; the
@@ -157,9 +153,12 @@ int main(int argc, char** argv) {
   std::vector<ckpt::Report> cmp;
   int yd_steps = 0;
   if (policy_given) {
-    ckpt::Report sync_every = pol.is_sync_full()
-                                  ? every
-                                  : run_once(1, opt.scale, ckpt::Policy{});
+    ckpt::Report sync_every =
+        pol.is_sync_full()
+            ? every
+            : ctx.map<ckpt::Report>(1, [&](std::size_t) {
+                return run_once(1, opt.scale, ckpt::Policy{});
+              })[0];
     const double sync_cost =
         sync_every.checkpoints > 0
             ? sync_every.ckpt_overhead / sync_every.checkpoints
@@ -169,15 +168,17 @@ int main(int argc, char** argv) {
                    ? std::max(1, static_cast<int>(std::lround(
                                      sync_opt_s / step_s)))
                    : 1;
+    const char* names[] = {"sync_full", "sync_incr", "async_full",
+                           "async_incr"};
+    cmp = ctx.map<ckpt::Report>(std::size(names), [&](std::size_t i) {
+      return run_once(yd_steps, opt.scale, *ckpt::Policy::parse(names[i]));
+    });
     expt::Table pt({"policy", "exec (s)", "blocked (s)", "lost (s)",
                     "recovery (s)", "total ovhd (s)", "ckpts (f+d)",
                     "dropped", "MB"});
-    for (const char* name :
-         {"sync_full", "sync_incr", "async_full", "async_incr"}) {
-      const ckpt::Policy p = *ckpt::Policy::parse(name);
-      cmp.push_back(run_once(yd_steps, opt.scale, p));
-      const ckpt::Report& r = cmp.back();
-      pt.add_row({name, expt::fmt_s(r.exec_time),
+    for (std::size_t i = 0; i < std::size(names); ++i) {
+      const ckpt::Report& r = cmp[i];
+      pt.add_row({names[i], expt::fmt_s(r.exec_time),
                   expt::fmt_s(r.ckpt_overhead), expt::fmt_s(r.lost_work),
                   expt::fmt_s(r.recovery_time),
                   expt::fmt_s(total_overhead(r)),
@@ -187,26 +188,25 @@ int main(int argc, char** argv) {
                   expt::fmt("%.1f",
                             static_cast<double>(r.ckpt_bytes) / 1e6)});
     }
-    std::printf("Policy comparison at Young/Daly interval (%d steps):\n%s\n",
-                yd_steps, (opt.csv ? pt.csv() : pt.str()).c_str());
+    ctx.printf("Policy comparison at Young/Daly interval (%d steps):\n%s\n",
+               yd_steps, (opt.csv ? pt.csv() : pt.str()).c_str());
   }
 
-  mrun.finish();
+  ctx.finish_metrics();
 
   if (opt.check) {
-    expt::Checker chk;
     bool all_done = true;
     for (const auto& r : reps) all_done = all_done && r.completed;
-    chk.expect(all_done, "every configuration runs to completion");
+    ctx.expect(all_done, "every configuration runs to completion");
     if (!policy_given || pol.is_sync_full()) {
       // The interior-minimum shape is a property of *blocking* full
       // checkpoints; async/incremental flatten the checkpoint-cost side
       // of the tradeoff, so these sweep shapes only bind for sync_full.
-      chk.expect(intervals[static_cast<std::size_t>(best)] != 0,
+      ctx.expect(intervals[static_cast<std::size_t>(best)] != 0,
                  "checkpointing beats never checkpointing under crashes");
-      chk.expect(static_cast<std::size_t>(best) != 0,
+      ctx.expect(static_cast<std::size_t>(best) != 0,
                  "an interior interval beats checkpointing every step");
-      chk.expect(never.lost_work >
+      ctx.expect(never.lost_work >
                      reps[static_cast<std::size_t>(best)].lost_work,
                  "longer intervals lose more work per crash");
       // The swept minimum should land within one grid notch of the
@@ -214,7 +214,7 @@ int main(int argc, char** argv) {
       // band around Young/Daly covers exactly the neighbouring notches).
       const double best_steps =
           static_cast<double>(intervals[static_cast<std::size_t>(best)]);
-      chk.expect(opt_steps > 0.0 && best_steps > opt_steps / 3.0 &&
+      ctx.expect(opt_steps > 0.0 && best_steps > opt_steps / 3.0 &&
                      best_steps < opt_steps * 3.0,
                  "swept best interval (" + expt::fmt("%.0f", best_steps) +
                      " steps) within one grid notch of Young/Daly (" +
@@ -227,20 +227,28 @@ int main(int argc, char** argv) {
       const ckpt::Report& ai = cmp[3];
       bool cmp_done = true;
       for (const auto& r : cmp) cmp_done = cmp_done && r.completed;
-      chk.expect(cmp_done, "every policy completes at the Y/D interval");
-      chk.expect(total_overhead(ai) < total_overhead(sf),
+      ctx.expect(cmp_done, "every policy completes at the Y/D interval");
+      ctx.expect(total_overhead(ai) < total_overhead(sf),
                  "async_incr total overhead (" +
                      expt::fmt_s(total_overhead(ai)) +
                      " s) beats sync_full (" +
                      expt::fmt_s(total_overhead(sf)) + " s)");
-      chk.expect(si.ckpt_bytes < sf.ckpt_bytes &&
+      ctx.expect(si.ckpt_bytes < sf.ckpt_bytes &&
                      ai.ckpt_bytes < af.ckpt_bytes,
                  "incremental writes fewer checkpoint bytes than full");
-      chk.expect(af.ckpt_overhead < sf.ckpt_overhead &&
+      ctx.expect(af.ckpt_overhead < sf.ckpt_overhead &&
                      ai.ckpt_overhead < si.ckpt_overhead,
                  "async blocks ranks for less time than sync");
     }
-    return chk.exit_code();
   }
-  return 0;
 }
+
+const scenario::Registration reg{{
+    .name = "fault_ckpt",
+    .title = "Fault+checkpoint: interval sweep under injected crashes",
+    .default_scale = 0.25,
+    .grid = {{"interval", {"1", "2", "4", "8", "16", "24", "never"}}},
+    .run = run,
+}};
+
+}  // namespace

@@ -1,5 +1,5 @@
-// Correlated rack failures vs. checkpoint placement and health-aware
-// recovery, on an MTBF-matched fault clock.
+// Scenario "fault_correlated" — correlated rack failures vs. checkpoint
+// placement and health-aware recovery, on an MTBF-matched fault clock.
 //
 // Three runs of SCF 1.1 share the exact same exponential fault-event
 // instants (the correlated generator draws a fixed number of RNG values
@@ -28,13 +28,12 @@
 
 #include "ckpt/ckpt.hpp"
 #include "ckpt/workloads.hpp"
-#include "exp/metrics_run.hpp"
-#include "exp/options.hpp"
 #include "exp/resilience.hpp"
 #include "exp/table.hpp"
 #include "fault/plan.hpp"
 #include "hw/machine.hpp"
 #include "pfs/fs.hpp"
+#include "scenario/scenario.hpp"
 #include "simkit/engine.hpp"
 
 namespace {
@@ -102,12 +101,8 @@ double total_overhead(const ckpt::Report& r) {
   return r.ckpt_overhead + r.lost_work + r.recovery_time;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  expt::Options opt(0.25);
-  opt.parse(argc, argv);
-  expt::MetricsRun mrun(opt);
+void run(scenario::Context& ctx) {
+  const expt::Options& opt = ctx.opt();
 
   const std::vector<RowCfg> rows = {
       {"independent", 0.0, ckpt::Options::Placement::kOtherDomain, true},
@@ -117,17 +112,25 @@ int main(int argc, char** argv) {
        ckpt::Options::Placement::kOtherDomain, true},
   };
 
+  struct Point {
+    ckpt::Report rep;
+    std::string detail;
+  };
+  const std::vector<Point> points =
+      ctx.map<Point>(rows.size(), [&](std::size_t i) {
+        const bool last = i + 1 == rows.size();
+        Point p;
+        p.rep = run_once(rows[i], opt.scale, opt.seed,
+                         last ? &p.detail : nullptr);
+        return p;
+      });
+
   expt::Table table({"faults / placement", "exec (s)", "ovhd (s)",
                      "lost ckpts", "re-mirrored", "hedged (won)",
                      "restarts"});
-  std::vector<ckpt::Report> reps;
-  std::string detail;
-  for (const RowCfg& cfg : rows) {
-    const bool last = &cfg == &rows.back();
-    reps.push_back(run_once(cfg, opt.scale, opt.seed,
-                            last ? &detail : nullptr));
-    const ckpt::Report& r = reps.back();
-    table.add_row({cfg.label, expt::fmt_s(r.exec_time),
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ckpt::Report& r = points[i].rep;
+    table.add_row({rows[i].label, expt::fmt_s(r.exec_time),
                    expt::fmt_s(total_overhead(r)),
                    expt::fmt_u64(r.lost_checkpoints),
                    expt::fmt_u64(r.divergences_repaired),
@@ -136,42 +139,52 @@ int main(int argc, char** argv) {
                    expt::fmt_u64(r.restarts)});
   }
 
-  std::printf(
+  ctx.printf(
       "Correlated failure domains: SCF 1.1 (MEDIUM, 8 procs, %zu I/O nodes "
       "in %zu racks), MTBF=%.0fs outage=%.0fs corr=%.0f%% seed=%llu, "
       "Markov disk arms\n%s\n",
       kIoNodes, kIoNodes / kFanIn, kMtbf, kOutage, 100.0 * kFraction,
       static_cast<unsigned long long>(opt.seed),
       (opt.csv ? table.csv() : table.str()).c_str());
-  std::printf("Domain-aware + health-aware run under correlated bursts:\n%s\n",
-              detail.c_str());
+  ctx.printf("Domain-aware + health-aware run under correlated bursts:\n%s\n",
+             points.back().detail.c_str());
 
-  mrun.finish();
+  ctx.finish_metrics();
 
   if (opt.check) {
-    expt::Checker chk;
-    const ckpt::Report& indep = reps[0];
-    const ckpt::Report& naive = reps[1];
-    const ckpt::Report& aware = reps[2];
+    const ckpt::Report& indep = points[0].rep;
+    const ckpt::Report& naive = points[1].rep;
+    const ckpt::Report& aware = points[2].rep;
     bool all_done = true;
-    for (const auto& r : reps) all_done = all_done && r.completed;
-    chk.expect(all_done, "every configuration runs to completion");
+    for (const auto& p : points) all_done = all_done && p.rep.completed;
+    ctx.expect(all_done, "every configuration runs to completion");
     bool verified = true;
-    for (const auto& r : reps) verified = verified && r.state_verified;
-    chk.expect(verified, "every restore returned the committed bytes");
-    chk.expect(naive.lost_checkpoints >= 1,
+    for (const auto& p : points) {
+      verified = verified && p.rep.state_verified;
+    }
+    ctx.expect(verified, "every restore returned the committed bytes");
+    ctx.expect(naive.lost_checkpoints >= 1,
                "same-domain placement loses committed checkpoints to rack "
                "bursts (" + expt::fmt_u64(naive.lost_checkpoints) + ")");
-    chk.expect(aware.lost_checkpoints == 0,
+    ctx.expect(aware.lost_checkpoints == 0,
                "domain-aware placement + health-aware recovery loses none");
-    chk.expect(indep.lost_checkpoints == 0,
+    ctx.expect(indep.lost_checkpoints == 0,
                "independent clean crashes never scrub a copy");
-    chk.expect(total_overhead(aware) <= 1.15 * total_overhead(indep),
+    ctx.expect(total_overhead(aware) <= 1.15 * total_overhead(indep),
                "adaptation keeps correlated-fault overhead (" +
                    expt::fmt_s(total_overhead(aware)) +
                    " s) within 15% of the independent baseline (" +
                    expt::fmt_s(total_overhead(indep)) + " s)");
-    return chk.exit_code();
   }
-  return 0;
 }
+
+const scenario::Registration reg{{
+    .name = "fault_correlated",
+    .title = "Correlated failure domains vs checkpoint placement",
+    .default_scale = 0.25,
+    .grid = {{"row", {"independent", "corr_same_domain",
+                      "corr_domain_aware"}}},
+    .run = run,
+}};
+
+}  // namespace

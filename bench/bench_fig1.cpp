@@ -1,5 +1,5 @@
-// Reproduces Figure 1: SCF 1.1 on SMALL/MEDIUM/LARGE inputs under the
-// incremental optimization configurations I-VII.
+// Scenario "fig1" — reproduces Figure 1: SCF 1.1 on SMALL/MEDIUM/LARGE
+// inputs under the incremental optimization configurations I-VII.
 //
 // Each configuration is the paper's five-tuple (V, P, M, Su, Sf):
 // version (O=original Fortran, P=PASSION, F=PASSION+prefetch), processor
@@ -7,13 +7,13 @@
 // nodes).  Paper finding: for small processor counts the software factors
 // (V, M) move execution and I/O time far more than the system factors
 // (Su, Sf).
+#include <cmath>
 #include <cstdio>
 
 #include "apps/scf.hpp"
-#include "exp/metrics_run.hpp"
-#include "exp/options.hpp"
 #include "exp/report.hpp"
 #include "exp/table.hpp"
+#include "scenario/scenario.hpp"
 
 namespace {
 
@@ -49,57 +49,77 @@ struct Input {
 };
 constexpr Input kInputs[] = {{"SMALL", 108}, {"MEDIUM", 140}, {"LARGE", 285}};
 
-}  // namespace
+constexpr std::size_t kNumConfigs = std::size(kConfigs);
 
-int main(int argc, char** argv) {
-  expt::Options opt(/*default_scale=*/0.5);
-  opt.parse(argc, argv);
-  expt::MetricsRun mrun(opt);
+void run(scenario::Context& ctx) {
+  const expt::Options& opt = ctx.opt();
 
-  expt::Checker chk;
-  for (const Input& input : kInputs) {
+  struct Point {
+    double exec_time = 0.0;
+    double io_wall = 0.0;
+  };
+  const std::vector<Point> points =
+      ctx.map<Point>(std::size(kInputs) * kNumConfigs, [&](std::size_t i) {
+        const Input& input = kInputs[i / kNumConfigs];
+        const Config& c = kConfigs[i % kNumConfigs];
+        apps::ScfConfig cfg;
+        cfg.version = c.v;
+        cfg.nprocs = c.procs;
+        cfg.io_nodes = c.sf;
+        cfg.memory_kb = c.mem_kb;
+        cfg.stripe_unit_kb = c.su_kb;
+        cfg.n_basis = input.n_basis;
+        cfg.iterations = 15;
+        cfg.scale = opt.scale;
+        const apps::RunResult r = apps::run_scf11(cfg);
+        return Point{r.exec_time, r.io_time / c.procs};
+      });
+
+  for (std::size_t ii = 0; ii < std::size(kInputs); ++ii) {
+    const Input& input = kInputs[ii];
     expt::Table table({"config (V,P,M,Su,Sf)", "exec time (s)",
                        "I/O time (s)", "I/O %"});
     double exec_I = 0, exec_III = 0, exec_IV = 0, exec_VII = 0;
-    for (const Config& c : kConfigs) {
-      apps::ScfConfig cfg;
-      cfg.version = c.v;
-      cfg.nprocs = c.procs;
-      cfg.io_nodes = c.sf;
-      cfg.memory_kb = c.mem_kb;
-      cfg.stripe_unit_kb = c.su_kb;
-      cfg.n_basis = input.n_basis;
-      cfg.iterations = 15;
-      cfg.scale = opt.scale;
-      const apps::RunResult r = apps::run_scf11(cfg);
-      const double io_wall = r.io_time / c.procs;  // per-process average
-      table.add_row({c.name, expt::fmt_s(r.exec_time), expt::fmt_s(io_wall),
-                     expt::fmt("%.0f%%", 100.0 * io_wall / r.exec_time)});
-      if (c.name[0] == 'I' && c.name[1] == ' ') exec_I = r.exec_time;
-      if (c.name[0] == 'I' && c.name[2] == 'I') exec_III = r.exec_time;
-      if (c.name[0] == 'I' && c.name[1] == 'V') exec_IV = r.exec_time;
+    for (std::size_t ci = 0; ci < kNumConfigs; ++ci) {
+      const Config& c = kConfigs[ci];
+      const Point& p = points[ii * kNumConfigs + ci];
+      table.add_row({c.name, expt::fmt_s(p.exec_time),
+                     expt::fmt_s(p.io_wall),
+                     expt::fmt("%.0f%%", 100.0 * p.io_wall / p.exec_time)});
+      if (c.name[0] == 'I' && c.name[1] == ' ') exec_I = p.exec_time;
+      if (c.name[0] == 'I' && c.name[2] == 'I') exec_III = p.exec_time;
+      if (c.name[0] == 'I' && c.name[1] == 'V') exec_IV = p.exec_time;
       if (c.name[0] == 'V' && c.name[1] == 'I' && c.name[2] == 'I') {
-        exec_VII = r.exec_time;
+        exec_VII = p.exec_time;
       }
     }
-    std::printf("Figure 1 (%s, N=%d): impact of optimizations\n%s\n",
-                input.name, input.n_basis,
-                (opt.csv ? table.csv() : table.str()).c_str());
+    ctx.printf("Figure 1 (%s, N=%d): impact of optimizations\n%s\n",
+               input.name, input.n_basis,
+               (opt.csv ? table.csv() : table.str()).c_str());
     if (opt.check) {
-      chk.expect(exec_III < exec_I,
+      ctx.expect(exec_III < exec_I,
                  std::string(input.name) +
                      ": software path I->III improves execution");
       // Application-related factors (interface, prefetch) buy more than
       // the system-related Su/Sf changes within the F configurations.
-      chk.expect((exec_I - exec_III) > 2.0 * std::abs(exec_IV - exec_VII),
+      ctx.expect((exec_I - exec_III) > 2.0 * std::abs(exec_IV - exec_VII),
                  std::string(input.name) +
                      ": software factors dominate system factors");
     }
   }
-  mrun.finish();
+  ctx.finish_metrics();
   if (opt.metrics) {
-    std::printf("%s", expt::metrics_report(mrun.registry).c_str());
+    ctx.printf("%s", expt::metrics_report(ctx.registry()).c_str());
   }
-
-  return opt.check ? chk.exit_code() : 0;
 }
+
+const scenario::Registration reg{{
+    .name = "fig1",
+    .title = "Figure 1: SCF 1.1 optimization tuples I-VII on three inputs",
+    .default_scale = 0.5,
+    .grid = {{"input", {"SMALL", "MEDIUM", "LARGE"}},
+             {"config", {"I", "II", "III", "IV", "V", "VI", "VII"}}},
+    .run = run,
+}};
+
+}  // namespace

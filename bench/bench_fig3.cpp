@@ -1,4 +1,5 @@
-// Reproduces Figure 3: effect of the number of I/O nodes on SCF 1.1.
+// Scenario "fig3" — reproduces Figure 3: effect of the number of I/O
+// nodes on SCF 1.1.
 //
 // Paper finding: more compute nodes mean more contention at the I/O
 // nodes; increasing the I/O partition (12 -> 16 -> 64) relieves it, and
@@ -7,18 +8,29 @@
 #include <vector>
 
 #include "apps/scf.hpp"
-#include "exp/metrics_run.hpp"
-#include "exp/options.hpp"
 #include "exp/report.hpp"
 #include "exp/table.hpp"
+#include "scenario/scenario.hpp"
 
-int main(int argc, char** argv) {
-  expt::Options opt(/*default_scale=*/0.5);
-  opt.parse(argc, argv);
-  expt::MetricsRun mrun(opt);
+namespace {
+
+void run(scenario::Context& ctx) {
+  const expt::Options& opt = ctx.opt();
 
   const std::vector<int> procs = {4, 16, 64, 256};
   const std::vector<std::size_t> io_nodes = {12, 16, 64};
+
+  const std::vector<apps::RunResult> results = ctx.map<apps::RunResult>(
+      procs.size() * io_nodes.size(), [&](std::size_t i) {
+        apps::ScfConfig cfg;
+        cfg.version = apps::ScfVersion::kOriginal;
+        cfg.nprocs = procs[i / io_nodes.size()];
+        cfg.io_nodes = io_nodes[i % io_nodes.size()];
+        cfg.n_basis = 285;
+        cfg.iterations = 15;
+        cfg.scale = opt.scale;
+        return apps::run_scf11(cfg);
+      });
 
   expt::Table exec_table({"procs", "12 io nodes", "16 io nodes",
                           "64 io nodes"});
@@ -26,46 +38,48 @@ int main(int argc, char** argv) {
                         "64 io nodes"});
   // gain[p] = exec(12 io) / exec(64 io) at processor count p.
   std::vector<double> gain;
-  for (int p : procs) {
+  for (std::size_t pi = 0; pi < procs.size(); ++pi) {
+    const int p = procs[pi];
     std::vector<std::string> exec_row = {
         expt::fmt_u64(static_cast<unsigned long long>(p))};
     std::vector<std::string> io_row = exec_row;
     double exec12 = 0, exec64 = 0;
-    for (std::size_t sf : io_nodes) {
-      apps::ScfConfig cfg;
-      cfg.version = apps::ScfVersion::kOriginal;
-      cfg.nprocs = p;
-      cfg.io_nodes = sf;
-      cfg.n_basis = 285;
-      cfg.iterations = 15;
-      cfg.scale = opt.scale;
-      const apps::RunResult r = apps::run_scf11(cfg);
+    for (std::size_t si = 0; si < io_nodes.size(); ++si) {
+      const apps::RunResult& r = results[pi * io_nodes.size() + si];
       exec_row.push_back(expt::fmt_s(r.exec_time));
       io_row.push_back(expt::fmt_s(r.io_time / p));
-      if (sf == 12) exec12 = r.exec_time;
-      if (sf == 64) exec64 = r.exec_time;
+      if (io_nodes[si] == 12) exec12 = r.exec_time;
+      if (io_nodes[si] == 64) exec64 = r.exec_time;
     }
     gain.push_back(exec12 / exec64);
     exec_table.add_row(exec_row);
     io_table.add_row(io_row);
   }
-  std::printf("Figure 3a: SCF 1.1 LARGE execution time (s)\n%s\n",
-              (opt.csv ? exec_table.csv() : exec_table.str()).c_str());
-  std::printf("Figure 3b: SCF 1.1 LARGE per-process I/O time (s)\n%s\n",
-              (opt.csv ? io_table.csv() : io_table.str()).c_str());
+  ctx.printf("Figure 3a: SCF 1.1 LARGE execution time (s)\n%s\n",
+             (opt.csv ? exec_table.csv() : exec_table.str()).c_str());
+  ctx.printf("Figure 3b: SCF 1.1 LARGE per-process I/O time (s)\n%s\n",
+             (opt.csv ? io_table.csv() : io_table.str()).c_str());
 
-  mrun.finish();
+  ctx.finish_metrics();
   if (opt.metrics) {
-    std::printf("%s", expt::metrics_report(mrun.registry).c_str());
+    ctx.printf("%s", expt::metrics_report(ctx.registry()).c_str());
   }
 
   if (opt.check) {
-    expt::Checker chk;
-    chk.expect(gain.back() > 1.3,
+    ctx.expect(gain.back() > 1.3,
                "at 256 procs, 64 I/O nodes clearly beat 12");
-    chk.expect(gain.back() > gain.front(),
+    ctx.expect(gain.back() > gain.front(),
                "the I/O-node benefit grows with processor count");
-    return chk.exit_code();
   }
-  return 0;
 }
+
+const scenario::Registration reg{{
+    .name = "fig3",
+    .title = "Figure 3: I/O-node count vs contention for SCF 1.1",
+    .default_scale = 0.5,
+    .grid = {{"procs", {"4", "16", "64", "256"}},
+             {"io_nodes", {"12", "16", "64"}}},
+    .run = run,
+}};
+
+}  // namespace

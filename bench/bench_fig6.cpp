@@ -1,6 +1,6 @@
-// Reproduces Figure 6: BTIO (Class A, 408.9 MB) on the SP-2 — I/O time
-// and total time vs processor count for the Unix-style and two-phase
-// collective versions.
+// Scenario "fig6" — reproduces Figure 6: BTIO (Class A, 408.9 MB) on the
+// SP-2 — I/O time and total time vs processor count for the Unix-style
+// and two-phase collective versions.
 //
 // Paper findings: the unoptimized I/O time moves erratically with the
 // processor count and puts a hump in total time around 36 processors;
@@ -9,32 +9,33 @@
 #include <vector>
 
 #include "apps/btio.hpp"
-#include "exp/metrics_run.hpp"
-#include "exp/options.hpp"
 #include "exp/report.hpp"
 #include "exp/table.hpp"
+#include "scenario/scenario.hpp"
 
-int main(int argc, char** argv) {
-  expt::Options opt(/*default_scale=*/0.5);
-  opt.parse(argc, argv);
-  expt::MetricsRun mrun(opt);
+namespace {
+
+void run(scenario::Context& ctx) {
+  const expt::Options& opt = ctx.opt();
 
   const std::vector<int> procs = {1, 4, 9, 16, 25, 36, 49, 64};
-  auto run = [&](int p, bool coll) {
-    apps::BtioConfig cfg;
-    cfg.problem_class = 'A';
-    cfg.nprocs = p;
-    cfg.collective = coll;
-    cfg.scale = opt.scale;
-    return apps::run_btio(cfg);
-  };
+  const std::vector<apps::RunResult> results =
+      ctx.map<apps::RunResult>(procs.size() * 2, [&](std::size_t i) {
+        apps::BtioConfig cfg;
+        cfg.problem_class = 'A';
+        cfg.nprocs = procs[i / 2];
+        cfg.collective = (i % 2) == 1;
+        cfg.scale = opt.scale;
+        return apps::run_btio(cfg);
+      });
 
   expt::Table table({"procs", "unopt I/O (s)", "opt I/O (s)",
                      "unopt total (s)", "opt total (s)", "reduction"});
   std::vector<double> u_total, o_total, u_io;
-  for (int p : procs) {
-    const apps::RunResult u = run(p, false);
-    const apps::RunResult o = run(p, true);
+  for (std::size_t pi = 0; pi < procs.size(); ++pi) {
+    const int p = procs[pi];
+    const apps::RunResult& u = results[pi * 2 + 0];
+    const apps::RunResult& o = results[pi * 2 + 1];
     u_total.push_back(u.exec_time);
     o_total.push_back(o.exec_time);
     u_io.push_back(u.io_time / p);
@@ -44,28 +45,36 @@ int main(int argc, char** argv) {
          expt::fmt_s(u.exec_time), expt::fmt_s(o.exec_time),
          expt::fmt("%.0f%%", 100.0 * (1.0 - o.exec_time / u.exec_time))});
   }
-  std::printf("Figure 6: BTIO Class A (%.1f MB total I/O), SP-2\n%s\n",
-              opt.scale * 419.4, (opt.csv ? table.csv() : table.str()).c_str());
+  ctx.printf("Figure 6: BTIO Class A (%.1f MB total I/O), SP-2\n%s\n",
+             opt.scale * 419.4, (opt.csv ? table.csv() : table.str()).c_str());
 
-  mrun.finish();
+  ctx.finish_metrics();
   if (opt.metrics) {
-    std::printf("%s", expt::metrics_report(mrun.registry).c_str());
+    ctx.printf("%s", expt::metrics_report(ctx.registry()).c_str());
   }
 
   if (opt.check) {
-    expt::Checker chk;
     const std::size_t i36 = 5;  // index of 36 procs
-    chk.expect(o_total[i36] < u_total[i36],
+    ctx.expect(o_total[i36] < u_total[i36],
                "collective I/O wins at 36 procs");
     const double red36 = 1.0 - o_total[i36] / u_total[i36];
-    chk.expect(red36 > 0.25 && red36 < 0.70,
+    ctx.expect(red36 > 0.25 && red36 < 0.70,
                "total-time reduction at 36 procs near the paper's 46%");
     // The unoptimized version's I/O time does not improve the way compute
     // does: its share of total grows with P (the hump's cause).
-    chk.expect(u_io.back() / u_total.back() >
+    ctx.expect(u_io.back() / u_total.back() >
                    u_io.front() / u_total.front(),
                "unopt I/O share grows with processor count");
-    return chk.exit_code();
   }
-  return 0;
 }
+
+const scenario::Registration reg{{
+    .name = "fig6",
+    .title = "Figure 6: BTIO Class A collective vs Unix-style I/O",
+    .default_scale = 0.5,
+    .grid = {{"procs", {"1", "4", "9", "16", "25", "36", "49", "64"}},
+             {"variant", {"unopt", "collective"}}},
+    .run = run,
+}};
+
+}  // namespace

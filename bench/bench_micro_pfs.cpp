@@ -1,8 +1,10 @@
-// Micro-benchmarks for the striped file-system path: host-side cost of
-// simulated reads/writes, scaling with piece count and I/O nodes.
+// Scenario "micro_pfs" — micro-benchmarks for the striped file-system
+// path: host-side cost of simulated reads/writes, scaling with piece
+// count and I/O nodes.
 #include <benchmark/benchmark.h>
 
 #include "hw/machine.hpp"
+#include "micro_common.hpp"
 #include "pfs/fs.hpp"
 #include "simkit/engine.hpp"
 
@@ -69,6 +71,19 @@ void BM_ConcurrentClients(benchmark::State& state) {
 }
 BENCHMARK(BM_ConcurrentClients)->Arg(4)->Arg(64);
 
-}  // namespace
+void run(scenario::Context& ctx) {
+  bench::run_micro(
+      ctx, "^BM_(StripedRead|SmallScatteredWrites|ConcurrentClients)/");
+  ctx.finish_metrics();
+}
 
-BENCHMARK_MAIN();
+const scenario::Registration reg{{
+    .name = "micro_pfs",
+    .title = "Micro: striped file-system host-side cost",
+    .default_scale = 0.1,
+    .grid = {},
+    .wallclock = true,
+    .run = run,
+}};
+
+}  // namespace

@@ -1,7 +1,9 @@
-// Micro-benchmarks for the discrete-event kernel (google-benchmark):
-// event throughput, spawn/join cost, resource contention, channel ops.
+// Scenario "micro_simkit" — micro-benchmarks for the discrete-event
+// kernel (google-benchmark): event throughput, spawn/join cost, resource
+// contention, channel ops.
 #include <benchmark/benchmark.h>
 
+#include "micro_common.hpp"
 #include "simkit/simkit.hpp"
 
 namespace {
@@ -83,6 +85,20 @@ void BM_ChannelPingPong(benchmark::State& state) {
 }
 BENCHMARK(BM_ChannelPingPong)->Arg(1000)->Arg(100000);
 
-}  // namespace
+void run(scenario::Context& ctx) {
+  bench::run_micro(
+      ctx,
+      "^BM_(DelayChain|SpawnJoin|ResourceContention|ChannelPingPong)/");
+  ctx.finish_metrics();
+}
 
-BENCHMARK_MAIN();
+const scenario::Registration reg{{
+    .name = "micro_simkit",
+    .title = "Micro: discrete-event kernel host-side throughput",
+    .default_scale = 0.1,
+    .grid = {},
+    .wallclock = true,
+    .run = run,
+}};
+
+}  // namespace

@@ -1,8 +1,10 @@
-// Micro-benchmarks (host-side cost) for two-phase collective I/O: how
-// the simulator itself scales with rank count and piece count.
+// Scenario "micro_twophase" — micro-benchmarks (host-side cost) for
+// two-phase collective I/O: how the simulator itself scales with rank
+// count and piece count.
 #include <benchmark/benchmark.h>
 
 #include "hw/machine.hpp"
+#include "micro_common.hpp"
 #include "mprt/comm.hpp"
 #include "pario/twophase.hpp"
 #include "pfs/fs.hpp"
@@ -68,6 +70,18 @@ void BM_TwoPhaseDataBacked(benchmark::State& state) {
 }
 BENCHMARK(BM_TwoPhaseDataBacked)->Arg(4)->Arg(16);
 
-}  // namespace
+void run(scenario::Context& ctx) {
+  bench::run_micro(ctx, "^BM_(TwoPhaseWrite|TwoPhaseDataBacked)/");
+  ctx.finish_metrics();
+}
 
-BENCHMARK_MAIN();
+const scenario::Registration reg{{
+    .name = "micro_twophase",
+    .title = "Micro: two-phase collective I/O host-side cost",
+    .default_scale = 0.1,
+    .grid = {},
+    .wallclock = true,
+    .run = run,
+}};
+
+}  // namespace

@@ -1,6 +1,6 @@
-// Reproduces Tables 2 and 3: Pablo-style I/O summaries of SCF 1.1 (LARGE
-// input, 4 processors, 12 I/O nodes) for the original Fortran-I/O version
-// and the PASSION-interface version.
+// Scenario "table2_3" — reproduces Tables 2 and 3: Pablo-style I/O
+// summaries of SCF 1.1 (LARGE input, 4 processors, 12 I/O nodes) for the
+// original Fortran-I/O version and the PASSION-interface version.
 //
 // Paper reference points: 566,315 reads / 37 GB read volume, reads 95.6%
 // of I/O time, I/O 54.1% of execution (original); PASSION cuts total I/O
@@ -8,74 +8,82 @@
 #include <cstdio>
 
 #include "apps/scf.hpp"
-#include "exp/metrics_run.hpp"
-#include "exp/options.hpp"
 #include "exp/report.hpp"
 #include "exp/table.hpp"
+#include "scenario/scenario.hpp"
 #include "trace/tracer.hpp"
 
-int main(int argc, char** argv) {
-  expt::Options opt(/*default_scale=*/1.0);  // full scale runs in ~1 s
-  opt.parse(argc, argv);
-  expt::MetricsRun mrun(opt);
+namespace {
 
-  auto run = [&](apps::ScfVersion v) {
-    apps::ScfConfig cfg;
-    cfg.version = v;
-    cfg.nprocs = 4;
-    cfg.io_nodes = 12;
-    cfg.n_basis = 285;  // LARGE
-    cfg.iterations = 15;
-    cfg.scale = opt.scale;
-    return apps::run_scf11(cfg);
-  };
+void run(scenario::Context& ctx) {
+  const expt::Options& opt = ctx.opt();
 
-  const apps::RunResult orig = run(apps::ScfVersion::kOriginal);
-  const apps::RunResult pass = run(apps::ScfVersion::kPassion);
+  const apps::ScfVersion versions[] = {apps::ScfVersion::kOriginal,
+                                       apps::ScfVersion::kPassion};
+  const std::vector<apps::RunResult> results =
+      ctx.map<apps::RunResult>(2, [&](std::size_t i) {
+        apps::ScfConfig cfg;
+        cfg.version = versions[i];
+        cfg.nprocs = 4;
+        cfg.io_nodes = 12;
+        cfg.n_basis = 285;  // LARGE
+        cfg.iterations = 15;
+        cfg.scale = opt.scale;
+        return apps::run_scf11(cfg);
+      });
+  const apps::RunResult& orig = results[0];
+  const apps::RunResult& pass = results[1];
 
   // The paper's "% of exec time" is relative to summed per-process time.
-  std::printf("%s\n",
-              trace::format_io_summary(
-                  orig.trace, orig.exec_time * 4,
-                  "Table 2: SCF 1.1 original (Fortran I/O), LARGE, 4 procs"
-                  " [total I/O " +
-                      expt::fmt("%.1f", orig.io_time / 3600.0) + " h]")
-                  .c_str());
-  std::printf("%s\n",
-              trace::format_io_summary(
-                  pass.trace, pass.exec_time * 4,
-                  "Table 3: SCF 1.1 PASSION version, LARGE, 4 procs"
-                  " [total I/O " +
-                      expt::fmt("%.1f", pass.io_time / 3600.0) + " h]")
-                  .c_str());
-  std::printf("I/O-time ratio original/PASSION: %.2f (paper: 1.78)\n\n",
-              orig.io_time / pass.io_time);
-  std::printf("Read-latency distribution (original):\n%s\n",
-              trace::format_latency_quantiles(orig.trace).c_str());
+  ctx.printf("%s\n",
+             trace::format_io_summary(
+                 orig.trace, orig.exec_time * 4,
+                 "Table 2: SCF 1.1 original (Fortran I/O), LARGE, 4 procs"
+                 " [total I/O " +
+                     expt::fmt("%.1f", orig.io_time / 3600.0) + " h]")
+                 .c_str());
+  ctx.printf("%s\n",
+             trace::format_io_summary(
+                 pass.trace, pass.exec_time * 4,
+                 "Table 3: SCF 1.1 PASSION version, LARGE, 4 procs"
+                 " [total I/O " +
+                     expt::fmt("%.1f", pass.io_time / 3600.0) + " h]")
+                 .c_str());
+  ctx.printf("I/O-time ratio original/PASSION: %.2f (paper: 1.78)\n\n",
+             orig.io_time / pass.io_time);
+  ctx.printf("Read-latency distribution (original):\n%s\n",
+             trace::format_latency_quantiles(orig.trace).c_str());
 
-  mrun.finish();
+  ctx.finish_metrics();
   if (opt.metrics) {
-    std::printf("%s", expt::metrics_report(mrun.registry).c_str());
+    ctx.printf("%s", expt::metrics_report(ctx.registry()).c_str());
   }
 
   if (opt.check) {
-    expt::Checker chk;
     const auto& oread = orig.trace.summary(pfs::OpKind::kRead);
     const auto& pread = pass.trace.summary(pfs::OpKind::kRead);
     const auto& pseek = pass.trace.summary(pfs::OpKind::kSeek);
-    chk.expect(oread.time > 0.90 * orig.io_time,
+    ctx.expect(oread.time > 0.90 * orig.io_time,
                "reads dominate original I/O time (paper: 95.6%)");
-    chk.expect(oread.bytes == pread.bytes, "both versions move equal data");
-    chk.expect(orig.io_time / pass.io_time > 1.3 &&
+    ctx.expect(oread.bytes == pread.bytes, "both versions move equal data");
+    ctx.expect(orig.io_time / pass.io_time > 1.3 &&
                    orig.io_time / pass.io_time < 2.4,
                "PASSION interface speedup in the paper's band (~1.78x)");
-    chk.expect(pseek.count > 100 * orig.trace.summary(pfs::OpKind::kSeek)
-                                       .count,
+    ctx.expect(pseek.count > 100 * orig.trace.summary(pfs::OpKind::kSeek)
+                                      .count,
                "PASSION version seeks before every read (604k vs 994)");
     const double io_frac = orig.io_time / (orig.exec_time * 4);
-    chk.expect(io_frac > 0.40 && io_frac < 0.75,
+    ctx.expect(io_frac > 0.40 && io_frac < 0.75,
                "I/O is roughly half of execution (paper: 54.1%)");
-    return chk.exit_code();
   }
-  return 0;
 }
+
+const scenario::Registration reg{{
+    .name = "table2_3",
+    .title = "Tables 2-3: Pablo-style I/O summaries of SCF 1.1",
+    .default_scale = 1.0,  // full scale runs in ~1 s
+    .grid = {{"version", {"original", "passion"}}},
+    .run = run,
+}};
+
+}  // namespace

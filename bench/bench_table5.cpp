@@ -1,7 +1,7 @@
-// Reproduces Table 5: which optimization is effective for which
-// application.  A tick means the measured speedup from enabling that
-// optimization (alone) exceeds 10% of execution time on a representative
-// configuration.
+// Scenario "table5" — reproduces Table 5: which optimization is effective
+// for which application.  A tick means the measured speedup from enabling
+// that optimization (alone) exceeds 10% of execution time on a
+// representative configuration.
 #include <cstdio>
 #include <string>
 
@@ -10,10 +10,9 @@
 #include "apps/fft_app.hpp"
 #include "apps/scf.hpp"
 #include "apps/scf3.hpp"
-#include "exp/metrics_run.hpp"
-#include "exp/options.hpp"
 #include "exp/report.hpp"
 #include "exp/table.hpp"
+#include "scenario/scenario.hpp"
 
 namespace {
 
@@ -24,73 +23,99 @@ std::string tick(double speedup) {
   return buf;
 }
 
-}  // namespace
+void run(scenario::Context& ctx) {
+  const expt::Options& opt = ctx.opt();
 
-int main(int argc, char** argv) {
-  expt::Options opt(/*default_scale=*/0.25);
-  opt.parse(argc, argv);
-  expt::MetricsRun mrun(opt);
-
-  // --- SCF 1.1: efficient interface + prefetching -----------------------
-  apps::ScfConfig scf;
-  scf.nprocs = 8;
-  scf.io_nodes = 12;
-  scf.n_basis = 140;
-  scf.iterations = 10;
-  scf.scale = opt.scale;
-  scf.version = apps::ScfVersion::kOriginal;
-  const double scf_o = apps::run_scf11(scf).exec_time;
-  scf.version = apps::ScfVersion::kPassion;
-  const double scf_p = apps::run_scf11(scf).exec_time;
-  scf.version = apps::ScfVersion::kPassionPrefetch;
-  const double scf_f = apps::run_scf11(scf).exec_time;
-
-  // --- SCF 3.0: balanced I/O (plus the interface/prefetch carried over) -
-  apps::Scf30Config s30;
-  s30.nprocs = 8;
-  // Plenty of I/O nodes: iterations are gated by each client's own file
-  // scan, which is exactly when balancing the file sizes pays off; many
-  // read iterations amortize the one-time balancing cost.
-  s30.io_nodes = 64;
-  s30.n_basis = 108;
-  s30.iterations = 20;
-  s30.cached_percent = 100.0;
-  s30.imbalance = 0.5;
-  s30.fock_flops_per_integral = 5.0;
-  s30.scale = 1.0;
-  s30.balanced_io = false;
-  const double s30_unbal = apps::run_scf30(s30).exec_time;
-  s30.balanced_io = true;
-  const double s30_bal = apps::run_scf30(s30).exec_time;
-
-  // --- FFT: file layout --------------------------------------------------
-  apps::FftConfig fft;
-  fft.n = 1024;
-  fft.nprocs = 8;
-  fft.io_nodes = 2;
-  fft.mem_bytes = 4ULL << 20;
-  fft.optimized_layout = false;
-  const double fft_u = apps::run_fft(fft).exec_time;
-  fft.optimized_layout = true;
-  const double fft_o = apps::run_fft(fft).exec_time;
-
-  // --- BTIO / AST: collective I/O ----------------------------------------
-  apps::BtioConfig bt;
-  bt.nprocs = 36;
-  bt.scale = opt.scale;
-  bt.collective = false;
-  const double bt_u = apps::run_btio(bt).exec_time;
-  bt.collective = true;
-  const double bt_o = apps::run_btio(bt).exec_time;
-
-  apps::AstConfig ast;
-  ast.grid = 2048;
-  ast.nprocs = 32;
-  ast.scale = opt.scale;
-  ast.collective = false;
-  const double ast_u = apps::run_ast(ast).exec_time;
-  ast.collective = true;
-  const double ast_o = apps::run_ast(ast).exec_time;
+  // Ten independent single-app runs; each grid point is one (application,
+  // variant) cell of the table.
+  enum Point {
+    kScfOrig, kScfPassion, kScfPrefetch,   // SCF 1.1
+    kS30Unbal, kS30Bal,                    // SCF 3.0
+    kFftUnopt, kFftOpt,                    // FFT
+    kBtUnopt, kBtColl,                     // BTIO
+    kAstUnopt, kAstColl,                   // AST
+    kNumPoints
+  };
+  const std::vector<double> exec =
+      ctx.map<double>(kNumPoints, [&](std::size_t i) -> double {
+        switch (static_cast<Point>(i)) {
+          case kScfOrig:
+          case kScfPassion:
+          case kScfPrefetch: {
+            // --- SCF 1.1: efficient interface + prefetching ----------
+            apps::ScfConfig scf;
+            scf.nprocs = 8;
+            scf.io_nodes = 12;
+            scf.n_basis = 140;
+            scf.iterations = 10;
+            scf.scale = opt.scale;
+            scf.version = i == kScfOrig ? apps::ScfVersion::kOriginal
+                          : i == kScfPassion
+                              ? apps::ScfVersion::kPassion
+                              : apps::ScfVersion::kPassionPrefetch;
+            return apps::run_scf11(scf).exec_time;
+          }
+          case kS30Unbal:
+          case kS30Bal: {
+            // --- SCF 3.0: balanced I/O (plus the interface/prefetch
+            // carried over) ------------------------------------------
+            apps::Scf30Config s30;
+            s30.nprocs = 8;
+            // Plenty of I/O nodes: iterations are gated by each
+            // client's own file scan, which is exactly when balancing
+            // the file sizes pays off; many read iterations amortize
+            // the one-time balancing cost.
+            s30.io_nodes = 64;
+            s30.n_basis = 108;
+            s30.iterations = 20;
+            s30.cached_percent = 100.0;
+            s30.imbalance = 0.5;
+            s30.fock_flops_per_integral = 5.0;
+            s30.scale = 1.0;
+            s30.balanced_io = i == kS30Bal;
+            return apps::run_scf30(s30).exec_time;
+          }
+          case kFftUnopt:
+          case kFftOpt: {
+            // --- FFT: file layout -----------------------------------
+            apps::FftConfig fft;
+            fft.n = 1024;
+            fft.nprocs = 8;
+            fft.io_nodes = 2;
+            fft.mem_bytes = 4ULL << 20;
+            fft.optimized_layout = i == kFftOpt;
+            return apps::run_fft(fft).exec_time;
+          }
+          case kBtUnopt:
+          case kBtColl: {
+            // --- BTIO: collective I/O -------------------------------
+            apps::BtioConfig bt;
+            bt.nprocs = 36;
+            bt.scale = opt.scale;
+            bt.collective = i == kBtColl;
+            return apps::run_btio(bt).exec_time;
+          }
+          case kAstUnopt:
+          case kAstColl: {
+            // --- AST: collective I/O --------------------------------
+            apps::AstConfig ast;
+            ast.grid = 2048;
+            ast.nprocs = 32;
+            ast.scale = opt.scale;
+            ast.collective = i == kAstColl;
+            return apps::run_ast(ast).exec_time;
+          }
+          case kNumPoints:
+            break;
+        }
+        return 0.0;
+      });
+  const double scf_o = exec[kScfOrig], scf_p = exec[kScfPassion],
+               scf_f = exec[kScfPrefetch];
+  const double s30_unbal = exec[kS30Unbal], s30_bal = exec[kS30Bal];
+  const double fft_u = exec[kFftUnopt], fft_o = exec[kFftOpt];
+  const double bt_u = exec[kBtUnopt], bt_o = exec[kBtColl];
+  const double ast_u = exec[kAstUnopt], ast_o = exec[kAstColl];
 
   expt::Table table({"Application", "collective I/O", "file layout",
                      "efficient interface", "prefetching", "balanced I/O"});
@@ -101,24 +126,34 @@ int main(int argc, char** argv) {
   table.add_row({"FFT", "-", tick(fft_u / fft_o), "-", "-", "-"});
   table.add_row({"BTIO", tick(bt_u / bt_o), "-", "-", "-", "-"});
   table.add_row({"AST", tick(ast_u / ast_o), "-", "-", "-", "-"});
-  std::printf("Table 5: effective optimization techniques (measured "
-              "exec-time speedups)\n%s\n",
-              (opt.csv ? table.csv() : table.str()).c_str());
+  ctx.printf("Table 5: effective optimization techniques (measured "
+             "exec-time speedups)\n%s\n",
+             (opt.csv ? table.csv() : table.str()).c_str());
 
-  mrun.finish();
+  ctx.finish_metrics();
   if (opt.metrics) {
-    std::printf("%s", expt::metrics_report(mrun.registry).c_str());
+    ctx.printf("%s", expt::metrics_report(ctx.registry()).c_str());
   }
 
   if (opt.check) {
-    expt::Checker chk;
-    chk.expect(scf_o / scf_p > 1.10, "SCF 1.1: efficient interface ticks");
-    chk.expect(scf_p / scf_f > 1.05, "SCF 1.1: prefetching helps");
-    chk.expect(s30_unbal / s30_bal > 1.02, "SCF 3.0: balanced I/O helps");
-    chk.expect(fft_u / fft_o > 1.10, "FFT: file layout ticks");
-    chk.expect(bt_u / bt_o > 1.10, "BTIO: collective I/O ticks");
-    chk.expect(ast_u / ast_o > 1.10, "AST: collective I/O ticks");
-    return chk.exit_code();
+    ctx.expect(scf_o / scf_p > 1.10, "SCF 1.1: efficient interface ticks");
+    ctx.expect(scf_p / scf_f > 1.05, "SCF 1.1: prefetching helps");
+    ctx.expect(s30_unbal / s30_bal > 1.02, "SCF 3.0: balanced I/O helps");
+    ctx.expect(fft_u / fft_o > 1.10, "FFT: file layout ticks");
+    ctx.expect(bt_u / bt_o > 1.10, "BTIO: collective I/O ticks");
+    ctx.expect(ast_u / ast_o > 1.10, "AST: collective I/O ticks");
   }
-  return 0;
 }
+
+const scenario::Registration reg{{
+    .name = "table5",
+    .title = "Table 5: which optimization helps which application",
+    .default_scale = 0.25,
+    .grid = {{"cell",
+              {"scf_orig", "scf_passion", "scf_prefetch", "s30_unbal",
+               "s30_bal", "fft_unopt", "fft_opt", "btio_unopt", "btio_coll",
+               "ast_unopt", "ast_coll"}}},
+    .run = run,
+}};
+
+}  // namespace

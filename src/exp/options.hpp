@@ -1,15 +1,21 @@
-// exp/options.hpp — shared command-line handling for the bench binaries.
+// exp/options.hpp — shared command-line handling for the scenario
+// driver (`iosim`) and the bench-name alias binaries.
 //
-// Every table/figure bench accepts:
+// Every scenario accepts:
 //   --full         paper-sized op counts (default is a scaled-down run)
 //   --scale=X      explicit volume/dump scale factor
 //   --check        exit non-zero if the paper's qualitative shape fails
 //   --csv          print CSV instead of the ASCII table
 //   --metrics      collect metrics and print the registry table
 //   --metrics-out=PATH  collect metrics and write them as JSON to PATH
-//   --policy=NAME  checkpoint policy (bench_fault_ckpt):
+//   --policy=NAME  checkpoint policy (fault_ckpt):
 //                  sync_full | sync_incr | async_full | async_incr
-//   --seed=N       fault-plan seed (benches with stochastic fault plans)
+//   --seed=N       fault-plan seed (scenarios with stochastic fault plans)
+// Driver flags (scenario runner):
+//   -j N / --jobs=N  thread count for grid points / scenarios
+//   --repeat=K     run K times and fail on any output drift
+//   --golden=PATH  fail unless output matches the pinned file
+//   --all / --list scenario selection (iosim only)
 #pragma once
 
 #include <cstdint>
@@ -22,12 +28,18 @@ namespace expt {
 
 struct Options {
   double scale;   // volume scale (1.0 = paper-sized)
+  bool scale_given = false;  // --scale/--full seen (else per-scenario default)
   bool check = false;
   bool csv = false;
   bool metrics = false;      // print the metrics registry table
   std::string metrics_out;   // write metrics JSON here ("" = don't)
   std::string policy;        // ckpt policy name ("" = bench default)
   std::uint64_t seed = 42;   // fault-plan seed (stochastic-plan benches)
+  int jobs = 1;              // scenario-runner thread budget
+  int repeat = 1;            // determinism gate: run K times, diff outputs
+  std::string golden;        // determinism gate: pinned-output file
+  bool all = false;          // iosim run --all
+  bool list = false;         // iosim --list
 
   explicit Options(double default_scale = 0.25) : scale(default_scale) {}
 
@@ -41,8 +53,10 @@ struct Options {
       const char* a = argv[i];
       if (std::strcmp(a, "--full") == 0) {
         scale = 1.0;
+        scale_given = true;
       } else if (std::strncmp(a, "--scale=", 8) == 0) {
         scale = std::atof(a + 8);
+        scale_given = true;
       } else if (std::strcmp(a, "--check") == 0) {
         check = true;
       } else if (std::strcmp(a, "--csv") == 0) {
@@ -55,14 +69,31 @@ struct Options {
         policy = a + 9;
       } else if (std::strncmp(a, "--seed=", 7) == 0) {
         seed = std::strtoull(a + 7, nullptr, 10);
+      } else if (std::strncmp(a, "--jobs=", 7) == 0) {
+        jobs = std::atoi(a + 7);
+      } else if (std::strcmp(a, "-j") == 0 && i + 1 < argc) {
+        jobs = std::atoi(argv[++i]);
+      } else if (std::strncmp(a, "-j", 2) == 0 && a[2] != '\0') {
+        jobs = std::atoi(a + 2);
+      } else if (std::strncmp(a, "--repeat=", 9) == 0) {
+        repeat = std::atoi(a + 9);
+      } else if (std::strncmp(a, "--golden=", 9) == 0) {
+        golden = a + 9;
+      } else if (std::strcmp(a, "--all") == 0) {
+        all = true;
+      } else if (std::strcmp(a, "--list") == 0) {
+        list = true;
       } else if (std::strcmp(a, "--help") == 0) {
         std::printf(
             "usage: %s [--full] [--scale=X] [--check] [--csv] [--metrics] "
-            "[--metrics-out=PATH] [--policy=NAME] [--seed=N]\n",
+            "[--metrics-out=PATH] [--policy=NAME] [--seed=N] [-j N] "
+            "[--repeat=K] [--golden=PATH]\n",
             argv[0]);
         std::exit(0);
       }
     }
+    if (jobs < 1) jobs = 1;
+    if (repeat < 1) repeat = 1;
   }
 };
 

@@ -7,8 +7,12 @@
 namespace metrics {
 
 namespace {
-// Single-threaded simulation: one installed registry per process.
-Registry* g_current = nullptr;
+// One installed registry per THREAD: each simulation is single-threaded,
+// but the scenario runner executes independent simulations on a thread
+// pool, and a plain global would cross-instrument concurrent runs.  The
+// zero-overhead-when-off contract survives: current() is still a single
+// (thread-local) pointer load and a branch.
+thread_local Registry* g_current = nullptr;
 }  // namespace
 
 Registry* current() noexcept { return g_current; }

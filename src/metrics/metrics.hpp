@@ -19,9 +19,11 @@
 // RNG state, so an enabled registry is observation-only: simulator output
 // is identical with and without it.
 //
-// The simulation is single-threaded (one coroutine runs at a time), so
+// Each simulation is single-threaded (one coroutine runs at a time), so
 // the registry needs no synchronization; `Scope` installs a registry for
 // a lexical region exactly like a Pablo run wraps an instrumented job.
+// The installed pointer is thread_local: the scenario runner executes
+// independent simulations concurrently, each under its own registry.
 #pragma once
 
 #include <cstddef>

@@ -17,9 +17,11 @@ struct SyncWaiters {
 
 // The kSync turn triggers live beside the state in the rendezvous object;
 // to keep the header light they are stored in a side map keyed by state.
+// thread_local because the scenario runner executes independent
+// simulations concurrently — states never cross threads.
 namespace {
 std::map<const SharedFileState*, SyncWaiters>& sync_waiters() {
-  static std::map<const SharedFileState*, SyncWaiters> m;
+  static thread_local std::map<const SharedFileState*, SyncWaiters> m;
   return m;
 }
 }  // namespace

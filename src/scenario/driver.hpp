@@ -1,0 +1,15 @@
+// scenario/driver.hpp — the `iosim` CLI and the bench-name aliases.
+#pragma once
+
+namespace scenario {
+
+/// `iosim list` / `iosim run <name>...|--all [flags]`.  Returns the
+/// process exit code.
+int iosim_main(int argc, char** argv);
+
+/// Entry point for the legacy bench binaries: `bench_fig1 ...` behaves
+/// exactly like `iosim run fig1 ...` (same flags, same bytes on stdout),
+/// so EXPERIMENTS.md commands and CI goldens keep working.
+int alias_main(const char* scenario_name, int argc, char** argv);
+
+}  // namespace scenario

@@ -1,0 +1,53 @@
+// scenario/runner.hpp — execute scenarios with golden/repeat gating.
+//
+// The runner is the policy layer between the Registry and the CLI: it
+// picks each scenario's effective options (per-scenario default scale,
+// per-scenario metrics file), runs bodies on the shared JobBudget, holds
+// every scenario's captured output until it can be printed in request
+// order (so parallel suite output is byte-identical to serial), and
+// folds the determinism gates that used to live in CI shell into
+// `--golden=PATH` and `--repeat=K`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+
+namespace scenario {
+
+/// Result of running one scenario, including every gate it was held to.
+struct Outcome {
+  const Spec* spec = nullptr;
+  std::string output;       // first run's captured stdout
+  bool checks_ok = true;    // --check expectations
+  bool repeat_ok = true;    // --repeat=K byte-identity
+  bool golden_ok = true;    // --golden=PATH byte-identity
+  bool usage_error = false; // body rejected its flags (exit 2)
+  std::string note;         // gate details for stderr
+  std::string error;        // body exception text ("" = none)
+  double wall_s = 0.0;      // host wall time, stderr reporting only
+
+  bool ok() const {
+    return checks_ok && repeat_ok && golden_ok && !usage_error &&
+           error.empty();
+  }
+};
+
+/// Run one scenario under `opt` (already resolved: scale defaulted,
+/// metrics path finalized) against the golden/repeat gates in `opt`.
+Outcome run_scenario(const Spec& spec, const expt::Options& opt,
+                     JobBudget* budget);
+
+/// Run `specs` in request order: simulator scenarios fan out on the
+/// budget, wall-clock scenarios run serially afterwards; outputs print
+/// to stdout in request order (with a banner when more than one), gate
+/// status and the suite wall time go to stderr.  Returns the process
+/// exit code (0 ok, 1 gate failure, 2 usage error, 3 internal error).
+int run_scenarios(const std::vector<const Spec*>& specs,
+                  const expt::Options& opt);
+
+/// `iosim list`: one line per registered scenario (name-sorted).
+void list_scenarios();
+
+}  // namespace scenario

@@ -1,0 +1,174 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+#include "metrics/export.hpp"
+
+namespace scenario {
+
+// -- grid -------------------------------------------------------------------
+
+std::size_t grid_size(const std::vector<Axis>& grid) {
+  std::size_t n = 1;
+  for (const Axis& a : grid) n *= a.values.size();
+  return n;
+}
+
+GridPoint grid_point(const std::vector<Axis>& grid, std::size_t index) {
+  GridPoint p;
+  p.index = index;
+  p.coord.resize(grid.size(), 0);
+  // Row-major, last axis fastest: peel from the innermost axis.
+  for (std::size_t a = grid.size(); a-- > 0;) {
+    const std::size_t n = grid[a].values.size();
+    p.coord[a] = index % n;
+    index /= n;
+  }
+  return p;
+}
+
+// -- Context ----------------------------------------------------------------
+
+Context::Context(const expt::Options& opt, std::string metrics_path,
+                 JobBudget* budget)
+    : opt_(opt),
+      metrics_path_(std::move(metrics_path)),
+      budget_(budget) {
+  if (opt_.metrics_enabled()) scope_ = new metrics::Scope(registry_);
+}
+
+Context::~Context() {
+  delete scope_;
+  scope_ = nullptr;
+}
+
+void Context::printf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string buf(n > 0 ? static_cast<std::size_t>(n) : 0, '\0');
+  if (n > 0) std::vsnprintf(buf.data(), buf.size() + 1, fmt, args);
+  va_end(args);
+  out_ << buf;
+}
+
+void Context::expect(bool ok, const std::string& what) {
+  out_ << "  [" << (ok ? "PASS" : "FAIL") << "] " << what << "\n";
+  all_ok_ = all_ok_ && ok;
+}
+
+void Context::finish_metrics() {
+  if (metrics_done_) return;
+  metrics_done_ = true;
+  delete scope_;
+  scope_ = nullptr;
+  if (!metrics_path_.empty()) {
+    if (metrics::write_json_file(registry_, metrics_path_)) {
+      out_ << "metrics: wrote " << metrics_path_ << "\n";
+    } else {
+      std::fprintf(stderr, "metrics: FAILED to write %s\n",
+                   metrics_path_.c_str());
+    }
+  }
+}
+
+void Context::for_each_point(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const bool metrics_on = opt_.metrics_enabled();
+  std::vector<metrics::Registry> point_regs(metrics_on ? n : 0);
+  std::vector<std::exception_ptr> errors(n);
+
+  auto run_point = [&](std::size_t i) {
+    try {
+      if (metrics_on) {
+        metrics::Scope scope(point_regs[i]);
+        fn(i);
+      } else {
+        fn(i);
+      }
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  };
+
+  const int granted =
+      budget_ ? budget_->acquire(static_cast<int>(
+                    std::min<std::size_t>(n - 1, 1024)))
+              : 0;
+  if (granted == 0) {
+    for (std::size_t i = 0; i < n; ++i) run_point(i);
+  } else {
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      for (std::size_t i = next.fetch_add(1); i < n;
+           i = next.fetch_add(1)) {
+        run_point(i);
+      }
+    };
+    std::vector<std::thread> helpers;
+    helpers.reserve(static_cast<std::size_t>(granted));
+    for (int t = 0; t < granted; ++t) helpers.emplace_back(worker);
+    worker();
+    for (std::thread& t : helpers) t.join();
+    budget_->release(granted);
+  }
+
+  // Fold per-point registries back in point order so the merged registry
+  // is independent of scheduling.
+  if (metrics_on) {
+    for (const metrics::Registry& r : point_regs) registry_.merge(r);
+  }
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+// -- Registry ---------------------------------------------------------------
+
+void Registry::add(Spec spec) {
+  if (spec.name.empty()) {
+    throw std::logic_error("scenario::Registry: empty scenario name");
+  }
+  if (!spec.run) {
+    throw std::logic_error("scenario::Registry: scenario '" + spec.name +
+                           "' has no run function");
+  }
+  if (find(spec.name) != nullptr) {
+    throw std::logic_error("scenario::Registry: duplicate scenario '" +
+                           spec.name + "'");
+  }
+  specs_.push_back(std::move(spec));
+}
+
+const Spec* Registry::find(std::string_view name) const {
+  for (const Spec& s : specs_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<const Spec*> Registry::all() const {
+  std::vector<const Spec*> out;
+  out.reserve(specs_.size());
+  for (const Spec& s : specs_) out.push_back(&s);
+  std::sort(out.begin(), out.end(), [](const Spec* a, const Spec* b) {
+    return a->name < b->name;
+  });
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace scenario
