@@ -89,6 +89,10 @@ void run(scenario::Context& ctx) {
 const scenario::Registration reg{{
     .name = "ablation_aggregators",
     .title = "Ablation: two-phase aggregator (cb_nodes) count",
+    .description =
+        "Sweeps how many ranks perform the file I/O in a collective "
+        "write on a 4-I/O-node SP-2. --check asserts the sweet spot "
+        "tracks the file system's service capacity, not the rank count.",
     .default_scale = 1.0,
     .grid = {{"aggregators", {"1", "2", "4", "8", "16", "36"}}},
     .run = run,

@@ -89,6 +89,11 @@ void run(scenario::Context& ctx) {
 const scenario::Registration reg{{
     .name = "ablation_iomode",
     .title = "Ablation: PFS shared-file I/O mode comparison",
+    .description =
+        "Appends records to one shared file under the four PFS I/O modes "
+        "(M_UNIX/M_LOG/M_SYNC/M_RECORD). --check asserts the mode choice "
+        "alone swings I/O time by an order of magnitude — the paper's "
+        "usability/performance trap.",
     .default_scale = 1.0,
     .grid = {{"mode", {"M_UNIX", "M_LOG", "M_SYNC", "M_RECORD"}}},
     .run = run,

@@ -103,6 +103,11 @@ void run(scenario::Context& ctx) {
 const scenario::Registration reg{{
     .name = "ablation_ionode",
     .title = "Ablation: I/O-node cache size and write-behind",
+    .description =
+        "Writes strided then re-reads sequentially (the FFT transpose "
+        "texture) while sweeping I/O-node cache size and write-behind. "
+        "--check asserts write-behind absorbs the scattered writes and "
+        "cache size controls the re-read hit rate.",
     .default_scale = 1.0,
     .grid = {{"cache_mb", {"1", "4", "16"}},
              {"write_behind", {"off", "on"}}},

@@ -83,6 +83,11 @@ void run(scenario::Context& ctx) {
 const scenario::Registration reg{{
     .name = "ablation_network",
     .title = "Ablation: exchange-phase network-parameter sensitivity",
+    .description =
+        "Times a 32-rank alltoallv while zeroing hop latency or choking "
+        "NIC bandwidth. --check asserts endpoint bandwidth dominates by "
+        "orders of magnitude — the justification for the simulator's "
+        "endpoint-contention fidelity class.",
     .default_scale = 1.0,
     .grid = {{"point", {"base", "no_hops", "slow_hops", "slow_nic"}}},
     .run = run,

@@ -84,6 +84,11 @@ void run(scenario::Context& ctx) {
 const scenario::Registration reg{{
     .name = "ablation_scan",
     .title = "Ablation: FIFO vs SCAN disk scheduling",
+    .description =
+        "Replays BTIO's unoptimized pencil writes under FIFO and SCAN "
+        "disk scheduling. --check asserts SCAN softens but does not "
+        "remove the scattered-access penalty, so the paper's conclusions "
+        "hold under either driver.",
     .default_scale = 1.0,
     .grid = {{"procs", {"4", "16", "64"}}, {"discipline", {"FIFO", "SCAN"}}},
     .run = run,

@@ -99,6 +99,11 @@ void run(scenario::Context& ctx) {
 const scenario::Registration reg{{
     .name = "ablation_stripe",
     .title = "Ablation: PFS stripe-unit size sweep",
+    .description =
+        "Sweeps the stripe unit from 16 KB to 256 KB under a sequential "
+        "stream and SCF-style chunked reads. --check asserts the two "
+        "patterns pull the stripe unit in opposite directions, as in "
+        "Figure 1's Su column.",
     .default_scale = 1.0,
     .grid = {{"su_kb", {"16", "32", "64", "128", "256"}}},
     .run = run,

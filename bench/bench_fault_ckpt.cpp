@@ -246,6 +246,11 @@ void run(scenario::Context& ctx) {
 const scenario::Registration reg{{
     .name = "fault_ckpt",
     .title = "Fault+checkpoint: interval sweep under injected crashes",
+    .description =
+        "Replays one crash plan against a sweep of checkpoint intervals "
+        "for SCF 1.1, plus a four-policy comparison via --policy=NAME. "
+        "--check asserts the interior optimum lands within a grid notch "
+        "of the Young/Daly interval.",
     .default_scale = 0.25,
     .grid = {{"interval", {"1", "2", "4", "8", "16", "24", "never"}}},
     .run = run,

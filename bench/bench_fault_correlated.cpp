@@ -181,6 +181,11 @@ void run(scenario::Context& ctx) {
 const scenario::Registration reg{{
     .name = "fault_correlated",
     .title = "Correlated failure domains vs checkpoint placement",
+    .description =
+        "Runs SCF 1.1 on an MTBF-matched fault clock with independent "
+        "crashes, rack-correlated crashes, and domain-aware placement "
+        "plus health-aware recovery. --check asserts correlation hurts "
+        "and the domain-aware adaptation claws the loss back.",
     .default_scale = 0.25,
     .grid = {{"row", {"independent", "corr_same_domain",
                       "corr_domain_aware"}}},

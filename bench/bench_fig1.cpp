@@ -116,6 +116,11 @@ void run(scenario::Context& ctx) {
 const scenario::Registration reg{{
     .name = "fig1",
     .title = "Figure 1: SCF 1.1 optimization tuples I-VII on three inputs",
+    .description =
+        "Sweeps the paper's (V, P, M, Su, Sf) optimization tuples over "
+        "SMALL/MEDIUM/LARGE inputs. --check asserts that at small "
+        "processor counts the software factors (version, memory) move "
+        "execution time far more than the system factors.",
     .default_scale = 0.5,
     .grid = {{"input", {"SMALL", "MEDIUM", "LARGE"}},
              {"config", {"I", "II", "III", "IV", "V", "VI", "VII"}}},

@@ -76,6 +76,11 @@ void run(scenario::Context& ctx) {
 const scenario::Registration reg{{
     .name = "fig3",
     .title = "Figure 3: I/O-node count vs contention for SCF 1.1",
+    .description =
+        "Sweeps the I/O partition (12/16/64 nodes) against the processor "
+        "count. --check asserts contention grows with compute nodes and "
+        "that widening the I/O partition relieves it more the more "
+        "processors there are.",
     .default_scale = 0.5,
     .grid = {{"procs", {"4", "16", "64", "256"}},
              {"io_nodes", {"12", "16", "64"}}},

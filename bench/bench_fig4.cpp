@@ -93,6 +93,11 @@ void run(scenario::Context& ctx) {
 const scenario::Registration reg{{
     .name = "fig4",
     .title = "Figure 4: SCF 3.0 cached-integral fraction vs processors",
+    .description =
+        "Sweeps SCF 3.0's disk-cached integral fraction (0-100%) against "
+        "processors and I/O nodes. --check asserts caching more "
+        "integrals beats adding processors, and that the I/O-node count "
+        "matters little for this application.",
     .default_scale = 1.0,
     .grid = {{"io_nodes", {"16", "64"}},
              {"cached%", {"0", "25", "50", "75", "90", "100"}},

@@ -95,6 +95,11 @@ void run(scenario::Context& ctx) {
 const scenario::Registration reg{{
     .name = "fig5",
     .title = "Figure 5: out-of-core FFT I/O and total time",
+    .description =
+        "Runs the 2-D out-of-core FFT on the small Paragon, original vs "
+        "layout-optimized. --check asserts unoptimized I/O time rises "
+        "with compute nodes and that the optimized program on 2 I/O "
+        "nodes beats the original on 4 at every size.",
     .default_scale = 0.5,
     .grid = {{"procs", {"1", "2", "4", "8", "16"}},
              {"variant", {"orig/2io", "orig/4io", "opt/2io"}}},

@@ -71,6 +71,11 @@ void run(scenario::Context& ctx) {
 const scenario::Registration reg{{
     .name = "fig6",
     .title = "Figure 6: BTIO Class A collective vs Unix-style I/O",
+    .description =
+        "Runs BTIO Class A on the SP-2 model, Unix-style vs two-phase "
+        "collective. --check asserts the unoptimized hump in total time "
+        "around 36 processors and the large collective-I/O reduction at "
+        "36/64 processors.",
     .default_scale = 0.5,
     .grid = {{"procs", {"1", "4", "9", "16", "25", "36", "49", "64"}},
              {"variant", {"unopt", "collective"}}},

@@ -72,6 +72,11 @@ void run(scenario::Context& ctx) {
 const scenario::Registration reg{{
     .name = "fig7",
     .title = "Figure 7: BTIO I/O bandwidth, original vs two-phase",
+    .description =
+        "Measures BTIO I/O bandwidth for Class A and B across processor "
+        "counts. --check asserts the order-of-magnitude bandwidth gap "
+        "between the original (~1 MB/s band) and two-phase collective "
+        "(tens of MB/s) versions.",
     .default_scale = 0.25,
     .grid = {{"class", {"A", "B"}}, {"procs", {"4", "16", "36", "64"}}},
     .run = run,

@@ -80,6 +80,11 @@ void run(scenario::Context& ctx) {
 const scenario::Registration reg{{
     .name = "micro_pfs",
     .title = "Micro: striped file-system host-side cost",
+    .description =
+        "google-benchmark micros for the striped file-system path: "
+        "host-side cost of simulated reads/writes as piece count and I/O "
+        "nodes scale. Wall-clock output, so the determinism gates skip "
+        "it.",
     .default_scale = 0.1,
     .grid = {},
     .wallclock = true,

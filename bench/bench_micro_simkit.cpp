@@ -95,6 +95,10 @@ void run(scenario::Context& ctx) {
 const scenario::Registration reg{{
     .name = "micro_simkit",
     .title = "Micro: discrete-event kernel host-side throughput",
+    .description =
+        "google-benchmark micros for the simulation kernel itself: event "
+        "throughput, spawn/join cost, resource contention, channel ops. "
+        "Wall-clock output, so the determinism gates skip it.",
     .default_scale = 0.1,
     .grid = {},
     .wallclock = true,

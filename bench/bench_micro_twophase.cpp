@@ -78,6 +78,10 @@ void run(scenario::Context& ctx) {
 const scenario::Registration reg{{
     .name = "micro_twophase",
     .title = "Micro: two-phase collective I/O host-side cost",
+    .description =
+        "google-benchmark micros for two-phase collective I/O: how the "
+        "simulator's own cost scales with rank and piece count. "
+        "Wall-clock output, so the determinism gates skip it.",
     .default_scale = 0.1,
     .grid = {},
     .wallclock = true,

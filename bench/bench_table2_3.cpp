@@ -81,6 +81,11 @@ void run(scenario::Context& ctx) {
 const scenario::Registration reg{{
     .name = "table2_3",
     .title = "Tables 2-3: Pablo-style I/O summaries of SCF 1.1",
+    .description =
+        "Counts operations, bytes, and I/O time for SCF 1.1 LARGE under "
+        "the original Fortran I/O and the PASSION rewrite. --check "
+        "asserts the paper's headline reductions (reads dominate, ~1.8x "
+        "less I/O time after the rewrite).",
     .default_scale = 1.0,  // full scale runs in ~1 s
     .grid = {{"version", {"original", "passion"}}},
     .run = run,

@@ -148,6 +148,10 @@ void run(scenario::Context& ctx) {
 const scenario::Registration reg{{
     .name = "table5",
     .title = "Table 5: which optimization helps which application",
+    .description =
+        "Reruns each application with one optimization toggled at a time "
+        "and ticks it when the speedup clears 10%. --check asserts the "
+        "tick pattern matches the paper's table.",
     .default_scale = 0.25,
     .grid = {{"cell",
               {"scf_orig", "scf_passion", "scf_prefetch", "s30_unbal",

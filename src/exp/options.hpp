@@ -40,6 +40,10 @@ struct Options {
   std::string golden;        // determinism gate: pinned-output file
   bool all = false;          // iosim run --all
   bool list = false;         // iosim --list
+  /// Set by parse() on the first unknown `-`/`--` token: a message naming
+  /// the bad option and listing the valid ones.  Callers print it and
+  /// exit 2; positionals (scenario names) never trigger it.
+  std::string error;
 
   explicit Options(double default_scale = 0.25) : scale(default_scale) {}
 
@@ -83,13 +87,20 @@ struct Options {
         all = true;
       } else if (std::strcmp(a, "--list") == 0) {
         list = true;
-      } else if (std::strcmp(a, "--help") == 0) {
+      } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
         std::printf(
             "usage: %s [--full] [--scale=X] [--check] [--csv] [--metrics] "
             "[--metrics-out=PATH] [--policy=NAME] [--seed=N] [-j N] "
             "[--repeat=K] [--golden=PATH]\n",
             argv[0]);
         std::exit(0);
+      } else if (a[0] == '-' && error.empty()) {
+        // A flag we don't know.  Record (don't exit: parse stays testable
+        // and the caller owns the exit path); positionals fall through.
+        error = std::string("unknown option '") + a +
+                "' (valid: --full --scale=X --check --csv --metrics "
+                "--metrics-out=PATH --policy=NAME --seed=N -j N/--jobs=N "
+                "--repeat=K --golden=PATH --all --list --help)";
       }
     }
     if (jobs < 1) jobs = 1;

@@ -60,6 +60,10 @@ int iosim_main(int argc, char** argv) {
 
   expt::Options opt(/*default_scale=*/1.0);
   opt.parse(argc - 1, argv + 1);  // flags; positionals are ignored
+  if (!opt.error.empty()) {
+    std::fprintf(stderr, "iosim: %s\n", opt.error.c_str());
+    return 2;
+  }
   if (opt.list) {
     list_scenarios();
     return 0;
@@ -94,6 +98,10 @@ int alias_main(const char* scenario_name, int argc, char** argv) {
   if (s == nullptr) return unknown_scenario(scenario_name);
   expt::Options opt(s->default_scale);
   opt.parse(argc, argv);
+  if (!opt.error.empty()) {
+    std::fprintf(stderr, "%s: %s\n", scenario_name, opt.error.c_str());
+    return 2;
+  }
   opt.scale_given = true;  // default already resolved from the spec
   return run_scenarios({s}, opt);
 }

@@ -216,6 +216,23 @@ void list_scenarios() {
       std::printf("  [grid: %s = %zu points]", grid.c_str(), points);
     }
     std::printf("\n");
+    if (!s->description.empty()) {
+      // Wrap the description to ~72 columns under the name column.
+      std::istringstream words(s->description);
+      std::string word, line;
+      while (words >> word) {
+        if (!line.empty() && line.size() + 1 + word.size() > 72) {
+          std::printf("%-*s    %s\n", static_cast<int>(width), "",
+                      line.c_str());
+          line.clear();
+        }
+        line += (line.empty() ? "" : " ") + word;
+      }
+      if (!line.empty()) {
+        std::printf("%-*s    %s\n", static_cast<int>(width), "",
+                    line.c_str());
+      }
+    }
   }
 }
 

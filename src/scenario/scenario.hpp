@@ -90,6 +90,10 @@ struct UsageError : std::runtime_error {
 struct Spec {
   std::string name;         // CLI handle, e.g. "fig1"
   std::string title;        // one-line description for `iosim list`
+  /// What the scenario demonstrates and what --check asserts — printed
+  /// (indented) under the title by `iosim list`, so the registry is
+  /// self-documenting.  Keep it to a sentence or two.
+  std::string description;
   double default_scale = 1.0;
   std::vector<Axis> grid;   // declarative grid (may be empty)
   // Output contains host wall-clock timings (google-benchmark micros):

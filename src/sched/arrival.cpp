@@ -1,0 +1,95 @@
+#include "sched/arrival.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "simkit/rng.hpp"
+
+namespace sched {
+
+JobMix standard_mix(double scale) {
+  JobMix mix;
+  const AppKind apps[] = {AppKind::kScf, AppKind::kScf3, AppKind::kBtio,
+                          AppKind::kFft, AppKind::kAst};
+  const SizeClass sizes[] = {SizeClass::kSmall, SizeClass::kMedium,
+                             SizeClass::kLarge};
+  const double size_weight[] = {0.50, 0.35, 0.15};
+  for (const AppKind a : apps) {
+    for (int s = 0; s < 3; ++s) {
+      mix.classes.push_back(JobClass::make(a, sizes[s], scale));
+      mix.weights.push_back(size_weight[s]);
+    }
+  }
+  return mix;
+}
+
+namespace {
+
+/// Is simulated time `t` inside a burst window?
+bool in_burst(const ArrivalConfig& cfg, simkit::Time t) {
+  if (cfg.burst_period_s <= 0.0 || cfg.burst_len_s <= 0.0) return false;
+  return std::fmod(t, cfg.burst_period_s) < cfg.burst_len_s;
+}
+
+}  // namespace
+
+std::vector<Job> generate(const ArrivalConfig& cfg, const JobMix& mix,
+                          std::uint64_t seed) {
+  if (cfg.mean_interarrival_s <= 0.0) {
+    throw std::invalid_argument("arrival: mean_interarrival_s must be > 0");
+  }
+  if (mix.classes.empty() || mix.classes.size() != mix.weights.size()) {
+    throw std::invalid_argument("arrival: mix needs one weight per class");
+  }
+  if (cfg.horizon <= 0.0 && cfg.max_jobs <= 0) {
+    throw std::invalid_argument("arrival: set horizon and/or max_jobs");
+  }
+  if (cfg.burst_period_s > 0.0 &&
+      (cfg.burst_len_s <= 0.0 || cfg.burst_len_s > cfg.burst_period_s ||
+       cfg.burst_rate_multiplier < 1.0)) {
+    throw std::invalid_argument("arrival: bad burst window");
+  }
+  double total_weight = 0.0;
+  for (const double w : mix.weights) {
+    if (w < 0.0) throw std::invalid_argument("arrival: negative weight");
+    total_weight += w;
+  }
+  if (total_weight <= 0.0) {
+    throw std::invalid_argument("arrival: all-zero weights");
+  }
+
+  simkit::Rng rng(seed);
+  std::vector<Job> jobs;
+  simkit::Time t = 0.0;
+  while (cfg.max_jobs <= 0 ||
+         jobs.size() < static_cast<std::size_t>(cfg.max_jobs)) {
+    // Draw 1/3: the inter-arrival gap, shortened inside a burst window.
+    // The window test uses the time the gap starts from, so the stream
+    // is a pure left-to-right scan — no thinning, no rejected draws.
+    const double mean = in_burst(cfg, t)
+                            ? cfg.mean_interarrival_s /
+                                  cfg.burst_rate_multiplier
+                            : cfg.mean_interarrival_s;
+    t += rng.exponential(mean);
+    if (cfg.horizon > 0.0 && t >= cfg.horizon) break;
+
+    // Draw 2/3: the class, by cumulative weight.
+    const double pick = rng.uniform() * total_weight;
+    std::size_t ci = 0;
+    double acc = 0.0;
+    for (; ci + 1 < mix.classes.size(); ++ci) {
+      acc += mix.weights[ci];
+      if (pick < acc) break;
+    }
+
+    Job j;
+    j.id = static_cast<int>(jobs.size());
+    j.klass = mix.classes[ci];
+    j.arrival = t;
+    j.seed = rng.next();  // draw 3/3: the job's private stream
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+}  // namespace sched

@@ -1,0 +1,60 @@
+// sched/arrival.hpp — seeded stochastic job streams.
+//
+// A platform study needs hundreds-to-thousands of queued jobs whose
+// arrival pattern is (a) realistic — a Poisson base load with trace-style
+// bursts, the shape every production scheduler log shows — and (b)
+// perfectly reproducible, so two strategies can be compared on the
+// *identical* stream and a CI gate can pin the output.  The generator
+// draws exactly three RNG values per emitted job (inter-arrival gap,
+// class pick, per-job seed), so the stream is a pure function of
+// (config, mix, seed) and stays aligned however the mix is weighted.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/job.hpp"
+#include "simkit/time.hpp"
+
+namespace sched {
+
+/// The job population: classes plus their arrival weights (need not be
+/// normalized; one weight per class, both vectors the same length).
+struct JobMix {
+  std::vector<JobClass> classes;
+  std::vector<double> weights;
+};
+
+/// The five applications at three sizes each, weighted the way cluster
+/// logs skew: many small interactive jobs, few large batch runs.  All
+/// per-step volumes scaled by `scale`.
+JobMix standard_mix(double scale);
+
+struct ArrivalConfig {
+  /// Mean inter-arrival gap of the base Poisson process (seconds).
+  double mean_interarrival_s = 20.0;
+  /// Stop generating at this simulated time (0 = unlimited; then
+  /// max_jobs must be set).
+  simkit::Time horizon = 0.0;
+  /// Stop after this many jobs (0 = unlimited; then horizon must be set).
+  int max_jobs = 0;
+
+  /// Trace-style bursts: every `burst_period_s`, a window of
+  /// `burst_len_s` during which the arrival rate is multiplied by
+  /// `burst_rate_multiplier` (the morning-submit / post-deadline spike).
+  /// A period of 0 disables bursts and leaves a pure Poisson stream.
+  double burst_period_s = 0.0;
+  double burst_len_s = 0.0;
+  double burst_rate_multiplier = 1.0;
+};
+
+/// Generate the deterministic job stream: same (cfg, mix, seed) — byte-
+/// identical jobs; different seeds — independent streams.  Jobs come out
+/// sorted by arrival time with sequential ids.  Throws
+/// std::invalid_argument on a non-positive rate, an empty mix, a
+/// weight/class length mismatch, or an unbounded config (neither horizon
+/// nor max_jobs).
+std::vector<Job> generate(const ArrivalConfig& cfg, const JobMix& mix,
+                          std::uint64_t seed);
+
+}  // namespace sched

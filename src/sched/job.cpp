@@ -1,0 +1,176 @@
+#include "sched/job.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/ast.hpp"
+#include "apps/btio.hpp"
+#include "apps/fft_app.hpp"
+#include "apps/scf.hpp"
+#include "apps/scf3.hpp"
+#include "ckpt/workloads.hpp"
+
+namespace sched {
+
+namespace {
+
+/// Volume floor: a scaled job still issues at least one stripe unit per
+/// node per step, so every job exercises the shared file system.
+constexpr std::uint64_t kMinIoBytes = 64 * 1024;
+
+std::uint64_t scaled(std::uint64_t bytes, double scale) {
+  const double v = static_cast<double>(bytes) * scale;
+  return std::max<std::uint64_t>(kMinIoBytes, static_cast<std::uint64_t>(v));
+}
+
+/// Fill the fields common to every class from a ckpt::Workload profile.
+void from_workload(JobClass& c, const ckpt::Workload& w, double scale) {
+  c.nodes = w.nprocs;
+  c.steps = w.steps;
+  c.flops_per_node_step = w.flops_per_rank_step * scale;
+  c.io_bytes_per_node_step = scaled(w.io_bytes_per_rank_step, scale);
+  c.step_io_reads = w.io == ckpt::StepIo::kPrivateRead;
+  c.state_bytes_per_node = w.state_bytes_per_rank;
+  c.dirty_fraction = w.dirty_fraction_per_step;
+}
+
+}  // namespace
+
+const char* to_string(AppKind k) {
+  switch (k) {
+    case AppKind::kScf: return "scf";
+    case AppKind::kScf3: return "scf3";
+    case AppKind::kBtio: return "btio";
+    case AppKind::kFft: return "fft";
+    case AppKind::kAst: return "ast";
+  }
+  return "?";
+}
+
+const char* to_string(SizeClass s) {
+  switch (s) {
+    case SizeClass::kSmall: return "small";
+    case SizeClass::kMedium: return "medium";
+    case SizeClass::kLarge: return "large";
+  }
+  return "?";
+}
+
+JobClass JobClass::make(AppKind app, SizeClass size, double scale) {
+  const int s = static_cast<int>(size);  // 0 small, 1 medium, 2 large
+  JobClass c;
+  c.app = app;
+  c.size = size;
+  c.name = std::string(to_string(app)) + "/" + to_string(size);
+  // Small jobs are the interactive tier; large batch jobs yield to them
+  // under the priority discipline.
+  c.priority = 2 - s;
+
+  switch (app) {
+    case AppKind::kScf: {
+      // SCF 1.1: every iteration re-reads the whole integral file.
+      apps::ScfConfig cfg;
+      cfg.nprocs = 2 << s;  // 2 / 4 / 8
+      cfg.n_basis = s == 0 ? 108 : s == 1 ? 140 : 285;  // paper Figure 1
+      cfg.iterations = 5 + 2 * s;
+      from_workload(c, ckpt::scf11_workload(cfg), scale);
+      break;
+    }
+    case AppKind::kScf3: {
+      // SCF 3.0: each iteration re-reads the disk-cached integral share
+      // and recomputes the (cheap) rest.
+      apps::Scf30Config cfg;
+      cfg.nprocs = 2 << s;
+      cfg.n_basis = s == 0 ? 108 : s == 1 ? 140 : 285;
+      const double frac = cfg.cached_percent / 100.0;
+      const std::uint64_t per_node =
+          cfg.total_integrals() / static_cast<std::uint64_t>(cfg.nprocs);
+      const double n = static_cast<double>(per_node);
+      c.nodes = cfg.nprocs;
+      c.steps = 4 + 2 * s;
+      c.flops_per_node_step =
+          (n * (1.0 - frac) * cfg.mean_flops_cheapest(1.0 - frac) +
+           n * cfg.fock_flops_per_integral) *
+          scale;
+      c.io_bytes_per_node_step = scaled(
+          static_cast<std::uint64_t>(n * frac) * cfg.bytes_per_integral,
+          scale);
+      c.step_io_reads = true;
+      c.state_bytes_per_node = 2ULL *
+                               static_cast<std::uint64_t>(cfg.n_basis) *
+                               static_cast<std::uint64_t>(cfg.n_basis) * 8ULL;
+      c.dirty_fraction = 0.05;  // same near-convergence band as SCF 1.1
+      break;
+    }
+    case AppKind::kBtio: {
+      apps::BtioConfig cfg;
+      cfg.nprocs = s == 0 ? 4 : s == 1 ? 9 : 16;  // perfect squares
+      cfg.problem_class = s == 2 ? 'B' : 'A';
+      cfg.dumps = 4 + 2 * s;
+      from_workload(c, ckpt::btio_workload(cfg), scale);
+      break;
+    }
+    case AppKind::kFft: {
+      // Out-of-core 2D FFT: each pass streams the whole array through
+      // memory (read strips, FFT, write strips); the transpose between
+      // passes is the I/O-bound phase the paper optimizes.
+      apps::FftConfig cfg;
+      cfg.n = 512ULL << s;  // 512 / 1024 / 2048
+      cfg.nprocs = 2 << s;
+      const std::uint64_t slab =
+          cfg.array_bytes() / static_cast<std::uint64_t>(cfg.nprocs);
+      const double n2 = static_cast<double>(cfg.n) * static_cast<double>(cfg.n);
+      c.nodes = cfg.nprocs;
+      c.steps = 4;  // column pass, transpose out, row pass, result dump
+      c.flops_per_node_step = 2.5 * n2 *
+                              std::log2(static_cast<double>(cfg.n)) /
+                              cfg.nprocs * scale;
+      c.io_bytes_per_node_step = scaled(slab, scale);
+      c.step_io_reads = false;
+      c.state_bytes_per_node = slab;
+      c.dirty_fraction = 1.0;  // every pass rewrites the whole slab
+      break;
+    }
+    case AppKind::kAst: {
+      // AST: hydrodynamics steps punctuated by multi-array dump points.
+      apps::AstConfig cfg;
+      cfg.grid = 512ULL << s;
+      cfg.nprocs = 4 << s;  // 4 / 8 / 16
+      cfg.dumps = 4 + 2 * s;
+      const double cells = static_cast<double>(cfg.grid) *
+                           static_cast<double>(cfg.grid) / cfg.nprocs;
+      c.nodes = cfg.nprocs;
+      c.steps = cfg.dumps;
+      c.flops_per_node_step =
+          cells * cfg.flops_per_cell_step * cfg.steps_per_dump * scale;
+      c.io_bytes_per_node_step = scaled(
+          static_cast<std::uint64_t>(cells * 8.0) *
+              static_cast<std::uint64_t>(cfg.arrays_per_dump),
+          scale);
+      c.step_io_reads = false;
+      c.state_bytes_per_node = static_cast<std::uint64_t>(cells * 8.0);
+      c.dirty_fraction = 1.0;
+      break;
+    }
+  }
+  return c;
+}
+
+double estimate_runtime_s(const JobClass& k, const hw::MachineConfig& mc) {
+  const double compute_s =
+      k.steps * k.flops_per_node_step / (mc.cpu_mflops * 1e6);
+  // Aggregate media bandwidth of the shared I/O partition — the best any
+  // job can see, so the estimate is an (optimistic) lower bound.
+  const double agg_bw = static_cast<double>(mc.io_nodes) *
+                        mc.io.disks_per_io_node * mc.disk.transfer_mb_per_s *
+                        1e6;
+  const double step_bytes = static_cast<double>(k.io_bytes_per_node_step) *
+                            k.nodes * k.steps;
+  const int ckpts =
+      k.ckpt_interval_steps > 0 ? (k.steps - 1) / k.ckpt_interval_steps : 0;
+  const double ckpt_bytes =
+      static_cast<double>(k.state_bytes_per_node) * k.nodes * ckpts;
+  return compute_s + (step_bytes + ckpt_bytes) / agg_bw;
+}
+
+}  // namespace sched

@@ -1,0 +1,77 @@
+// sched/job.hpp — multi-tenant job classes over the paper's applications.
+//
+// The paper (and every bench so far) gives one application the whole
+// machine.  A shared platform instead sees a *stream* of jobs: the same
+// five applications, parameterized by problem size, node count, priority,
+// and checkpoint policy, queued against a finite compute partition and
+// one shared parallel file system.  A JobClass is the static profile of
+// one app at one size — its per-step compute and I/O volumes are derived
+// from the identical apps:: configs the healthy-machine benches time (via
+// the ckpt:: workload adapters where they exist), so a platform study
+// talks about the same SCF or BTIO run the paper measured, just many of
+// them at once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ckpt/ckpt.hpp"
+#include "simkit/time.hpp"
+
+namespace sched {
+
+enum class AppKind : std::uint8_t { kScf, kScf3, kBtio, kFft, kAst };
+enum class SizeClass : std::uint8_t { kSmall, kMedium, kLarge };
+
+const char* to_string(AppKind k);
+const char* to_string(SizeClass s);
+
+/// Static profile of one application at one problem size.  Per-node
+/// quantities: the job occupies `nodes` compute nodes, one "rank" each.
+struct JobClass {
+  std::string name;  // "scf/medium"
+  AppKind app = AppKind::kScf;
+  SizeClass size = SizeClass::kSmall;
+
+  int nodes = 1;   // compute nodes the job occupies while running
+  int steps = 4;   // restartable work units (iterations / dump periods)
+  double flops_per_node_step = 0.0;
+  /// Shared-PFS traffic each node issues per step (the app's re-read or
+  /// solution dump), already volume-scaled.
+  std::uint64_t io_bytes_per_node_step = 0;
+  bool step_io_reads = false;  // SCF-style re-read vs BTIO-style dump
+
+  /// Checkpoint volume per node (the app's true restart state — NOT
+  /// volume-scaled: a small test run of SCF still restarts from the full
+  /// density/Fock pair).
+  std::uint64_t state_bytes_per_node = 0;
+  /// Fraction of the state an incremental checkpoint writes.
+  double dirty_fraction = 1.0;
+
+  int priority = 0;             // larger = more urgent (queue discipline)
+  int ckpt_interval_steps = 2;  // 0 disables checkpointing
+  ckpt::Policy policy;          // {sync|async} x {full|incremental}
+
+  /// Build the profile for (app, size) with per-step volumes scaled by
+  /// `scale` (state bytes are not scaled; see state_bytes_per_node).
+  static JobClass make(AppKind app, SizeClass size, double scale);
+};
+
+/// One queued job: a class instance with an arrival time and its own
+/// deterministic RNG seed (reserved for per-job stochastic behaviour).
+struct Job {
+  int id = 0;
+  JobClass klass;
+  simkit::Time arrival = 0.0;
+  std::uint64_t seed = 0;
+};
+
+/// Contention-free runtime estimate for one job of this class on the
+/// given machine: compute + step I/O + checkpoint writes at aggregate
+/// disk bandwidth.  This is the "user-supplied runtime estimate" the
+/// EASY-backfill discipline reasons with, and the ideal-time denominator
+/// of the stretch/slowdown metrics.
+double estimate_runtime_s(const JobClass& k, const hw::MachineConfig& mc);
+
+}  // namespace sched

@@ -73,17 +73,24 @@ TEST(ScenarioGrid, LastAxisFastest) {
   EXPECT_EQ(seen, want);
 }
 
-TEST(ScenarioGlobalRegistry, HasAllTwentyTwoScenarios) {
+TEST(ScenarioGlobalRegistry, HasAllTwentyFourScenarios) {
   const char* names[] = {
       "table2_3", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
       "table4", "table5", "ablation_overhead", "ablation_ionode",
       "ablation_network", "ablation_iomode", "ablation_scan",
       "ablation_stripe", "ablation_aggregators", "fault_ckpt",
-      "fault_correlated", "micro_simkit", "micro_pfs", "micro_twophase"};
+      "fault_correlated", "platform_ckpt_interference", "platform_queueing",
+      "micro_simkit", "micro_pfs", "micro_twophase"};
   for (const char* n : names) {
     EXPECT_NE(scenario::Registry::global().find(n), nullptr) << n;
   }
   EXPECT_EQ(scenario::Registry::global().all().size(), std::size(names));
+}
+
+TEST(ScenarioGlobalRegistry, EveryScenarioHasADescription) {
+  for (const scenario::Spec* s : scenario::Registry::global().all()) {
+    EXPECT_FALSE(s->description.empty()) << s->name;
+  }
 }
 
 // A stochastic-looking body: every point draws from its own seeded RNG
@@ -131,6 +138,28 @@ std::string run_registered(int jobs) {
 TEST(ScenarioParallel, RegisteredScenarioParallelEqualsSerial) {
   const std::string serial = run_registered(1);
   const std::string parallel = run_registered(8);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+}
+
+// The platform scenario is the widest determinism surface in the repo:
+// each grid point drives a 160-job multi-tenant simulation (shared PFS,
+// coroutine job bodies, node allocator).  Its rendered sweep must also
+// fold back byte-identically under -j.
+std::string run_platform(int jobs) {
+  const scenario::Spec* s =
+      scenario::Registry::global().find("platform_queueing");
+  EXPECT_NE(s, nullptr);
+  expt::Options opt(s->default_scale);
+  scenario::JobBudget budget(jobs);
+  scenario::Context ctx(opt, "", &budget);
+  s->run(ctx);
+  return ctx.output();
+}
+
+TEST(ScenarioParallel, PlatformScenarioParallelEqualsSerial) {
+  const std::string serial = run_platform(1);
+  const std::string parallel = run_platform(8);
   EXPECT_FALSE(serial.empty());
   EXPECT_EQ(serial, parallel);
 }
