@@ -15,6 +15,7 @@
 
 #include "hw/disk.hpp"
 #include "hw/network.hpp"
+#include "iosrv/config.hpp"
 #include "simkit/engine.hpp"
 #include "simkit/task.hpp"
 
@@ -34,6 +35,10 @@ struct IoSubsysParams {
   bool write_behind = true;          // buffered writes flushed by a daemon
   /// SCAN (elevator) disk scheduling at the I/O nodes instead of FIFO.
   bool scan_scheduling = false;
+  /// Active I/O server knobs (cache replacement policy, pattern-driven
+  /// read-ahead, pooled write-behind).  The defaults reproduce the
+  /// legacy passive server byte for byte; see iosrv/config.hpp.
+  iosrv::Config server;
 };
 
 struct MachineConfig {

@@ -1,0 +1,251 @@
+#include "iosrv/cache_policy.hpp"
+
+#include <algorithm>
+
+namespace iosrv {
+
+// ---------------------------------------------------------------- LRU --
+
+bool LruPolicy::lookup(const BlockKey& k) {
+  auto it = map_.find(k);
+  if (it == map_.end()) {
+    count_miss();
+    return false;
+  }
+  count_hit();
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return true;
+}
+
+bool LruPolicy::is_dirty(const BlockKey& k) const {
+  auto it = map_.find(k);
+  return it != map_.end() && it->second.dirty;
+}
+
+bool LruPolicy::insert(const BlockKey& k, bool dirty) {
+  auto it = map_.find(k);
+  if (it != map_.end()) {
+    it->second.dirty = it->second.dirty || dirty;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return true;
+  }
+  while (map_.size() >= capacity()) {
+    if (!evict_one_clean()) return false;  // everything pinned
+  }
+  lru_.push_front(k);
+  map_.emplace(k, Entry{lru_.begin(), dirty});
+  return true;
+}
+
+void LruPolicy::mark_clean(const BlockKey& k) {
+  auto it = map_.find(k);
+  if (it != map_.end()) it->second.dirty = false;
+}
+
+bool LruPolicy::evict_one_clean() {
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    auto m = map_.find(*it);
+    if (!m->second.dirty) {
+      const BlockKey victim = *it;
+      lru_.erase(m->second.lru_pos);
+      map_.erase(m);
+      count_eviction(victim);
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------- ARC --
+
+bool ArcPolicy::contains(const BlockKey& k) const {
+  auto it = map_.find(k);
+  return it != map_.end() &&
+         (it->second.list == List::kT1 || it->second.list == List::kT2);
+}
+
+bool ArcPolicy::is_dirty(const BlockKey& k) const {
+  auto it = map_.find(k);
+  return it != map_.end() && it->second.dirty &&
+         (it->second.list == List::kT1 || it->second.list == List::kT2);
+}
+
+bool ArcPolicy::lookup(const BlockKey& k) {
+  auto it = map_.find(k);
+  if (it == map_.end()) {
+    count_miss();
+    return false;
+  }
+  if (it->second.list != List::kT1 && it->second.list != List::kT2) {
+    // Ghost hit on a read: the data is gone, but the reference still
+    // carries the adaptation signal — IF the ghost had read history.
+    // A never-read ghost is a write whose one read-back arrived after
+    // eviction: that distance is a stream property, not a working set,
+    // and chasing it saturates p while T2's winnable reuse is evicted.
+    // Sub-block reads never insert, so without adapting here they would
+    // never steer p at all.  The ghost stays put (a full-stripe insert
+    // that follows still earns its T2 placement); that insert adapts
+    // again, a same-direction step we accept.
+    if (it->second.referenced) adapt(it->second.list == List::kB2);
+    count_miss();
+    return false;
+  }
+  count_hit();
+  Entry& e = it->second;
+  if (e.referenced) {
+    promote(e, k);
+  } else {
+    // First read of a write-originated block: reading back one's own
+    // write-behind data is recency, not reuse — refresh in place.
+    e.referenced = true;
+    std::list<BlockKey>& l = list_of(e.list);
+    l.splice(l.begin(), l, e.pos);
+    e.pos = l.begin();
+  }
+  return true;
+}
+
+void ArcPolicy::adapt(bool in_b2) {
+  const double b1n = static_cast<double>(b1_.size());
+  const double b2n = static_cast<double>(b2_.size());
+  if (in_b2) {
+    p_ = std::max(0.0, p_ - std::max(b2n > 0.0 ? b1n / b2n : 1.0, 1.0));
+  } else {
+    p_ = std::min(static_cast<double>(capacity()),
+                  p_ + std::max(b1n > 0.0 ? b2n / b1n : 1.0, 1.0));
+  }
+}
+
+void ArcPolicy::promote(Entry& e, const BlockKey& k) {
+  std::list<BlockKey>& from = list_of(e.list);
+  t2_.splice(t2_.begin(), from, e.pos);
+  e.list = List::kT2;
+  e.pos = t2_.begin();
+  (void)k;
+}
+
+void ArcPolicy::mark_clean(const BlockKey& k) {
+  auto it = map_.find(k);
+  if (it != map_.end()) it->second.dirty = false;
+}
+
+void ArcPolicy::drop_ghost_lru(List ghost) {
+  std::list<BlockKey>& l = list_of(ghost);
+  if (l.empty()) return;
+  map_.erase(l.back());
+  l.pop_back();
+}
+
+bool ArcPolicy::evict_from(List from, const List* ghost) {
+  std::list<BlockKey>& l = list_of(from);
+  for (auto it = l.rbegin(); it != l.rend(); ++it) {
+    auto m = map_.find(*it);
+    if (m->second.dirty) continue;  // pinned
+    const BlockKey victim = *it;
+    if (ghost) {
+      std::list<BlockKey>& g = list_of(*ghost);
+      g.splice(g.begin(), l, m->second.pos);
+      m->second.list = *ghost;
+      m->second.pos = g.begin();
+    } else {
+      l.erase(m->second.pos);
+      map_.erase(m);
+    }
+    count_eviction(victim);
+    return true;
+  }
+  return false;
+}
+
+bool ArcPolicy::replace(bool ghost_hit_in_b2) {
+  const double t1n = static_cast<double>(t1_.size());
+  const bool from_t1 =
+      !t1_.empty() && (t1n > p_ || (ghost_hit_in_b2 && t1n == p_));
+  if (from_t1) {
+    const List b1 = List::kB1;
+    if (evict_from(List::kT1, &b1)) return true;
+    const List b2 = List::kB2;
+    return evict_from(List::kT2, &b2);  // T1 fully pinned: fall over
+  }
+  const List b2 = List::kB2;
+  if (evict_from(List::kT2, &b2)) return true;
+  const List b1 = List::kB1;
+  return evict_from(List::kT1, &b1);
+}
+
+bool ArcPolicy::insert(const BlockKey& k, bool dirty) {
+  const std::size_t c = capacity();
+  auto it = map_.find(k);
+  if (it != map_.end() &&
+      (it->second.list == List::kT1 || it->second.list == List::kT2)) {
+    it->second.dirty = it->second.dirty || dirty;
+    if (dirty) {
+      // Write-aware: a write refresh (write-behind absorbing sub-block
+      // pieces, or a checkpoint rewriting its region) is not a
+      // frequency signal — keep the block in its current list, just
+      // refresh recency there.
+      std::list<BlockKey>& l = list_of(it->second.list);
+      l.splice(l.begin(), l, it->second.pos);
+      it->second.pos = l.begin();
+    } else {
+      it->second.referenced = true;
+      promote(it->second, k);
+    }
+    return true;
+  }
+
+  if (it != map_.end()) {  // ghost hit
+    if (dirty || !it->second.referenced) {
+      // Write-aware: a rewrite of an evicted block earns no frequency
+      // credit, and a READ of a never-read ghost is a write's one
+      // read-back arriving after eviction — neither steers p nor earns
+      // T2.  Forget the ghost and insert as if brand-new (landing in
+      // T1 below; a clean insert starts its read history there).
+      list_of(it->second.list).erase(it->second.pos);
+      map_.erase(it);
+      it = map_.end();
+    } else {
+      // Read re-reference of a recently evicted block: adapt p toward
+      // the list whose ghost was hit, make room, land in T2.
+      const bool in_b2 = it->second.list == List::kB2;
+      adapt(in_b2);
+      if (size() >= c && !replace(in_b2)) return false;  // all pinned
+      std::list<BlockKey>& g = list_of(it->second.list);
+      t2_.splice(t2_.begin(), g, it->second.pos);
+      it->second.list = List::kT2;
+      it->second.pos = t2_.begin();
+      it->second.dirty = dirty;
+      it->second.referenced = true;
+      return true;
+    }
+  }
+
+  // Brand-new key.
+  if (t1_.size() + b1_.size() >= c) {
+    if (t1_.size() < c) {
+      drop_ghost_lru(List::kB1);
+      if (size() >= c && !replace(false)) return false;
+    } else {
+      // B1 empty and T1 fills the cache: evict T1's LRU outright.
+      if (!evict_from(List::kT1, nullptr)) return false;
+    }
+  } else if (map_.size() >= c) {
+    if (map_.size() >= 2 * c) drop_ghost_lru(List::kB2);
+    if (size() >= c && !replace(false)) return false;
+  }
+  t1_.push_front(k);
+  map_.emplace(k, Entry{t1_.begin(), List::kT1, dirty, /*referenced=*/!dirty});
+  return true;
+}
+
+// ------------------------------------------------------------- factory --
+
+std::unique_ptr<CachePolicy> make_policy(PolicyKind kind,
+                                         std::size_t capacity_blocks) {
+  if (kind == PolicyKind::kArc) {
+    return std::make_unique<ArcPolicy>(capacity_blocks);
+  }
+  return std::make_unique<LruPolicy>(capacity_blocks);
+}
+
+}  // namespace iosrv

@@ -1,0 +1,230 @@
+// iosrv/cache_policy.hpp — pluggable block-cache replacement policies
+// for the active I/O servers.
+//
+// A CachePolicy is a timing-only presence map over (file, block) keys:
+// content correctness lives at the client layer (pfs::SparseStore), the
+// policy only decides which requests cost a disk access.  Two semantic
+// constraints carry over from the historical pfs::BlockCache:
+//
+//   * dirty blocks (write-behind data not yet on disk) are PINNED —
+//     they can never be evicted until mark_clean();
+//   * insert() fails (returns false) when the cache is saturated with
+//     pinned blocks, instead of evicting one.
+//
+// LruPolicy reproduces the historical BlockCache move for move, so an
+// IoNode configured with it behaves byte-identically to pre-iosrv
+// builds.  ArcPolicy implements ARC (Megiddo & Modha), which splits the
+// cache between a recency list and a frequency list steered by ghost
+// hits — the scan-resistant policy a shared server wants when one
+// tenant's streaming dump would otherwise flush another tenant's
+// re-read working set.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+
+#include "iosrv/config.hpp"
+
+namespace iosrv {
+
+struct BlockKey {
+  std::uint64_t file = 0;
+  std::uint64_t block = 0;
+  bool operator==(const BlockKey&) const = default;
+};
+
+/// Two-round splitmix64.  The historical hash was `(file << 40) ^
+/// block`, which collides whole families outright — (f, 0) and
+/// (0, f << 40) map to the same value — and degrades the maps to bucket
+/// chains for block numbers >= 2^40.  A finalizer alone cannot help
+/// (identical pre-mix values stay identical), so `file` is mixed to a
+/// full 64-bit value BEFORE `block` is folded in, then mixed again.
+struct BlockKeyHash {
+  std::size_t operator()(const BlockKey& k) const noexcept {
+    auto mix = [](std::uint64_t z) noexcept {
+      z += 0x9E3779B97f4A7C15ULL;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      return z ^ (z >> 31);
+    };
+    return static_cast<std::size_t>(mix(mix(k.file) ^ k.block));
+  }
+};
+
+class CachePolicy {
+ public:
+  /// Called with each key evicted from residency (demotions to ARC
+  /// ghost lists included — the block's data is gone either way).  The
+  /// server uses this for eviction counters and read-ahead waste
+  /// accounting.  May be empty.
+  using EvictListener = std::function<void(const BlockKey&)>;
+
+  explicit CachePolicy(std::size_t capacity_blocks)
+      : capacity_(capacity_blocks) {}
+  virtual ~CachePolicy() = default;
+  CachePolicy(const CachePolicy&) = delete;
+  CachePolicy& operator=(const CachePolicy&) = delete;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  std::uint64_t evictions() const noexcept { return evictions_; }
+
+  void set_evict_listener(EvictListener l) { listener_ = std::move(l); }
+
+  virtual std::string_view name() const noexcept = 0;
+  /// Resident block count.
+  virtual std::size_t size() const noexcept = 0;
+
+  /// Lookup with policy touch (LRU promotion / ARC frequency upgrade);
+  /// counts hit/miss statistics.
+  virtual bool lookup(const BlockKey& k) = 0;
+
+  /// Presence / dirtiness checks without statistics or promotion.
+  virtual bool contains(const BlockKey& k) const = 0;
+  virtual bool is_dirty(const BlockKey& k) const = 0;
+
+  /// Insert (or refresh) a block.  Evicts unpinned blocks when over
+  /// capacity; returns false if the cache is saturated with pinned
+  /// dirty blocks and the insert was skipped.  Refreshing an existing
+  /// block merges the dirty flag (dirty wins).
+  virtual bool insert(const BlockKey& k, bool dirty) = 0;
+
+  /// Mark a dirty block clean (the flusher finished writing it).
+  virtual void mark_clean(const BlockKey& k) = 0;
+
+ protected:
+  void count_hit() noexcept { ++hits_; }
+  void count_miss() noexcept { ++misses_; }
+  void count_eviction(const BlockKey& k) {
+    ++evictions_;
+    if (listener_) listener_(k);
+  }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  EvictListener listener_;
+};
+
+/// Classic LRU with dirty pinning — the historical pfs::BlockCache
+/// behind the CachePolicy interface (pfs::BlockCache is now an alias).
+class LruPolicy final : public CachePolicy {
+ public:
+  explicit LruPolicy(std::size_t capacity_blocks)
+      : CachePolicy(capacity_blocks) {}
+
+  std::string_view name() const noexcept override { return "lru"; }
+  std::size_t size() const noexcept override { return map_.size(); }
+  bool lookup(const BlockKey& k) override;
+  bool contains(const BlockKey& k) const override {
+    return map_.count(k) != 0;
+  }
+  bool is_dirty(const BlockKey& k) const override;
+  bool insert(const BlockKey& k, bool dirty) override;
+  void mark_clean(const BlockKey& k) override;
+
+ private:
+  struct Entry {
+    std::list<BlockKey>::iterator lru_pos;
+    bool dirty;
+  };
+
+  bool evict_one_clean();
+
+  std::list<BlockKey> lru_;
+  std::unordered_map<BlockKey, Entry, BlockKeyHash> map_;
+};
+
+/// ARC (adaptive replacement cache) with dirty pinning.  Residents live
+/// in T1 (seen once recently) or T2 (seen at least twice); ghosts of
+/// recent evictions live in B1/B2 and steer the adaptation target `p`
+/// (the T1 share of capacity).  Deviations from the textbook, all
+/// motivated by what an I/O server actually sees:
+///
+///   * a victim choice skips pinned (dirty) blocks, falling over to the
+///     other resident list, and insert() fails when everything resident
+///     is pinned — matching the LRU contract above;
+///   * WRITE-AWARE: dirty inserts (write-behind buffering) never promote
+///     to T2 and never steer `p` — a checkpoint dump rewriting its state
+///     region in sub-block pieces is one logical reference, not
+///     frequency, and letting it colonize T2 evicts the read working
+///     sets the frequency list exists to protect.  The FIRST read hit on
+///     a write-originated block is the stream draining its own
+///     write-behind data (write once, read back once, dead), so it only
+///     refreshes recency; T2 membership takes a second read reference;
+///   * lookup() of a ghost adapts `p` even though the data is gone (the
+///     server cannot re-materialize a partial read), so adaptation also
+///     learns from sub-block read misses.
+class ArcPolicy final : public CachePolicy {
+ public:
+  explicit ArcPolicy(std::size_t capacity_blocks)
+      : CachePolicy(capacity_blocks) {}
+
+  std::string_view name() const noexcept override { return "arc"; }
+  std::size_t size() const noexcept override { return t1_.size() + t2_.size(); }
+  bool lookup(const BlockKey& k) override;
+  bool contains(const BlockKey& k) const override;
+  bool is_dirty(const BlockKey& k) const override;
+  bool insert(const BlockKey& k, bool dirty) override;
+  void mark_clean(const BlockKey& k) override;
+
+  /// Adaptation target for |T1| (test/diagnostic).
+  double p() const noexcept { return p_; }
+  std::size_t t1_size() const noexcept { return t1_.size(); }
+  std::size_t t2_size() const noexcept { return t2_.size(); }
+  std::size_t b1_size() const noexcept { return b1_.size(); }
+  std::size_t b2_size() const noexcept { return b2_.size(); }
+
+ private:
+  enum class List : std::uint8_t { kT1, kT2, kB1, kB2 };
+
+  struct Entry {
+    std::list<BlockKey>::iterator pos;
+    List list;
+    bool dirty = false;
+    /// True once the block has a demand-read reference behind it (a
+    /// clean insert is one; a dirty insert is not).  Gates promotion:
+    /// only the reference AFTER a read reference proves read reuse.
+    bool referenced = false;
+  };
+
+  std::list<BlockKey>& list_of(List l) noexcept {
+    switch (l) {
+      case List::kT1: return t1_;
+      case List::kT2: return t2_;
+      case List::kB1: return b1_;
+      default: return b2_;
+    }
+  }
+
+  /// Nudge `p` toward the list whose ghost was hit (B1 hit: grow T1's
+  /// target; B2 hit: shrink it).
+  void adapt(bool in_b2);
+  /// Move a resident entry to the MRU end of T2 (a repeated reference).
+  void promote(Entry& e, const BlockKey& k);
+  /// Demote one unpinned resident to its ghost list per the ARC REPLACE
+  /// rule (ghost_hit_in_b2 biases toward evicting from T1 at |T1|==p).
+  /// Returns false when every resident block is pinned.
+  bool replace(bool ghost_hit_in_b2);
+  /// Evict the LRU unpinned block of `from`, remembering it in `ghost`
+  /// (kB1/kB2), or dropping it entirely when `ghost` is nullptr.
+  bool evict_from(List from, const List* ghost);
+  void drop_ghost_lru(List ghost);
+
+  std::list<BlockKey> t1_, t2_, b1_, b2_;
+  std::unordered_map<BlockKey, Entry, BlockKeyHash> map_;
+  double p_ = 0.0;
+};
+
+/// Factory for the configured policy.
+std::unique_ptr<CachePolicy> make_policy(PolicyKind kind,
+                                         std::size_t capacity_blocks);
+
+}  // namespace iosrv

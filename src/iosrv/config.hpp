@@ -1,0 +1,93 @@
+// iosrv/config.hpp — configuration for the active I/O server layer.
+//
+// ViPIOS-style smart servers (PAPERS.md) make their own caching and
+// scheduling decisions instead of serving a passive FIFO of requests.
+// This header is the knob surface: which block-replacement policy the
+// per-node cache runs, whether the server detects access patterns and
+// reads ahead, and whether write-behind uses the legacy
+// one-slot-one-flusher model or a bounded dirty pool with watermark
+// draining.  The defaults reproduce the pre-iosrv IoNode byte for byte
+// (LRU, no read-ahead, legacy write-behind) — CI pins that identity.
+//
+// Header-only on purpose: hw::IoSubsysParams embeds a Config without
+// pulling the iosrv library into the hw link line.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace iosrv {
+
+enum class PolicyKind : std::uint8_t {
+  kLru,  // classic least-recently-used (the historical BlockCache)
+  kArc,  // adaptive replacement cache: scan-resistant recency+frequency
+};
+
+constexpr std::string_view to_string(PolicyKind p) {
+  return p == PolicyKind::kLru ? "lru" : "arc";
+}
+
+constexpr std::optional<PolicyKind> parse_policy(std::string_view s) {
+  if (s == "lru") return PolicyKind::kLru;
+  if (s == "arc") return PolicyKind::kArc;
+  return std::nullopt;
+}
+
+/// Pattern-driven server-side read-ahead.  The server watches each
+/// (client, file) request stream for sequential or constant-stride block
+/// runs and prefetches ahead of the detected run, bounded by an
+/// in-flight budget so speculation never floods the disk queue.
+struct ReadAheadConfig {
+  bool enabled = false;
+  /// Run length (consecutive constant-stride accesses) that arms
+  /// prefetching for a stream.
+  int min_run = 3;
+  /// Blocks prefetched ahead of the run per triggering access.
+  std::uint32_t degree = 2;
+  /// Maximum prefetch reads in flight per I/O node (the budget).
+  std::uint32_t max_inflight = 4;
+};
+
+enum class WritebackMode : std::uint8_t {
+  /// Historical Paragon model: each buffered write takes one dirty slot
+  /// and spawns its own flusher immediately.
+  kLegacy,
+  /// Bounded dirty-buffer pool: writes complete into the pool; a
+  /// background drainer writes blocks out once the pool crosses the
+  /// high watermark, draining down to the low watermark, at most
+  /// `drain_width` disk writes at a time.
+  kPool,
+};
+
+constexpr std::string_view to_string(WritebackMode m) {
+  return m == WritebackMode::kLegacy ? "legacy" : "pool";
+}
+
+struct WritebackConfig {
+  WritebackMode mode = WritebackMode::kLegacy;
+  /// Dirty-buffer pool size in blocks; 0 means "cache capacity".
+  std::uint32_t pool_blocks = 0;
+  /// Fraction of the pool at which background draining starts.
+  double high_watermark = 0.75;
+  /// Fraction the drainer stops at (forced drains go to zero).
+  double low_watermark = 0.25;
+  /// Concurrent drain writes per node — the throttle that keeps a
+  /// checkpoint burst from starving demand reads at the disk queue.
+  std::uint32_t drain_width = 2;
+};
+
+/// The whole smart-server knob set, embedded in hw::IoSubsysParams.
+struct Config {
+  PolicyKind policy = PolicyKind::kLru;
+  ReadAheadConfig readahead;
+  WritebackConfig writeback;
+
+  /// True iff every knob still selects the legacy IoNode behaviour.
+  constexpr bool is_legacy() const {
+    return policy == PolicyKind::kLru && !readahead.enabled &&
+           writeback.mode == WritebackMode::kLegacy;
+  }
+};
+
+}  // namespace iosrv

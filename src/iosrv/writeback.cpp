@@ -1,0 +1,111 @@
+#include "iosrv/writeback.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace iosrv {
+
+WritebackPool::WritebackPool(simkit::Engine& eng, const WritebackConfig& cfg,
+                             std::size_t cache_blocks, Writer writer)
+    : eng_(eng), writer_(std::move(writer)) {
+  cap_ = cfg.pool_blocks != 0 ? cfg.pool_blocks : cache_blocks;
+  cap_ = std::max<std::size_t>(cap_, 1);
+  const double hw = std::clamp(cfg.high_watermark, 0.0, 1.0);
+  const double lw = std::clamp(cfg.low_watermark, 0.0, 1.0);
+  high_ = std::clamp<std::size_t>(
+      static_cast<std::size_t>(
+          std::ceil(hw * static_cast<double>(cap_))),
+      1, cap_);
+  low_ = std::min<std::size_t>(
+      static_cast<std::size_t>(std::floor(lw * static_cast<double>(cap_))),
+      high_ - 1);
+  drain_width_ = std::max<std::uint32_t>(cfg.drain_width, 1);
+}
+
+simkit::Task<void> WritebackPool::submit(DirtyBlock b) {
+  assert(!is_dirty(b.key) && "caller absorbs overwrites of dirty blocks");
+  if (dirty_.size() >= cap_) {
+    ++stalls_;
+    const simkit::Time t0 = eng_.now();
+    while (dirty_.size() >= cap_) co_await wait_for_buffer();
+    stall_time_ += eng_.now() - t0;
+  }
+  const std::uint64_t file = b.key.file;
+  dirty_.emplace(b.key, 0);
+  file_dirty_[file] += 1;
+  queue_.push_back(std::move(b));
+  max_dirty_ = std::max(max_dirty_, dirty_.size());
+  if (dirty_.size() >= high_ || force_ > 0) ensure_drainer();
+}
+
+void WritebackPool::ensure_drainer() {
+  if (drainer_running_) return;
+  drainer_running_ = true;
+  eng_.spawn(drain_loop(), "iosrv.drain");
+}
+
+simkit::Task<void> WritebackPool::drain_loop() {
+  ++wakes_;
+  while (want_drain()) {
+    const std::size_t width =
+        std::min<std::size_t>(drain_width_, queue_.size());
+    std::vector<simkit::ProcHandle> workers;
+    workers.reserve(width);
+    for (std::size_t i = 0; i < width; ++i) {
+      workers.push_back(eng_.spawn(drain_worker(), "iosrv.drain.w"));
+    }
+    for (simkit::ProcHandle& w : workers) co_await w.join();
+  }
+  // No suspension between the last want_drain() check and this reset,
+  // so a submit that crosses the watermark always sees the truth.
+  drainer_running_ = false;
+}
+
+simkit::Task<void> WritebackPool::drain_worker() {
+  while (want_drain()) {
+    DirtyBlock b = queue_.front();
+    queue_.pop_front();
+    try {
+      co_await writer_(b);
+    } catch (...) {
+      ++write_errors_;  // the legacy flusher could not fail; count it
+    }
+    complete(b);
+  }
+}
+
+void WritebackPool::complete(const DirtyBlock& b) {
+  dirty_.erase(b.key);
+  ++drained_;
+  auto it = file_dirty_.find(b.key.file);
+  assert(it != file_dirty_.end());
+  if (--it->second == 0) {
+    file_dirty_.erase(it);
+    auto trig = file_clean_.find(b.key.file);
+    if (trig != file_clean_.end()) {
+      trig->second->fire(eng_);
+      file_clean_.erase(trig);
+    }
+  }
+  if (!stalled_.empty() && dirty_.size() < cap_) {
+    eng_.schedule_at(eng_.now(), stalled_.front());
+    stalled_.pop_front();
+  }
+}
+
+simkit::Task<void> WritebackPool::drain_file(std::uint64_t file) {
+  if (file_dirty_.count(file) == 0) co_return;
+  ++force_;
+  ensure_drainer();
+  while (file_dirty_.count(file) != 0) {
+    auto& trig = file_clean_[file];
+    if (!trig) trig = std::make_shared<simkit::Trigger>();
+    auto local = trig;  // keep alive across the wait
+    co_await local->wait();
+  }
+  --force_;
+}
+
+}  // namespace iosrv

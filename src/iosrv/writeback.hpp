@@ -1,0 +1,130 @@
+// iosrv/writeback.hpp — bounded dirty-buffer pool with watermark-driven
+// background draining.
+//
+// The legacy IoNode write-behind model spawned one flusher per buffered
+// write: every dirty block's disk write was queued immediately, so a
+// checkpoint burst slammed the full burst into the disk queue ahead of
+// any demand read.  The pool generalizes it:
+//
+//   * a write completes once it holds one of `pool_blocks` dirty
+//     buffers; when the pool is full the writer STALLS (the watermark
+//     stall the server accounts for),
+//   * a background drainer starts once the pool crosses the high
+//     watermark and drains oldest-first down to the low watermark,
+//     keeping at most `drain_width` disk writes in flight — the
+//     throttle that leaves disk-queue room for demand reads,
+//   * drain_file() forces everything out (close/flush semantics) and
+//     completes only when the file has no dirty blocks left.
+//
+// Every coroutine here is finite: the drainer exits when its work is
+// done, so a simulation drains exactly when all forced flushes have
+// completed.  Blocks below the low watermark with no force pending stay
+// buffered — that is what a write-behind cache is.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "iosrv/cache_policy.hpp"
+#include "iosrv/config.hpp"
+#include "simkit/engine.hpp"
+#include "simkit/trigger.hpp"
+
+namespace iosrv {
+
+/// One buffered write-behind block: the cache key plus what the flusher
+/// needs to price the disk write.  Absorbed overwrites keep the first
+/// write's extent, as the legacy flusher did.
+struct DirtyBlock {
+  BlockKey key;
+  std::uint64_t local_offset = 0;
+  std::uint64_t length = 0;
+};
+
+class WritebackPool {
+ public:
+  /// Performs the physical write of one block (the IoNode binds this to
+  /// its disk arms).  Exceptions are swallowed and counted — matching
+  /// the legacy flusher, which could not fail.
+  using Writer = std::function<simkit::Task<void>(const DirtyBlock&)>;
+
+  /// `cache_blocks` substitutes for WritebackConfig::pool_blocks == 0.
+  WritebackPool(simkit::Engine& eng, const WritebackConfig& cfg,
+                std::size_t cache_blocks, Writer writer);
+
+  std::size_t pool_blocks() const noexcept { return cap_; }
+  std::size_t high_watermark_blocks() const noexcept { return high_; }
+  std::size_t low_watermark_blocks() const noexcept { return low_; }
+
+  bool is_dirty(const BlockKey& k) const { return dirty_.count(k) != 0; }
+  std::size_t dirty_count() const noexcept { return dirty_.size(); }
+
+  /// Buffer one block (precondition: !is_dirty(b.key) — the caller
+  /// absorbs overwrites of an already-dirty block).  Completes once a
+  /// pool buffer is held; stalls while the pool is full.
+  simkit::Task<void> submit(DirtyBlock b);
+
+  /// Force-drain until `file` has no dirty blocks (drains the whole
+  /// pool oldest-first — close semantics).
+  simkit::Task<void> drain_file(std::uint64_t file);
+
+  // -- statistics ---------------------------------------------------------
+  std::uint64_t drained() const noexcept { return drained_; }
+  std::uint64_t stalls() const noexcept { return stalls_; }
+  simkit::Duration stall_time() const noexcept { return stall_time_; }
+  std::size_t max_dirty() const noexcept { return max_dirty_; }
+  std::uint64_t drainer_wakes() const noexcept { return wakes_; }
+  std::uint64_t write_errors() const noexcept { return write_errors_; }
+
+ private:
+  simkit::Task<void> drain_loop();
+  simkit::Task<void> drain_worker();
+  void ensure_drainer();
+  /// Wants-draining predicate: above low watermark, or anything queued
+  /// while a force-drain waits.
+  bool want_drain() const noexcept {
+    return !queue_.empty() &&
+           (force_ > 0 || dirty_.size() > low_);
+  }
+  void complete(const DirtyBlock& b);
+
+  auto wait_for_buffer() {
+    struct Awaiter {
+      WritebackPool& p;
+      bool await_ready() const noexcept { return p.dirty_.size() < p.cap_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        p.stalled_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  simkit::Engine& eng_;
+  Writer writer_;
+  std::size_t cap_;
+  std::size_t high_;
+  std::size_t low_;
+  std::uint32_t drain_width_;
+
+  std::deque<DirtyBlock> queue_;  // buffered, not yet picked by a worker
+  std::unordered_map<BlockKey, char, BlockKeyHash> dirty_;
+  std::map<std::uint64_t, std::uint64_t> file_dirty_;  // file -> blocks
+  std::map<std::uint64_t, std::shared_ptr<simkit::Trigger>> file_clean_;
+  std::deque<std::coroutine_handle<>> stalled_;
+  bool drainer_running_ = false;
+  int force_ = 0;  // active drain_file() waiters
+
+  std::uint64_t drained_ = 0;
+  std::uint64_t stalls_ = 0;
+  simkit::Duration stall_time_ = 0.0;
+  std::size_t max_dirty_ = 0;
+  std::uint64_t wakes_ = 0;
+  std::uint64_t write_errors_ = 0;
+};
+
+}  // namespace iosrv

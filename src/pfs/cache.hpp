@@ -1,107 +1,24 @@
-// pfs/cache.hpp — per-I/O-node block cache (timing-only LRU presence map).
+// pfs/cache.hpp — per-I/O-node block cache (timing-only presence map).
 //
 // Content correctness is handled by SparseStore at the client layer; the
 // cache only decides whether a request costs a disk access.  Dirty blocks
 // (write-behind) are pinned: they cannot be evicted until the flusher has
 // written them out.
+//
+// The implementation moved to the iosrv subsystem, which generalizes the
+// historical LRU map into a pluggable replacement-policy interface
+// (iosrv::CachePolicy, with LRU and ARC instances).  These aliases keep
+// the pfs:: spelling working; pfs::BlockCache IS the historical LRU
+// policy, move for move.
 #pragma once
 
-#include <cstdint>
-#include <list>
-#include <unordered_map>
-
+#include "iosrv/cache_policy.hpp"
 #include "pfs/types.hpp"
 
 namespace pfs {
 
-struct BlockKey {
-  FileId file;
-  std::uint64_t block;
-  bool operator==(const BlockKey&) const = default;
-};
-
-struct BlockKeyHash {
-  std::size_t operator()(const BlockKey& k) const noexcept {
-    return std::hash<std::uint64_t>{}((static_cast<std::uint64_t>(k.file)
-                                       << 40) ^ k.block);
-  }
-};
-
-class BlockCache {
- public:
-  explicit BlockCache(std::size_t capacity_blocks)
-      : capacity_(capacity_blocks) {}
-
-  std::size_t capacity() const noexcept { return capacity_; }
-  std::size_t size() const noexcept { return map_.size(); }
-  std::uint64_t hits() const noexcept { return hits_; }
-  std::uint64_t misses() const noexcept { return misses_; }
-
-  /// Lookup with LRU touch; counts hit/miss statistics.
-  bool lookup(const BlockKey& k) {
-    auto it = map_.find(k);
-    if (it == map_.end()) {
-      ++misses_;
-      return false;
-    }
-    ++hits_;
-    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-    return true;
-  }
-
-  bool contains(const BlockKey& k) const { return map_.count(k) != 0; }
-  bool is_dirty(const BlockKey& k) const {
-    auto it = map_.find(k);
-    return it != map_.end() && it->second.dirty;
-  }
-
-  /// Insert (or refresh) a block.  Evicts clean LRU blocks when over
-  /// capacity; dirty blocks are never evicted.  Returns false if the cache
-  /// is saturated with pinned dirty blocks and the insert was skipped.
-  bool insert(const BlockKey& k, bool dirty) {
-    auto it = map_.find(k);
-    if (it != map_.end()) {
-      it->second.dirty = it->second.dirty || dirty;
-      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-      return true;
-    }
-    while (map_.size() >= capacity_) {
-      if (!evict_one_clean()) return false;  // everything pinned
-    }
-    lru_.push_front(k);
-    map_.emplace(k, Entry{lru_.begin(), dirty});
-    return true;
-  }
-
-  /// Mark a dirty block clean (flusher finished writing it).
-  void mark_clean(const BlockKey& k) {
-    auto it = map_.find(k);
-    if (it != map_.end()) it->second.dirty = false;
-  }
-
- private:
-  struct Entry {
-    std::list<BlockKey>::iterator lru_pos;
-    bool dirty;
-  };
-
-  bool evict_one_clean() {
-    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-      auto m = map_.find(*it);
-      if (!m->second.dirty) {
-        lru_.erase(m->second.lru_pos);
-        map_.erase(m);
-        return true;
-      }
-    }
-    return false;
-  }
-
-  std::size_t capacity_;
-  std::list<BlockKey> lru_;
-  std::unordered_map<BlockKey, Entry, BlockKeyHash> map_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-};
+using BlockKey = iosrv::BlockKey;
+using BlockKeyHash = iosrv::BlockKeyHash;
+using BlockCache = iosrv::LruPolicy;
 
 }  // namespace pfs

@@ -84,8 +84,8 @@ simkit::Task<void> StripedFs::piece_read(hw::NodeId client, FileId file,
   IoNode& node = *nodes_[piece.server];
   auto& net = machine_.network();
   co_await net.transfer(client, node.node_id(), kHeaderBytes);
-  co_await node.process(hw::AccessKind::kRead, file, piece.local_offset,
-                        piece.length);
+  co_await node.process(hw::AccessKind::kRead, client, file,
+                        piece.local_offset, piece.length);
   co_await net.transfer(node.node_id(), client, piece.length);
 }
 
@@ -95,8 +95,8 @@ simkit::Task<void> StripedFs::piece_write(hw::NodeId client, FileId file,
   auto& net = machine_.network();
   co_await net.transfer(client, node.node_id(),
                         kHeaderBytes + piece.length);
-  co_await node.process(hw::AccessKind::kWrite, file, piece.local_offset,
-                        piece.length);
+  co_await node.process(hw::AccessKind::kWrite, client, file,
+                        piece.local_offset, piece.length);
 }
 
 simkit::Task<void> StripedFs::pread(hw::NodeId client, FileId file,

@@ -23,7 +23,7 @@ IoNode::IoNode(simkit::Engine& eng, hw::NodeId self, std::size_t index,
       io_(io),
       front_(eng, 1),
       dirty_slots_(eng, cache_blocks(io)),
-      cache_(cache_blocks(io)) {
+      cache_(iosrv::make_policy(io.server.policy, cache_blocks(io))) {
   disks_.reserve(io_.disks_per_io_node);
   for (std::uint32_t i = 0; i < io_.disks_per_io_node; ++i) {
     disks_.push_back(
@@ -32,6 +32,27 @@ IoNode::IoNode(simkit::Engine& eng, hw::NodeId self, std::size_t index,
       injector_->attach_disk(index_, i, &disks_.back()->mutable_model());
     }
   }
+  if (io_.server.writeback.mode == iosrv::WritebackMode::kPool &&
+      io_.write_behind) {
+    pool_ = std::make_unique<iosrv::WritebackPool>(
+        eng_, io_.server.writeback, cache_blocks(io_),
+        [this](const iosrv::DirtyBlock& b) -> simkit::Task<void> {
+          const FileId file = static_cast<FileId>(b.key.file);
+          co_await disk_for(file).serve(phys_of(file, b.local_offset),
+                                        b.length, hw::AccessKind::kWrite);
+          ++disk_writes_;
+          if (m_disk_writes_) m_disk_writes_->inc();
+          if (m_wb_drained_) m_wb_drained_->inc();
+          cache_->mark_clean(b.key);
+        });
+  }
+  cache_->set_evict_listener([this](const iosrv::BlockKey& k) {
+    if (m_cache_evictions_) m_cache_evictions_->inc();
+    if (ra_unused_.erase(k) != 0) {
+      ++ra_waste_;
+      if (m_ra_waste_) m_ra_waste_->inc();
+    }
+  });
   if (metrics::Registry* r = metrics::current()) {
     // Cache and disk-op counters aggregate across nodes; the queue-depth
     // timeseries is per node (hot-spotting is a per-node phenomenon).
@@ -39,8 +60,19 @@ IoNode::IoNode(simkit::Engine& eng, hw::NodeId self, std::size_t index,
     m_requests_ = &r->counter("pfs.requests");
     m_cache_hits_ = &r->counter("pfs.cache.hits");
     m_cache_misses_ = &r->counter("pfs.cache.misses");
+    m_cache_evictions_ = &r->counter("pfs.cache.evictions");
     m_disk_reads_ = &r->counter("pfs.disk.reads");
     m_disk_writes_ = &r->counter("pfs.disk.writes");
+    if (io_.server.readahead.enabled) {
+      m_ra_issued_ = &r->counter("pfs.server.readahead.issued");
+      m_ra_hits_ = &r->counter("pfs.server.readahead.hits");
+      m_ra_late_hits_ = &r->counter("pfs.server.readahead.late_hits");
+      m_ra_waste_ = &r->counter("pfs.server.readahead.waste");
+    }
+    if (pool_) {
+      m_wb_drained_ = &r->counter("pfs.server.writeback.drained");
+      m_wb_stalls_ = &r->counter("pfs.server.writeback.stalls");
+    }
     m_queue_depth_ =
         &r->timeseries(prefix + "queue_depth", /*interval=*/1e-3);
   }
@@ -73,8 +105,8 @@ std::uint64_t IoNode::phys_of(FileId file, std::uint64_t local_offset) {
   return segs[idx] + local_offset % kSegmentBytes;
 }
 
-simkit::Task<void> IoNode::process(hw::AccessKind kind, FileId file,
-                                   std::uint64_t local_offset,
+simkit::Task<void> IoNode::process(hw::AccessKind kind, hw::NodeId client,
+                                   FileId file, std::uint64_t local_offset,
                                    std::uint64_t length) {
   assert(length > 0 &&
          length <= io_.stripe_unit_bytes &&
@@ -99,25 +131,56 @@ simkit::Task<void> IoNode::process(hw::AccessKind kind, FileId file,
   check_faults();
 
   const BlockKey key{file, local_offset / io_.stripe_unit_bytes};
+  const bool ra_on = io_.server.readahead.enabled;
 
   if (kind == hw::AccessKind::kRead) {
-    const bool hit = cache_.lookup(key);
+    const bool hit = cache_->lookup(key);
     if (m_cache_hits_) (hit ? m_cache_hits_ : m_cache_misses_)->inc();
-    if (!hit) {
-      co_await disk_for(file).serve(phys_of(file, local_offset), length,
-                                    hw::AccessKind::kRead);
-      ++disk_reads_;
-      if (m_disk_reads_) m_disk_reads_->inc();
-      // Only a full stripe unit read populates the cache (block-grained).
-      if (length == io_.stripe_unit_bytes) cache_.insert(key, false);
+    if (hit) {
+      if (ra_on && ra_unused_.erase(key) != 0) {
+        ++ra_hits_;
+        if (m_ra_hits_) m_ra_hits_->inc();
+      }
+    } else {
+      auto inflight =
+          ra_on ? ra_inflight_.find(key) : ra_inflight_.end();
+      if (ra_on && inflight != ra_inflight_.end()) {
+        // The block's prefetch is already on the disk queue: join it
+        // instead of issuing a duplicate disk read.
+        auto trig = inflight->second;  // keep alive across the wait
+        co_await trig->wait();
+        ra_unused_.erase(key);
+        ++ra_late_hits_;
+        if (m_ra_late_hits_) m_ra_late_hits_->inc();
+      } else {
+        co_await disk_for(file).serve(phys_of(file, local_offset), length,
+                                      hw::AccessKind::kRead);
+        ++disk_reads_;
+        if (m_disk_reads_) m_disk_reads_->inc();
+        // Only a full stripe unit read populates the cache (block-grained).
+        if (length == io_.stripe_unit_bytes) cache_->insert(key, false);
+      }
+    }
+    if (ra_on) maybe_readahead(client, file, key.block);
+  } else if (io_.write_behind && pool_) {
+    if (pool_->is_dirty(key)) {
+      // Absorbed into an already-buffered block: refresh the cache entry.
+      cache_->insert(key, true);
+    } else {
+      const std::size_t stalls_before = pool_->stalls();
+      co_await pool_->submit({key, local_offset, length});
+      if (m_wb_stalls_ && pool_->stalls() != stalls_before) {
+        m_wb_stalls_->inc();
+      }
+      cache_->insert(key, true);
     }
   } else if (io_.write_behind) {
-    if (cache_.is_dirty(key)) {
+    if (cache_->is_dirty(key)) {
       // Absorbed into an already-dirty block: no new slot, no new flush.
-      cache_.insert(key, true);
+      cache_->insert(key, true);
     } else {
       co_await dirty_slots_.acquire();  // backpressure when flusher lags
-      cache_.insert(key, true);
+      cache_->insert(key, true);
       ++dirty_count_[file];
       eng_.spawn(flush_block(file, local_offset, length, key), "flush");
     }
@@ -126,9 +189,51 @@ simkit::Task<void> IoNode::process(hw::AccessKind kind, FileId file,
                                   hw::AccessKind::kWrite);
     ++disk_writes_;
     if (m_disk_writes_) m_disk_writes_->inc();
-    cache_.insert(key, false);
+    cache_->insert(key, false);
   }
   busy_ += eng_.now() - t0;
+}
+
+void IoNode::maybe_readahead(hw::NodeId client, FileId file,
+                             std::uint64_t block) {
+  const iosrv::RunInfo run = pattern_.note(client, file, block);
+  const iosrv::ReadAheadConfig& ra = io_.server.readahead;
+  if (run.stride == 0 || run.length < ra.min_run) return;
+  for (std::uint32_t i = 1; i <= ra.degree; ++i) {
+    if (ra_inflight_count_ >= ra.max_inflight) break;  // the budget
+    const std::int64_t next =
+        static_cast<std::int64_t>(block) +
+        run.stride * static_cast<std::int64_t>(i);
+    if (next < 0) break;
+    const BlockKey k{file, static_cast<std::uint64_t>(next)};
+    if (cache_->contains(k) || ra_inflight_.count(k) != 0) continue;
+    ra_inflight_.emplace(k, std::make_shared<simkit::Trigger>());
+    ++ra_inflight_count_;
+    ++ra_issued_;
+    if (m_ra_issued_) m_ra_issued_->inc();
+    eng_.spawn(prefetch_block(file, k), "iosrv.ra");
+  }
+}
+
+simkit::Task<void> IoNode::prefetch_block(FileId file, BlockKey key) {
+  const std::uint64_t local_offset = key.block * io_.stripe_unit_bytes;
+  co_await disk_for(file).serve(phys_of(file, local_offset),
+                                io_.stripe_unit_bytes, hw::AccessKind::kRead);
+  ++disk_reads_;
+  if (m_disk_reads_) m_disk_reads_->inc();
+  if (cache_->insert(key, false)) {
+    ra_unused_.insert(key);
+  } else {
+    // Cache saturated with pinned blocks: the speculative read is lost.
+    ++ra_waste_;
+    if (m_ra_waste_) m_ra_waste_->inc();
+  }
+  auto it = ra_inflight_.find(key);
+  assert(it != ra_inflight_.end());
+  auto trig = it->second;
+  ra_inflight_.erase(it);
+  --ra_inflight_count_;
+  trig->fire(eng_);
 }
 
 simkit::Task<void> IoNode::flush_block(FileId file, std::uint64_t local_offset,
@@ -137,7 +242,7 @@ simkit::Task<void> IoNode::flush_block(FileId file, std::uint64_t local_offset,
                                 hw::AccessKind::kWrite);
   ++disk_writes_;
   if (m_disk_writes_) m_disk_writes_->inc();
-  cache_.mark_clean(key);
+  cache_->mark_clean(key);
   dirty_slots_.release();
   auto it = dirty_count_.find(file);
   if (it != dirty_count_.end() && --it->second == 0) {
@@ -151,6 +256,10 @@ simkit::Task<void> IoNode::flush_block(FileId file, std::uint64_t local_offset,
 }
 
 simkit::Task<void> IoNode::drain(FileId file) {
+  if (pool_) {
+    co_await pool_->drain_file(file);
+    co_return;
+  }
   while (dirty_count_.count(file) != 0) {
     auto& trig = drain_triggers_[file];
     if (!trig) trig = std::make_shared<simkit::Trigger>();

@@ -4,26 +4,40 @@
 //   1. front-end daemon CPU: a unit resource held for server_overhead_ms —
 //      this is the per-call software cost that dominates unoptimized I/O
 //      in the paper (the more calls, the worse),
-//   2. block cache lookup (LRU, timing-only),
+//   2. block cache lookup (pluggable iosrv::CachePolicy — LRU by
+//      default, ARC for scan-resistant shared servers),
 //   3. on miss / synchronous write: the owning disk arm is acquired and a
 //      mechanical DiskModel prices the access (stateful head position, so
 //      interleaved far-apart requests pay seeks),
 //   4. write-behind (Paragon): writes complete once a dirty-cache slot is
 //      taken; a spawned flush process writes the block out asynchronously.
+//      With iosrv::WritebackMode::kPool the per-write flusher is replaced
+//      by a bounded dirty pool drained between watermarks.
+//
+// With read-ahead enabled (iosrv::ReadAheadConfig) the node watches each
+// (client, file) stream for constant-stride runs and prefetches ahead of
+// them under an in-flight budget — the ViPIOS-style "smart server" the
+// related-work papers argue for.  All iosrv features default off; the
+// default node is byte-identical to the pre-iosrv passive server.
 //
 // There are no eternal server loops: every piece of work is a finite
 // coroutine, so a simulation drains exactly when all I/O (including
-// background flushes) has completed.
+// background flushes and prefetches) has completed.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "fault/injector.hpp"
 #include "hw/disk.hpp"
 #include "hw/machine.hpp"
+#include "iosrv/cache_policy.hpp"
+#include "iosrv/pattern.hpp"
+#include "iosrv/writeback.hpp"
 #include "metrics/metrics.hpp"
 #include "pfs/cache.hpp"
 #include "pfs/diskarm.hpp"
@@ -46,8 +60,11 @@ class IoNode {
   std::size_t index() const noexcept { return index_; }
 
   /// Full server-side handling of one stripe-unit-bounded request.
-  simkit::Task<void> process(hw::AccessKind kind, FileId file,
-                             std::uint64_t local_offset, std::uint64_t length);
+  /// `client` identifies the requesting compute node — the pattern
+  /// tracker keys its streams by (client, file).
+  simkit::Task<void> process(hw::AccessKind kind, hw::NodeId client,
+                             FileId file, std::uint64_t local_offset,
+                             std::uint64_t length);
 
   /// Wait until all dirty blocks of `file` on this node have been flushed.
   simkit::Task<void> drain(FileId file);
@@ -56,11 +73,26 @@ class IoNode {
   std::uint64_t requests_served() const noexcept { return served_; }
   std::uint64_t disk_reads() const noexcept { return disk_reads_; }
   std::uint64_t disk_writes() const noexcept { return disk_writes_; }
-  const BlockCache& cache() const noexcept { return cache_; }
+  const iosrv::CachePolicy& cache() const noexcept { return *cache_; }
   simkit::Duration busy_time() const noexcept { return busy_; }
   /// Total requests queued at this node's disks right now (the paper's
   /// contention measure).
   std::size_t disk_queue_depth() const noexcept;
+
+  // Read-ahead accounting (all zero unless readahead.enabled).
+  std::uint64_t readahead_issued() const noexcept { return ra_issued_; }
+  /// Demand hits on a completed, not-yet-referenced prefetched block.
+  std::uint64_t readahead_hits() const noexcept { return ra_hits_; }
+  /// Demand reads that found their block's prefetch still in flight and
+  /// waited for it instead of issuing a second disk read.
+  std::uint64_t readahead_late_hits() const noexcept { return ra_late_hits_; }
+  /// Prefetched blocks evicted (or dropped) without ever being used.
+  std::uint64_t readahead_waste() const noexcept { return ra_waste_; }
+
+  /// Dirty-pool stats; null in legacy write-behind mode.
+  const iosrv::WritebackPool* writeback_pool() const noexcept {
+    return pool_.get();
+  }
 
  private:
   // One file's per-node data lives on one local disk (PIOFS servers kept
@@ -77,6 +109,10 @@ class IoNode {
   simkit::Task<void> flush_block(FileId file, std::uint64_t local_offset,
                                  std::uint64_t length, BlockKey key);
 
+  /// Feed the pattern tracker and launch prefetches along a detected run.
+  void maybe_readahead(hw::NodeId client, FileId file, std::uint64_t block);
+  simkit::Task<void> prefetch_block(FileId file, BlockKey key);
+
   static constexpr std::uint64_t kSegmentBytes = 8ULL << 20;
 
   /// Fail the request if the node is crashed or a transient error fires.
@@ -88,27 +124,50 @@ class IoNode {
   fault::Injector* injector_;
   hw::IoSubsysParams io_;
   simkit::Resource front_;        // daemon CPU (capacity 1)
-  simkit::Resource dirty_slots_;  // write-behind backpressure
+  simkit::Resource dirty_slots_;  // legacy write-behind backpressure
   std::vector<std::unique_ptr<DiskArm>> disks_;
-  BlockCache cache_;
+  std::unique_ptr<iosrv::CachePolicy> cache_;
+  iosrv::PatternTracker pattern_;
+  std::unique_ptr<iosrv::WritebackPool> pool_;  // null in legacy mode
   std::map<FileId, std::vector<std::uint64_t>> segments_;
   std::uint64_t next_segment_ = 0;
 
   std::map<FileId, std::uint64_t> dirty_count_;
   std::map<FileId, std::shared_ptr<simkit::Trigger>> drain_triggers_;
 
+  // Prefetched-but-unreferenced residents (hit/waste accounting) and
+  // prefetches still on the disk queue (late-hit joining).
+  std::unordered_set<BlockKey, BlockKeyHash> ra_unused_;
+  std::unordered_map<BlockKey, std::shared_ptr<simkit::Trigger>,
+                     BlockKeyHash>
+      ra_inflight_;
+  std::uint32_t ra_inflight_count_ = 0;
+
   std::uint64_t served_ = 0;
   std::uint64_t disk_reads_ = 0;
   std::uint64_t disk_writes_ = 0;
+  std::uint64_t ra_issued_ = 0;
+  std::uint64_t ra_hits_ = 0;
+  std::uint64_t ra_late_hits_ = 0;
+  std::uint64_t ra_waste_ = 0;
   simkit::Duration busy_ = 0.0;
 
   // Instrument handles from the registry installed at construction; all
-  // null when metrics are off (the default).
+  // null when metrics are off (the default).  Feature-specific handles
+  // stay null when the feature is off so the legacy metrics surface is
+  // unchanged.
   metrics::Counter* m_requests_ = nullptr;
   metrics::Counter* m_cache_hits_ = nullptr;
   metrics::Counter* m_cache_misses_ = nullptr;
+  metrics::Counter* m_cache_evictions_ = nullptr;
   metrics::Counter* m_disk_reads_ = nullptr;
   metrics::Counter* m_disk_writes_ = nullptr;
+  metrics::Counter* m_ra_issued_ = nullptr;
+  metrics::Counter* m_ra_hits_ = nullptr;
+  metrics::Counter* m_ra_late_hits_ = nullptr;
+  metrics::Counter* m_ra_waste_ = nullptr;
+  metrics::Counter* m_wb_drained_ = nullptr;
+  metrics::Counter* m_wb_stalls_ = nullptr;
   metrics::Timeseries* m_queue_depth_ = nullptr;
 };
 

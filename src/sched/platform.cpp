@@ -446,6 +446,9 @@ PlatformReport run(hw::Machine& machine, pfs::StripedFs& fs,
     rep.makespan = std::max(rep.makespan, o.finish_time);
     rep.held_node_s += nodes * (o.finish_time - o.start_time);
     rep.productive_node_s += nodes * o.productive;
+    rep.compute_node_s +=
+        nodes * static_cast<double>(rt->job.klass.steps) *
+        machine.compute_time(rt->job.klass.flops_per_node_step);
     if (o.completed) {
       rep.completed_jobs += 1;
       stretch_sum += o.stretch();
@@ -478,6 +481,17 @@ PlatformReport run(hw::Machine& machine, pfs::StripedFs& fs,
         stretches[static_cast<std::size_t>(0.95 * (stretches.size() - 1))];
   }
   rep.retry = st.retry;
+  for (std::size_t i = 0; i < fs.io_node_count(); ++i) {
+    const pfs::IoNode& n = fs.io_node(i);
+    rep.cache_hits += n.cache().hits();
+    rep.cache_misses += n.cache().misses();
+    rep.cache_evictions += n.cache().evictions();
+    rep.disk_reads += n.disk_reads();
+    rep.disk_writes += n.disk_writes();
+    rep.readahead_issued += n.readahead_issued();
+    rep.readahead_hits += n.readahead_hits() + n.readahead_late_hits();
+    rep.readahead_waste += n.readahead_waste();
+  }
   if (metrics::Registry* m = metrics::current()) {
     m->gauge("sched.utilization").set(rep.utilization);
     m->gauge("sched.wasted_node_s").set(rep.wasted_node_s);

@@ -106,6 +106,12 @@ struct PlatformReport {
   double held_node_s = 0.0;
   double productive_node_s = 0.0;
   double wasted_node_s = 0.0;
+  /// Pure compute node-seconds (nodes x steps x step compute time),
+  /// fixed by the job mix alone.  Unlike productive_node_s — which
+  /// folds in step I/O time, crediting a slow I/O system — this is
+  /// invariant across I/O configurations, so "capacity minus compute"
+  /// comparisons attribute platform waste to the I/O path honestly.
+  double compute_node_s = 0.0;
   /// productive_node_s / (compute_nodes x makespan).
   double utilization = 0.0;
   // Aggregates over completed jobs.
@@ -122,6 +128,23 @@ struct PlatformReport {
   int total_deferrals = 0;
   int total_dropped = 0;
   pario::RetryStats retry;  // aggregated over all job I/O
+  // I/O-server cache behaviour aggregated over every node of the shared
+  // PFS at end of run — the platform-level view of the iosrv knobs
+  // (replacement policy, read-ahead) under multi-tenant interference.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t disk_reads = 0;
+  std::uint64_t disk_writes = 0;
+  std::uint64_t readahead_issued = 0;
+  std::uint64_t readahead_hits = 0;       // includes late joins
+  std::uint64_t readahead_waste = 0;
+
+  double cache_hit_rate() const {
+    const double total =
+        static_cast<double>(cache_hits) + static_cast<double>(cache_misses);
+    return total > 0.0 ? static_cast<double>(cache_hits) / total : 0.0;
+  }
 };
 
 /// Run the job stream to completion on the given machine/file system.

@@ -1,0 +1,203 @@
+// Tests for the iosrv cache-replacement policies: the BlockKeyHash
+// collision regression, hand-computed ARC traces (including the
+// write-aware deviations documented in cache_policy.hpp), and the
+// dirty-pinning / eviction-listener contracts shared with LRU.
+#include "iosrv/cache_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+namespace {
+
+iosrv::BlockKey key(std::uint64_t f, std::uint64_t b) { return {f, b}; }
+
+// The historical hash was `(file << 40) ^ block`: (f, 0) and
+// (0, f << 40) collided outright for every f < 2^24, so a server
+// touching many files at block 0 chained every entry into one bucket.
+// The two-round splitmix replacement must keep that family distinct.
+TEST(BlockKeyHash, HistoricalShiftXorFamilyStaysDistinct) {
+  iosrv::BlockKeyHash h;
+  std::unordered_set<std::size_t> seen;
+  constexpr std::uint64_t kFiles = 4096;
+  for (std::uint64_t f = 1; f <= kFiles; ++f) {
+    seen.insert(h(key(f, 0)));
+    seen.insert(h(key(0, f << 40)));
+  }
+  EXPECT_EQ(seen.size(), 2 * kFiles);
+}
+
+TEST(BlockKeyHash, SequentialBlocksOfOneFileStayDistinct) {
+  iosrv::BlockKeyHash h;
+  std::unordered_set<std::size_t> seen;
+  for (std::uint64_t b = 0; b < 4096; ++b) seen.insert(h(key(9, b)));
+  EXPECT_EQ(seen.size(), 4096u);
+}
+
+TEST(MakePolicy, FactoryReturnsRequestedPolicy) {
+  EXPECT_EQ(iosrv::make_policy(iosrv::PolicyKind::kLru, 4)->name(), "lru");
+  EXPECT_EQ(iosrv::make_policy(iosrv::PolicyKind::kArc, 4)->name(), "arc");
+}
+
+// ------------------------------------------------------------------ ARC --
+
+// Hand-computed trace at capacity 2 covering the textbook moves: T1
+// insert, read-hit promotion to T2, demotion to B1, ghost adaptation of
+// p (twice: once from lookup, once from the re-insert), and B2 demotion
+// when the ghost re-enters T2.
+TEST(ArcPolicy, HandTraceAtCapacityTwo) {
+  iosrv::ArcPolicy arc(2);
+  EXPECT_TRUE(arc.insert(key(1, 1), false));
+  EXPECT_TRUE(arc.insert(key(1, 2), false));
+  EXPECT_EQ(arc.t1_size(), 2u);
+
+  // Clean inserts carry a read reference, so the first hit proves reuse.
+  EXPECT_TRUE(arc.lookup(key(1, 1)));
+  EXPECT_EQ(arc.t1_size(), 1u);
+  EXPECT_EQ(arc.t2_size(), 1u);
+
+  // Capacity forces T1's LRU (block 2) into the B1 ghost list.
+  EXPECT_TRUE(arc.insert(key(1, 3), false));
+  EXPECT_FALSE(arc.contains(key(1, 2)));
+  EXPECT_EQ(arc.b1_size(), 1u);
+  EXPECT_EQ(arc.evictions(), 1u);
+
+  // Ghost lookup: a miss, but it steers p toward T1 (B1: +1).
+  EXPECT_FALSE(arc.lookup(key(1, 2)));
+  EXPECT_DOUBLE_EQ(arc.p(), 1.0);
+
+  // Re-materializing the ghost adapts again (+1, saturating at c) and
+  // lands the block in T2, demoting T2's LRU (block 1) to B2.
+  EXPECT_TRUE(arc.insert(key(1, 2), false));
+  EXPECT_DOUBLE_EQ(arc.p(), 2.0);
+  EXPECT_EQ(arc.t1_size(), 1u);
+  EXPECT_EQ(arc.t2_size(), 1u);
+  EXPECT_EQ(arc.b1_size(), 0u);
+  EXPECT_EQ(arc.b2_size(), 1u);
+  EXPECT_TRUE(arc.contains(key(1, 2)));
+  EXPECT_TRUE(arc.contains(key(1, 3)));
+  EXPECT_FALSE(arc.contains(key(1, 1)));
+  EXPECT_EQ(arc.hits(), 1u);
+  EXPECT_EQ(arc.misses(), 1u);
+}
+
+// Write-aware rule 1: dirty inserts never earn frequency.  A dirty
+// refresh stays in its list, the FIRST read hit only refreshes (the
+// stream draining its own write-behind data), and T2 membership takes a
+// second read reference.
+TEST(ArcPolicy, DirtyInsertTakesTwoReadHitsToReachT2) {
+  iosrv::ArcPolicy arc(4);
+  EXPECT_TRUE(arc.insert(key(7, 1), true));
+  EXPECT_TRUE(arc.insert(key(7, 1), true));  // absorbed rewrite
+  EXPECT_EQ(arc.t2_size(), 0u);
+
+  EXPECT_TRUE(arc.lookup(key(7, 1)));  // first read: refresh only
+  EXPECT_EQ(arc.t1_size(), 1u);
+  EXPECT_EQ(arc.t2_size(), 0u);
+
+  EXPECT_TRUE(arc.lookup(key(7, 1)));  // second read: proven reuse
+  EXPECT_EQ(arc.t1_size(), 0u);
+  EXPECT_EQ(arc.t2_size(), 1u);
+}
+
+TEST(ArcPolicy, CleanInsertPromotesOnFirstReadHit) {
+  iosrv::ArcPolicy arc(4);
+  EXPECT_TRUE(arc.insert(key(7, 1), false));
+  EXPECT_TRUE(arc.lookup(key(7, 1)));
+  EXPECT_EQ(arc.t2_size(), 1u);
+}
+
+// Write-aware rule 2: a ghost with no read history (the block was
+// written, never demand-read, then evicted) neither adapts p nor earns
+// T2 re-entry — it is forgotten and re-inserted brand-new into T1.
+TEST(ArcPolicy, NeverReadGhostNeitherAdaptsNorEntersT2) {
+  iosrv::ArcPolicy arc(2);
+  EXPECT_TRUE(arc.insert(key(1, 1), true));  // write-originated
+  arc.mark_clean(key(1, 1));
+  EXPECT_TRUE(arc.insert(key(1, 2), false));
+  EXPECT_TRUE(arc.lookup(key(1, 2)));         // block 2 -> T2
+  EXPECT_TRUE(arc.insert(key(1, 3), false));  // evicts block 1 -> B1
+  EXPECT_EQ(arc.b1_size(), 1u);
+
+  EXPECT_FALSE(arc.lookup(key(1, 1)));  // never-read ghost: no signal
+  EXPECT_DOUBLE_EQ(arc.p(), 0.0);
+
+  EXPECT_TRUE(arc.insert(key(1, 1), false));  // re-enters T1, not T2
+  EXPECT_DOUBLE_EQ(arc.p(), 0.0);
+  EXPECT_EQ(arc.t1_size(), 1u);
+  EXPECT_EQ(arc.t2_size(), 1u);
+  EXPECT_EQ(arc.b1_size(), 1u);
+  EXPECT_TRUE(arc.contains(key(1, 1)));
+}
+
+// Write-aware rule 3: a dirty rewrite of a read-referenced ghost also
+// forgets the history — a rewrite invalidates whatever reuse the old
+// data had shown.
+TEST(ArcPolicy, DirtyRewriteOfGhostForgetsReadHistory) {
+  iosrv::ArcPolicy arc(2);
+  EXPECT_TRUE(arc.insert(key(1, 1), false));
+  EXPECT_TRUE(arc.insert(key(1, 2), false));
+  EXPECT_TRUE(arc.lookup(key(1, 1)));         // block 1 -> T2
+  EXPECT_TRUE(arc.insert(key(1, 3), false));  // block 2 -> B1 (read ghost)
+
+  EXPECT_TRUE(arc.insert(key(1, 2), true));  // rewrite of the ghost
+  EXPECT_DOUBLE_EQ(arc.p(), 0.0);
+  EXPECT_TRUE(arc.is_dirty(key(1, 2)));
+  EXPECT_EQ(arc.t1_size(), 1u);
+  EXPECT_EQ(arc.t2_size(), 1u);
+  EXPECT_EQ(arc.b1_size(), 1u);
+}
+
+// The dirty-pinning contract shared with LRU: insert fails rather than
+// evicting a pinned block, and recovers once something is clean.
+TEST(ArcPolicy, InsertFailsWhenEverythingResidentIsPinned) {
+  iosrv::ArcPolicy arc(2);
+  EXPECT_TRUE(arc.insert(key(1, 1), true));
+  EXPECT_TRUE(arc.insert(key(1, 2), true));
+  EXPECT_FALSE(arc.insert(key(1, 3), false));
+  EXPECT_EQ(arc.size(), 2u);
+
+  arc.mark_clean(key(1, 1));
+  EXPECT_TRUE(arc.insert(key(1, 3), false));
+  EXPECT_TRUE(arc.contains(key(1, 3)));
+  EXPECT_FALSE(arc.contains(key(1, 1)));
+}
+
+TEST(ArcPolicy, EvictListenerSeesDemotionsToGhost) {
+  iosrv::ArcPolicy arc(2);
+  std::vector<iosrv::BlockKey> evicted;
+  arc.set_evict_listener(
+      [&](const iosrv::BlockKey& k) { evicted.push_back(k); });
+  EXPECT_TRUE(arc.insert(key(4, 1), false));
+  EXPECT_TRUE(arc.insert(key(4, 2), false));
+  EXPECT_TRUE(arc.insert(key(4, 3), false));
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], key(4, 1));
+}
+
+// ------------------------------------------------------------------ LRU --
+
+TEST(LruPolicy, EvictListenerSeesTheLruVictim) {
+  iosrv::LruPolicy lru(2);
+  std::vector<iosrv::BlockKey> evicted;
+  lru.set_evict_listener(
+      [&](const iosrv::BlockKey& k) { evicted.push_back(k); });
+  EXPECT_TRUE(lru.insert(key(4, 1), false));
+  EXPECT_TRUE(lru.insert(key(4, 2), false));
+  EXPECT_TRUE(lru.insert(key(4, 3), false));
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], key(4, 1));
+  EXPECT_EQ(lru.evictions(), 1u);
+}
+
+TEST(LruPolicy, CountersTrackHitsAndMisses) {
+  iosrv::LruPolicy lru(2);
+  EXPECT_FALSE(lru.lookup(key(1, 1)));
+  EXPECT_TRUE(lru.insert(key(1, 1), false));
+  EXPECT_TRUE(lru.lookup(key(1, 1)));
+  EXPECT_EQ(lru.hits(), 1u);
+  EXPECT_EQ(lru.misses(), 1u);
+}
+
+}  // namespace

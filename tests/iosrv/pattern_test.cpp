@@ -1,0 +1,109 @@
+// Tests for the per-(client, file) access-pattern detector behind
+// server read-ahead: run growth, stride detection, the duplicate rule,
+// stream isolation, and the LRU bound on tracked streams.
+#include "iosrv/pattern.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(PatternTracker, SequentialRunGrows) {
+  iosrv::PatternTracker t;
+  iosrv::RunInfo r = t.note(1, 1, 10);
+  EXPECT_EQ(r.stride, 0);
+  EXPECT_EQ(r.length, 1);
+  r = t.note(1, 1, 11);
+  EXPECT_EQ(r.stride, 1);
+  EXPECT_EQ(r.length, 2);
+  r = t.note(1, 1, 12);
+  EXPECT_EQ(r.stride, 1);
+  EXPECT_EQ(r.length, 3);
+  EXPECT_TRUE(r.sequential());
+}
+
+TEST(PatternTracker, ConstantStrideIsARunButNotSequential) {
+  iosrv::PatternTracker t;
+  t.note(1, 1, 0);
+  t.note(1, 1, 4);
+  t.note(1, 1, 8);
+  const iosrv::RunInfo r = t.note(1, 1, 12);
+  EXPECT_EQ(r.stride, 4);
+  EXPECT_EQ(r.length, 4);
+  EXPECT_FALSE(r.sequential());
+}
+
+TEST(PatternTracker, BackwardStrideIsDetected) {
+  iosrv::PatternTracker t;
+  t.note(1, 1, 20);
+  t.note(1, 1, 18);
+  const iosrv::RunInfo r = t.note(1, 1, 16);
+  EXPECT_EQ(r.stride, -2);
+  EXPECT_EQ(r.length, 3);
+}
+
+// Retried and hedged reads repeat a block; that must neither extend the
+// run (no phantom stride-0 progress) nor reset it.
+TEST(PatternTracker, DuplicateAccessNeitherExtendsNorResets) {
+  iosrv::PatternTracker t;
+  t.note(1, 1, 5);
+  iosrv::RunInfo before = t.note(1, 1, 6);
+  iosrv::RunInfo dup = t.note(1, 1, 6);
+  EXPECT_EQ(dup.stride, before.stride);
+  EXPECT_EQ(dup.length, before.length);
+  const iosrv::RunInfo r = t.note(1, 1, 7);
+  EXPECT_EQ(r.stride, 1);
+  EXPECT_EQ(r.length, 3);
+}
+
+TEST(PatternTracker, StrideChangeStartsANewRun) {
+  iosrv::PatternTracker t;
+  t.note(1, 1, 0);
+  t.note(1, 1, 1);
+  t.note(1, 1, 2);
+  iosrv::RunInfo r = t.note(1, 1, 10);  // the jump breaks the run
+  EXPECT_EQ(r.stride, 8);
+  EXPECT_EQ(r.length, 2);
+  r = t.note(1, 1, 18);
+  EXPECT_EQ(r.stride, 8);
+  EXPECT_EQ(r.length, 3);
+}
+
+// Interleaved clients (and the same client on another file) must not
+// contaminate each other's runs.
+TEST(PatternTracker, StreamsAreIsolatedByClientAndFile) {
+  iosrv::PatternTracker t;
+  t.note(1, 1, 0);
+  t.note(2, 1, 100);
+  t.note(1, 2, 50);
+  t.note(1, 1, 1);
+  t.note(2, 1, 104);
+  t.note(1, 2, 51);
+  EXPECT_EQ(t.stream_count(), 3u);
+
+  iosrv::RunInfo r = t.note(1, 1, 2);
+  EXPECT_EQ(r.stride, 1);
+  EXPECT_EQ(r.length, 3);
+  r = t.note(2, 1, 108);
+  EXPECT_EQ(r.stride, 4);
+  EXPECT_EQ(r.length, 3);
+  r = t.note(1, 2, 52);
+  EXPECT_EQ(r.stride, 1);
+  EXPECT_EQ(r.length, 3);
+}
+
+// Beyond max_streams the least-recently-active stream is forgotten: its
+// next access starts from scratch instead of resuming the old run.
+TEST(PatternTracker, LeastRecentlyActiveStreamIsForgotten) {
+  iosrv::PatternTracker t(2);
+  t.note(1, 1, 0);
+  t.note(1, 1, 1);  // stream A has a live sequential run
+  t.note(2, 1, 0);
+  t.note(3, 1, 0);  // third stream evicts A
+  EXPECT_EQ(t.stream_count(), 2u);
+
+  const iosrv::RunInfo r = t.note(1, 1, 2);  // would be length 3 if kept
+  EXPECT_EQ(r.stride, 0);
+  EXPECT_EQ(r.length, 1);
+}
+
+}  // namespace

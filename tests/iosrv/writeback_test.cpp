@@ -1,0 +1,136 @@
+// Tests for the bounded dirty-buffer pool: watermark geometry, stall
+// behaviour under a burst, drain-to-low-watermark semantics, forced
+// file drains, and writer-error accounting.
+#include "iosrv/writeback.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "simkit/engine.hpp"
+
+namespace {
+
+iosrv::DirtyBlock block(std::uint64_t file, std::uint64_t b) {
+  return {{file, b}, b * 4096, 4096};
+}
+
+iosrv::WritebackConfig pool_cfg(std::uint32_t blocks) {
+  iosrv::WritebackConfig cfg;
+  cfg.mode = iosrv::WritebackMode::kPool;
+  cfg.pool_blocks = blocks;
+  return cfg;
+}
+
+TEST(WritebackPool, WatermarksDeriveFromPoolSize) {
+  simkit::Engine eng;
+  iosrv::WritebackPool pool(eng, pool_cfg(8), 64,
+                            [](const iosrv::DirtyBlock&) -> simkit::Task<void> {
+                              co_return;
+                            });
+  EXPECT_EQ(pool.pool_blocks(), 8u);
+  EXPECT_EQ(pool.high_watermark_blocks(), 6u);  // ceil(0.75 * 8)
+  EXPECT_EQ(pool.low_watermark_blocks(), 2u);   // floor(0.25 * 8)
+}
+
+// A burst of 20 writes through an 8-block pool: occupancy never exceeds
+// the pool, the overflow stalls, the drainer wakes once the high
+// watermark is crossed and stops at the low watermark — everything
+// below it stays buffered (that is what a write-behind cache is).
+TEST(WritebackPool, BurstStallsAndDrainsToLowWatermark) {
+  simkit::Engine eng;
+  iosrv::WritebackPool pool(
+      eng, pool_cfg(8), 64,
+      [&eng](const iosrv::DirtyBlock&) -> simkit::Task<void> {
+        co_await eng.delay(0.01);
+      });
+  eng.spawn([](simkit::Engine&, iosrv::WritebackPool& p) -> simkit::Task<void> {
+    for (std::uint64_t i = 0; i < 20; ++i) co_await p.submit(block(1, i));
+  }(eng, pool));
+  eng.run();
+
+  EXPECT_LE(pool.max_dirty(), 8u);
+  EXPECT_GT(pool.stalls(), 0u);
+  EXPECT_GT(pool.stall_time(), 0.0);
+  EXPECT_GE(pool.drainer_wakes(), 1u);
+  EXPECT_LE(pool.dirty_count(), pool.low_watermark_blocks());
+  EXPECT_EQ(pool.drained(), 20u - pool.dirty_count());
+}
+
+TEST(WritebackPool, BelowHighWatermarkNothingDrains) {
+  simkit::Engine eng;
+  iosrv::WritebackPool pool(
+      eng, pool_cfg(16), 64,
+      [&eng](const iosrv::DirtyBlock&) -> simkit::Task<void> {
+        co_await eng.delay(0.01);
+      });
+  eng.spawn([](simkit::Engine&, iosrv::WritebackPool& p) -> simkit::Task<void> {
+    for (std::uint64_t i = 0; i < 3; ++i) co_await p.submit(block(1, i));
+  }(eng, pool));
+  eng.run();
+
+  EXPECT_EQ(pool.drained(), 0u);
+  EXPECT_EQ(pool.drainer_wakes(), 0u);
+  EXPECT_EQ(pool.dirty_count(), 3u);
+  EXPECT_TRUE(pool.is_dirty({1, 0}));
+}
+
+TEST(WritebackPool, DrainFileForcesEverythingOut) {
+  simkit::Engine eng;
+  iosrv::WritebackPool pool(
+      eng, pool_cfg(16), 64,
+      [&eng](const iosrv::DirtyBlock&) -> simkit::Task<void> {
+        co_await eng.delay(0.01);
+      });
+  eng.spawn([](simkit::Engine&, iosrv::WritebackPool& p) -> simkit::Task<void> {
+    for (std::uint64_t i = 0; i < 3; ++i) co_await p.submit(block(1, i));
+    co_await p.drain_file(1);
+  }(eng, pool));
+  eng.run();
+
+  EXPECT_EQ(pool.drained(), 3u);
+  EXPECT_EQ(pool.dirty_count(), 0u);
+  EXPECT_FALSE(pool.is_dirty({1, 0}));
+}
+
+TEST(WritebackPool, DrainFileOfCleanFileIsImmediate) {
+  simkit::Engine eng;
+  iosrv::WritebackPool pool(eng, pool_cfg(16), 64,
+                            [](const iosrv::DirtyBlock&) -> simkit::Task<void> {
+                              co_return;
+                            });
+  bool done = false;
+  eng.spawn([](simkit::Engine& e, iosrv::WritebackPool& p,
+               bool& done) -> simkit::Task<void> {
+    co_await p.drain_file(42);
+    done = true;
+    EXPECT_DOUBLE_EQ(e.now(), 0.0);
+  }(eng, pool, done));
+  eng.run();
+  EXPECT_TRUE(done);
+}
+
+// The legacy flusher could not fail; the pool swallows writer
+// exceptions, counts them, and still completes the block so a forced
+// drain cannot hang on a bad arm.
+TEST(WritebackPool, WriterErrorsAreCountedNotFatal) {
+  simkit::Engine eng;
+  iosrv::WritebackPool pool(
+      eng, pool_cfg(16), 64,
+      [&eng](const iosrv::DirtyBlock& b) -> simkit::Task<void> {
+        co_await eng.delay(0.01);
+        if (b.key.block == 1) throw std::runtime_error("arm fault");
+      });
+  eng.spawn([](simkit::Engine&, iosrv::WritebackPool& p) -> simkit::Task<void> {
+    for (std::uint64_t i = 0; i < 3; ++i) co_await p.submit(block(1, i));
+    co_await p.drain_file(1);
+  }(eng, pool));
+  eng.run();
+
+  EXPECT_EQ(pool.write_errors(), 1u);
+  EXPECT_EQ(pool.drained(), 3u);
+  EXPECT_EQ(pool.dirty_count(), 0u);
+}
+
+}  // namespace
