@@ -1,13 +1,15 @@
 // Scenario "engine_bench" — the simulator benchmarking itself
 // (ROADMAP: "Engine throughput").
 //
-// Three fixed synthetic workloads exercise the hot paths every
-// simulation is made of — the timer wheel, resource queueing, and
-// trigger broadcast — and report host events/second from
+// Five fixed synthetic workloads exercise the hot paths every
+// simulation is made of — the timer wheel, resource queueing, trigger
+// broadcast, process lifecycle churn, and a thousand-node-sized event
+// soup — and report host events/second from
 // Engine::events_processed().  The numbers are HOST measurements
 // (wallclock=true: excluded from golden/repeat gates, run serially);
-// CI runs this scenario with --metrics-out=BENCH_iosim.json and uploads
-// the file, giving the repo its first tracked performance artifact.
+// CI runs this scenario with --metrics-out=BENCH_iosim.json, uploads
+// the file, and gates it against bench/baseline/BENCH_iosim.json via
+// tools/bench_compare.py (median of 3 runs, fail on >25% regression).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -20,6 +22,7 @@
 #include "scenario/scenario.hpp"
 #include "simkit/engine.hpp"
 #include "simkit/resource.hpp"
+#include "simkit/rng.hpp"
 #include "simkit/trigger.hpp"
 
 namespace {
@@ -27,6 +30,7 @@ namespace {
 struct Result {
   std::uint64_t events = 0;
   double wall_s = 0.0;
+  std::uint64_t clamped = 0;
 
   double events_per_s() const {
     return wall_s > 0.0 ? static_cast<double>(events) / wall_s : 0.0;
@@ -80,15 +84,55 @@ void wl_trigger(simkit::Engine& eng,
   }(eng, slots));
 }
 
+/// 64 parents each spawn + join `rounds` short-lived children: process
+/// lifecycle churn (completion records, coroutine frames, names) — the
+/// path platform job streams and hedged reads live on.
+void wl_spawn(simkit::Engine& eng, int rounds) {
+  for (int p = 0; p < 64; ++p) {
+    eng.spawn([](simkit::Engine& e, int n) -> simkit::Task<void> {
+      for (int i = 0; i < n; ++i) {
+        auto h = e.spawn([](simkit::Engine& e2) -> simkit::Task<void> {
+          co_await e2.delay(1e-6);
+        }(e), "churn.child");
+        co_await h.join();
+      }
+    }(eng, rounds), "churn.parent");
+  }
+}
+
+/// The thousand-node-preset shape: `n` processes holding jittered
+/// timers, so the pending-event set stays ~n for the whole run, plus a
+/// 1/64 slice of far-future arming events (the horizon path fault
+/// injection uses).  This is where a comparison-heap scheduler goes
+/// cache-cold: every push/pop walks log2(n) scattered heap levels.
+void wl_soup(simkit::Engine& eng, int nprocs) {
+  simkit::Rng rng(42);
+  for (int p = 0; p < nprocs; ++p) {
+    const double base = 1e-4 * (1.0 + rng.uniform());
+    const double jit = 1e-7 * static_cast<double>(p % 97);
+    eng.spawn([](simkit::Engine& e, double b, double j) -> simkit::Task<void> {
+      for (int r = 0; r < 6; ++r) co_await e.delay(b + j * r);
+    }(eng, base, jit), "soup.timer");
+    if (p % 64 == 0) {
+      // Far-future arming, fault-injector style: parked well past the
+      // timer horizon until the tail of the run.
+      eng.spawn_at(1.0 + 1e-4 * static_cast<double>(p),
+                   [](simkit::Engine& e) -> simkit::Task<void> {
+                     co_await e.delay(1e-5);
+                   }(eng),
+                   "soup.arm");
+    }
+  }
+}
+
 struct Workload {
   const char* name;
-  int rounds;  // at scale 1.0
+  int rounds;  // at scale 1.0 (timer_soup: process count)
 };
 
 constexpr Workload kWorkloads[] = {
-    {"timer_wheel", 2000},
-    {"resource_fifo", 4000},
-    {"trigger_fanout", 2000},
+    {"timer_wheel", 2000},   {"resource_fifo", 4000}, {"trigger_fanout", 2000},
+    {"spawn_churn", 2000},   {"timer_soup", 200000},
 };
 
 Result run_one(std::size_t wl, double scale) {
@@ -100,7 +144,9 @@ Result run_one(std::size_t wl, double scale) {
   switch (wl) {
     case 0: wl_timer(eng, rounds); break;
     case 1: wl_resource(eng, res, rounds); break;
-    default: wl_trigger(eng, slots, rounds); break;
+    case 2: wl_trigger(eng, slots, rounds); break;
+    case 3: wl_spawn(eng, rounds); break;
+    default: wl_soup(eng, rounds); break;
   }
   const auto t0 = std::chrono::steady_clock::now();
   eng.run();
@@ -108,6 +154,7 @@ Result run_one(std::size_t wl, double scale) {
   Result r;
   r.events = eng.events_processed();
   r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  r.clamped = eng.clamped_schedules();
   if (metrics::Registry* m = metrics::current()) {
     const std::string prefix =
         std::string("bench.engine.") + kWorkloads[wl].name + ".";
@@ -132,14 +179,18 @@ void run(scenario::Context& ctx) {
   });
 
   expt::Table table({"workload", "events", "wall (s)", "events/s"});
+  std::uint64_t clamped = 0;
   for (std::size_t i = 0; i < std::size(kWorkloads); ++i) {
     table.add_row({kWorkloads[i].name, expt::fmt_u64(results[i].events),
                    expt::fmt("%.3f", results[i].wall_s),
                    expt::fmt("%.0f", results[i].events_per_s())});
+    clamped += results[i].clamped;
   }
   ctx.printf("Engine self-benchmark (host time; simulated workloads are "
              "fixed per scale)\n%s\n",
              (opt.csv ? table.csv() : table.str()).c_str());
+  ctx.printf("clamped past-time schedules: %llu (expect 0)\n",
+             static_cast<unsigned long long>(clamped));
 
   ctx.finish_metrics();
 
@@ -153,6 +204,9 @@ void run(scenario::Context& ctx) {
     // second; 50k/s would mean something is catastrophically wrong.
     ctx.expect(results[0].events_per_s() > 5e4,
                "timer-wheel throughput clears the sanity floor");
+    // No workload schedules into the past; a nonzero count means an
+    // engine consumer is relying on silent clamping (reordering risk).
+    ctx.expect(clamped == 0, "no past-time schedules were clamped");
   }
 }
 
@@ -160,11 +214,14 @@ const scenario::Registration reg{{
     .name = "engine_bench",
     .title = "Engine self-benchmark: events/s on timer, resource, trigger",
     .description =
-        "Runs three fixed synthetic workloads (timer wheel churn, FIFO "
-        "resource contention, trigger fan-out) and reports host "
-        "events/second; with --metrics-out the numbers land in "
-        "BENCH_iosim.json (CI uploads it). --check asserts nonzero "
-        "throughput and a generous sanity floor.",
+        "Runs five fixed synthetic workloads (timer wheel churn, FIFO "
+        "resource contention, trigger fan-out, spawn/join churn, and a "
+        "200k-process timer soup with a far-future tail) and reports "
+        "host events/second; with --metrics-out the numbers land in "
+        "BENCH_iosim.json (CI uploads it and gates it against "
+        "bench/baseline/ via tools/bench_compare.py). --check asserts "
+        "nonzero throughput, a generous sanity floor, and zero clamped "
+        "past-time schedules.",
     .default_scale = 1.0,
     .grid = {},
     .wallclock = true,

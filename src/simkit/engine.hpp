@@ -4,16 +4,27 @@
 // simulated concurrency is cooperative: exactly one coroutine runs at a
 // time, and the simulated clock only advances between events.  Ties are
 // broken by schedule order, so simulations are fully deterministic.
+//
+// The queue is a calendar queue (see calqueue.hpp): O(1) amortized
+// schedule/pop with an exact (t, seq) total order, so swapping it in
+// for the historical binary heap moved zero bytes of simulation output.
+// Process completion records are pooled and intrusively refcounted,
+// process names are interned pointers, and coroutine frames recycle
+// through a size-class pool (see framepool.hpp) — the spawn hot path
+// performs no heap allocation in steady state.
 #pragma once
 
+#include <cassert>
 #include <coroutine>
 #include <cstdint>
-#include <memory>
-#include <queue>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "simkit/calqueue.hpp"
+#include "simkit/framepool.hpp"
+#include "simkit/procname.hpp"
 #include "simkit/task.hpp"
 #include "simkit/time.hpp"
 
@@ -40,18 +51,36 @@ class UnhandledProcessError : public std::runtime_error {
 
 namespace detail {
 
-/// Shared completion record for a spawned process.
+/// Completion record for a spawned process.  Intrusively refcounted
+/// (the engine's driver coroutine holds one reference, every ProcHandle
+/// another) and recycled through a thread-local pool, keeping the
+/// joiners vector's capacity across reuses.  Single-threaded by
+/// construction — an engine and all its handles live on one thread —
+/// so the count is a plain integer.
 struct ProcState {
-  std::string name;
+  const char* name = "proc";
   bool done = false;
-  std::exception_ptr error;
   bool error_consumed = false;
+  std::uint32_t refs = 0;
+  std::exception_ptr error;
   Time finish_time = kTimeZero;
   std::vector<std::coroutine_handle<>> joiners;
+  ProcState* pool_next = nullptr;
+
+  /// Pop a recycled record (or allocate one) with refs == 1.
+  static ProcState* acquire(const char* name);
+  void ref() noexcept { ++refs; }
+  void unref() noexcept {
+    if (--refs == 0) release(this);
+  }
+
+ private:
+  static void release(ProcState* st) noexcept;
 };
 
-/// Fire-and-forget driver coroutine: starts suspended (the engine schedules
-/// it), self-destroys at completion.
+/// Fire-and-forget driver coroutine: starts suspended (the engine
+/// schedules it), self-destroys at completion.  Frames recycle through
+/// the pool like every other coroutine's.
 struct Detached {
   struct promise_type {
     Detached get_return_object() noexcept {
@@ -62,6 +91,12 @@ struct Detached {
     std::suspend_never final_suspend() noexcept { return {}; }
     void return_void() noexcept {}
     void unhandled_exception() noexcept { std::terminate(); }
+    static void* operator new(std::size_t bytes) {
+      return FramePool::allocate(bytes);
+    }
+    static void operator delete(void* p, std::size_t bytes) noexcept {
+      FramePool::deallocate(p, bytes);
+    }
   };
   std::coroutine_handle<promise_type> handle;
 };
@@ -72,14 +107,42 @@ struct Detached {
 class ProcHandle {
  public:
   ProcHandle() = default;
+  ProcHandle(const ProcHandle& o) noexcept : st_(o.st_) {
+    if (st_) st_->ref();
+  }
+  ProcHandle(ProcHandle&& o) noexcept
+      : st_(std::exchange(o.st_, nullptr)) {}
+  ProcHandle& operator=(const ProcHandle& o) noexcept {
+    if (this != &o) {
+      if (o.st_) o.st_->ref();
+      if (st_) st_->unref();
+      st_ = o.st_;
+    }
+    return *this;
+  }
+  ProcHandle& operator=(ProcHandle&& o) noexcept {
+    if (this != &o) {
+      if (st_) st_->unref();
+      st_ = std::exchange(o.st_, nullptr);
+    }
+    return *this;
+  }
+  ~ProcHandle() {
+    if (st_) st_->unref();
+  }
 
   bool done() const noexcept { return st_ && st_->done; }
   bool failed() const noexcept { return st_ && st_->error != nullptr; }
   Time finish_time() const noexcept { return st_ ? st_->finish_time : 0.0; }
-  const std::string& name() const { return st_->name; }
+  /// The process name; empty for a default-constructed handle (which
+  /// historically dereferenced null).
+  std::string_view name() const noexcept {
+    return st_ ? std::string_view(st_->name) : std::string_view();
+  }
 
   /// Awaitable that resumes when the process completes; rethrows the
-  /// process's exception in the joiner, if any.
+  /// process's exception in the joiner, if any.  The awaiting coroutine
+  /// keeps this handle (and so the record) alive across the wait.
   auto join() {
     struct Awaiter {
       detail::ProcState* st;
@@ -94,14 +157,15 @@ class ProcHandle {
         }
       }
     };
-    return Awaiter{st_.get()};
+    return Awaiter{st_};
   }
 
  private:
   friend class Engine;
-  explicit ProcHandle(std::shared_ptr<detail::ProcState> st)
-      : st_(std::move(st)) {}
-  std::shared_ptr<detail::ProcState> st_;
+  explicit ProcHandle(detail::ProcState* st) noexcept : st_(st) {
+    st_->ref();
+  }
+  detail::ProcState* st_ = nullptr;
 };
 
 class Engine {
@@ -109,14 +173,23 @@ class Engine {
   Engine() = default;
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+  ~Engine();
 
   Time now() const noexcept { return now_; }
   std::uint64_t events_processed() const noexcept { return processed_; }
+  /// Past-time schedules silently clamped to now (release builds only;
+  /// debug builds assert instead — a past-time schedule reorders
+  /// against same-instant events and always indicates a caller bug).
+  std::uint64_t clamped_schedules() const noexcept { return clamped_; }
 
   /// Schedule a raw coroutine resumption at absolute time t (>= now).
   void schedule_at(Time t, std::coroutine_handle<> h) {
-    if (t < now_) t = now_;  // clamp: no time travel
-    queue_.push(Ev{t, next_seq_++, h});
+    if (t < now_) {
+      assert(false && "Engine::schedule_at: past-time schedule (clamped)");
+      ++clamped_;
+      t = now_;  // clamp: no time travel
+    }
+    queue_.push(t, next_seq_++, h);
   }
   void schedule_after(Duration dt, std::coroutine_handle<> h) {
     schedule_at(now_ + dt, h);
@@ -137,12 +210,12 @@ class Engine {
   }
 
   /// Start a process at the current simulated time.
-  ProcHandle spawn(Task<void> body, std::string name = "proc");
+  ProcHandle spawn(Task<void> body, ProcName name = ProcName());
 
   /// Start a process at absolute simulated time `t` (>= now).  Used by
   /// timeline-driven machinery (e.g. fault arming) that must fire at
   /// pre-planned instants rather than relative delays.
-  ProcHandle spawn_at(Time t, Task<void> body, std::string name = "proc");
+  ProcHandle spawn_at(Time t, Task<void> body, ProcName name = ProcName());
 
   /// Run until the event queue drains (or max_events, 0 = unlimited).
   /// Throws UnhandledProcessError if a spawned process failed and nobody
@@ -159,24 +232,21 @@ class Engine {
   bool idle() const noexcept { return queue_.empty(); }
 
  private:
-  struct Ev {
-    Time t;
-    std::uint64_t seq;
-    std::coroutine_handle<> h;
-    bool operator>(const Ev& o) const noexcept {
-      return t != o.t ? t > o.t : seq > o.seq;
-    }
-  };
-
-  detail::Detached drive(Task<void> body,
-                         std::shared_ptr<detail::ProcState> st);
+  detail::Detached drive(Task<void> body, detail::ProcState* st);
   void check_failures();
 
   Time now_ = kTimeZero;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
-  std::priority_queue<Ev, std::vector<Ev>, std::greater<>> queue_;
-  std::vector<std::shared_ptr<detail::ProcState>> failed_;
+  std::uint64_t clamped_ = 0;
+#ifdef SIMKIT_HEAP_QUEUE
+  // A/B reference build: the pre-calendar binary-heap scheduler, for
+  // scheduler-isolated benchmarking (bench/baseline/README.md).
+  HeapQueue<std::coroutine_handle<>> queue_;
+#else
+  CalendarQueue<std::coroutine_handle<>> queue_;
+#endif
+  std::vector<detail::ProcState*> failed_;  // each entry holds a ref
 };
 
 }  // namespace simkit

@@ -1,0 +1,42 @@
+// simkit/procname.hpp — interned process names.
+//
+// Every Engine::spawn used to copy a std::string into the process's
+// completion record; in spawn-heavy simulations (job streams, hedged
+// reads, per-checkpoint drains) that copy sat squarely on the hot
+// path.  A ProcName is a single pointer:
+//
+//   * Built from a string literal (the overwhelmingly common case) it
+//     stores the literal's address — zero allocation, zero copy.  The
+//     char* constructor REQUIRES static storage duration; pass a
+//     std::string for anything computed.
+//   * Built from a std::string it interns the characters in a global
+//     table (mutex-guarded; names repeat, so the table stays small)
+//     and stores the stable interned pointer.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace simkit {
+
+class ProcName {
+ public:
+  constexpr ProcName() noexcept : s_("proc") {}
+  /// `literal` must have static storage duration (string literals do).
+  constexpr ProcName(const char* literal) noexcept : s_(literal) {}
+  ProcName(const std::string& name) : s_(intern(name)) {}
+  ProcName(std::string_view name) : s_(intern(name)) {}
+
+  const char* c_str() const noexcept { return s_; }
+  std::string_view view() const noexcept { return std::string_view(s_); }
+
+  /// Copy `name` into the process-lifetime intern table and return the
+  /// stable pointer.  Repeated interning of equal strings returns the
+  /// same pointer.
+  static const char* intern(std::string_view name);
+
+ private:
+  const char* s_;
+};
+
+}  // namespace simkit

@@ -8,9 +8,12 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <optional>
 #include <utility>
+
+#include "simkit/framepool.hpp"
 
 namespace simkit {
 
@@ -37,6 +40,15 @@ struct PromiseBase {
   std::suspend_always initial_suspend() noexcept { return {}; }
   FinalAwaiter final_suspend() noexcept { return {}; }
   void unhandled_exception() noexcept { error = std::current_exception(); }
+
+  // Coroutine frames for every Task<T> recycle through the size-class
+  // pool: a sub-task call in steady state performs no heap allocation.
+  static void* operator new(std::size_t bytes) {
+    return FramePool::allocate(bytes);
+  }
+  static void operator delete(void* p, std::size_t bytes) noexcept {
+    FramePool::deallocate(p, bytes);
+  }
 };
 
 }  // namespace detail

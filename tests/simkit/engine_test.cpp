@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "simkit/task.hpp"
@@ -145,17 +146,48 @@ TEST(Engine, RunUntilStopsAtDeadline) {
   EXPECT_DOUBLE_EQ(eng.now(), 10.0);
 }
 
-TEST(Engine, ScheduleInThePastClampsToNow) {
-  Engine eng;
-  double observed = -1.0;
-  eng.spawn([](Engine& e, double& out) -> Task<void> {
-    co_await e.delay(4.0);
-    // Negative delays must not rewind the clock.
-    co_await e.delay(-3.0);
-    out = e.now();
-  }(eng, observed));
-  eng.run();
+TEST(Engine, ScheduleInThePastClampsOrAsserts) {
+  // A past-time schedule is a caller bug (it reorders against
+  // same-instant events): debug builds assert, release builds clamp to
+  // now and count the clamp so benchmarks can prove they hit zero.
+  auto run_past = [] {
+    Engine eng;
+    double observed = -1.0;
+    eng.spawn([](Engine& e, double& out) -> Task<void> {
+      co_await e.delay(4.0);
+      co_await e.delay(-3.0);  // negative delay must not rewind the clock
+      out = e.now();
+    }(eng, observed));
+    eng.run();
+    return std::pair<double, std::uint64_t>{observed,
+                                            eng.clamped_schedules()};
+  };
+#ifdef NDEBUG
+  const auto [observed, clamped] = run_past();
   EXPECT_DOUBLE_EQ(observed, 4.0);
+  EXPECT_EQ(clamped, 1u);
+#else
+  EXPECT_DEATH(run_past(), "past-time schedule");
+#endif
+}
+
+TEST(Engine, DefaultConstructedHandleHasEmptyName) {
+  // Regression: name() used to dereference a null state pointer.
+  ProcHandle h;
+  EXPECT_EQ(h.name(), "");
+  EXPECT_FALSE(h.done());
+  ProcHandle copy = h;  // copying a null handle must also be safe
+  EXPECT_EQ(copy.name(), "");
+}
+
+TEST(Engine, SpawnedHandleReportsName) {
+  Engine eng;
+  ProcHandle h = eng.spawn([](Engine& e) -> Task<void> {
+    co_await e.delay(1.0);
+  }(eng), "worker.7");
+  EXPECT_EQ(h.name(), "worker.7");
+  eng.run();
+  EXPECT_EQ(h.name(), "worker.7");  // survives process completion
 }
 
 TEST(Engine, CountsProcessedEvents) {

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Gate engine-benchmark throughput against the committed baseline.
+
+Reads one or more BENCH_iosim.json metrics files produced by
+`iosim run engine_bench --metrics-out=...` (several files = repeated
+runs; the per-workload MEDIAN is compared, which shrugs off one noisy
+run on shared CI hardware), prints a markdown comparison table (and
+appends it to $GITHUB_STEP_SUMMARY when set), and exits nonzero if any
+workload's events/second regressed more than the threshold (default
+25%) below the baseline.
+
+Usage:
+  tools/bench_compare.py BASELINE CURRENT [CURRENT2 CURRENT3 ...]
+  tools/bench_compare.py --threshold=0.25 BASELINE CURRENT...
+  tools/bench_compare.py --rebaseline=OUT BASELINE CURRENT...
+      also write OUT: the first CURRENT file with every bench.engine.*
+      gauge replaced by the median across runs (the documented way to
+      refresh bench/baseline/BENCH_iosim.json).
+  tools/bench_compare.py --self-test
+      prove the gate trips: synthesizes a 30% slowdown from a fixed
+      baseline and asserts the comparison fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+
+RATE_SUFFIX = ".events_per_s"
+PREFIX = "bench.engine."
+
+
+def load_rates(path: str) -> dict[str, float]:
+    """Map workload name -> events/s from one metrics JSON file."""
+    with open(path) as f:
+        doc = json.load(f)
+    rates = {}
+    for key, stat in doc.get("gauges", {}).items():
+        if key.startswith(PREFIX) and key.endswith(RATE_SUFFIX):
+            wl = key[len(PREFIX) : -len(RATE_SUFFIX)]
+            rates[wl] = float(stat["last"])
+    if not rates:
+        sys.exit(f"bench_compare: no {PREFIX}*{RATE_SUFFIX} gauges in {path}")
+    return rates
+
+
+def median_rates(paths: list[str]) -> dict[str, float]:
+    runs = [load_rates(p) for p in paths]
+    workloads = set().union(*runs)
+    return {
+        wl: statistics.median([r[wl] for r in runs if wl in r])
+        for wl in workloads
+    }
+
+
+def compare(
+    baseline: dict[str, float], current: dict[str, float], threshold: float
+) -> tuple[str, list[str]]:
+    """Build the markdown table; return (table, failure messages)."""
+    lines = [
+        "| workload | baseline ev/s | current ev/s | ratio | status |",
+        "|----------|---------------|--------------|-------|--------|",
+    ]
+    failures = []
+    for wl in sorted(set(baseline) | set(current)):
+        if wl not in current:
+            failures.append(f"{wl}: missing from current results")
+            lines.append(f"| {wl} | {baseline[wl]:,.0f} | — | — | MISSING |")
+            continue
+        if wl not in baseline:
+            lines.append(f"| {wl} | — | {current[wl]:,.0f} | — | NEW |")
+            continue
+        ratio = current[wl] / baseline[wl]
+        ok = ratio >= 1.0 - threshold
+        status = "ok" if ok else f"**REGRESSED >{threshold:.0%}**"
+        lines.append(
+            f"| {wl} | {baseline[wl]:,.0f} | {current[wl]:,.0f} "
+            f"| {ratio:.2f}x | {status} |"
+        )
+        if not ok:
+            failures.append(
+                f"{wl}: {current[wl]:,.0f} ev/s is {ratio:.2f}x of baseline "
+                f"{baseline[wl]:,.0f} (floor {1.0 - threshold:.2f}x)"
+            )
+    return "\n".join(lines), failures
+
+
+def rebaseline(current_paths: list[str], out: str) -> None:
+    """Write a fresh baseline: the first run's file with every
+    bench.engine.* gauge replaced by the median across all runs."""
+    with open(current_paths[0]) as f:
+        doc = json.load(f)
+    runs = []
+    for p in current_paths:
+        with open(p) as f:
+            runs.append(json.load(f)["gauges"])
+    for key in list(doc.get("gauges", {})):
+        if not key.startswith(PREFIX):
+            continue
+        vals = [r[key]["last"] for r in runs if key in r]
+        med = statistics.median(vals)
+        doc["gauges"][key] = {"last": med, "min": med, "max": med, "count": 1}
+    with open(out, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def self_test() -> int:
+    base = {"timer_wheel": 1000.0, "timer_soup": 2000.0}
+    # 30% slowdown on one workload must trip the 25% gate...
+    table, failures = compare(
+        base, {"timer_wheel": 700.0, "timer_soup": 2000.0}, 0.25
+    )
+    assert failures, "gate failed to trip on a 30% slowdown:\n" + table
+    assert "timer_wheel" in failures[0]
+    # ...a 10% wobble must not...
+    _, failures = compare(
+        base, {"timer_wheel": 900.0, "timer_soup": 1900.0}, 0.25
+    )
+    assert not failures, f"gate tripped on a 10% wobble: {failures}"
+    # ...and a workload vanishing from the bench must.
+    _, failures = compare(base, {"timer_wheel": 1000.0}, 0.25)
+    assert failures, "gate missed a vanished workload"
+    # Median of three runs shrugs off one outlier.
+    assert statistics.median([1000.0, 100.0, 990.0]) == 990.0
+    print("bench_compare self-test: ok (30% slowdown trips, 10% does not)")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("files", nargs="*", metavar="JSON")
+    ap.add_argument("--threshold", type=float, default=0.25)
+    ap.add_argument("--rebaseline", metavar="OUT")
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if len(args.files) < 2:
+        ap.error("need BASELINE and at least one CURRENT metrics file")
+
+    baseline_path, current_paths = args.files[0], args.files[1:]
+    baseline = load_rates(baseline_path)
+    current = median_rates(current_paths)
+    table, failures = compare(baseline, current, args.threshold)
+
+    header = (
+        f"### Engine benchmark vs {baseline_path} "
+        f"(median of {len(current_paths)} run"
+        f"{'s' if len(current_paths) != 1 else ''})"
+    )
+    print(header + "\n" + table)
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        with open(summary, "a") as f:
+            f.write(header + "\n" + table + "\n")
+
+    if args.rebaseline:
+        rebaseline(current_paths, args.rebaseline)
+        print(f"rebaseline written to {args.rebaseline}")
+
+    if failures:
+        for msg in failures:
+            print(f"REGRESSION: {msg}", file=sys.stderr)
+        return 1
+    print(f"all workloads within {args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
