@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "iosrv/config.hpp"
 #include "metrics/metrics.hpp"
 #include "mprt/collectives.hpp"
 #include "mprt/comm.hpp"
@@ -402,6 +403,15 @@ Report run(hw::Machine& machine, pfs::StripedFs& fs,
       opt.drain_retry.max_attempts > 0 ? opt.drain_retry : step_retry;
   drain_retry.replica = pfs::kInvalidFile;  // drains never fail over
 
+  // Under the ordered_drain durability policy a checkpoint only commits
+  // once its acked bytes are on disk: every checkpoint write is followed
+  // by an fsync barrier, so a later server crash cannot silently hollow
+  // out a committed copy.  The other policies skip the barrier — that is
+  // exactly the durability/overhead tradeoff the bench measures.
+  const bool ordered_drain =
+      fs.params().server.durability.policy ==
+      iosrv::DurabilityPolicy::kOrderedDrain;
+
   // Health-aware recovery: every job I/O path feeds one tracker (pure
   // observation — no simulated events), and checkpoint restores hedge
   // against the mirror once a latency estimate exists.
@@ -412,6 +422,21 @@ Report run(hw::Machine& machine, pfs::StripedFs& fs,
     drain_retry.health = &*health;
     ckpt_retry.health = &*health;
     ckpt_retry.hedge_latency_multiple = opt.hedge_latency_multiple;
+    if (injector && fs.params().server.durability.crash_semantics) {
+      // Crash/recovery edges feed the tracker directly, so routing does
+      // not need to observe a failed request to learn a node died, and
+      // hedges steer clear of freshly rebooted (cold-cache) servers.
+      // Gated on crash_semantics: without it a reboot leaves the cache
+      // warm, so there is no cold window for routing to avoid.
+      // The listeners reference this run's tracker: the injector must
+      // not be re-armed for another run (no caller does).
+      pario::HealthTracker* h = &*health;
+      simkit::Engine* e = &eng;
+      injector->on_node_crash(
+          [h, e](std::size_t n, bool) { h->note_crash(n, e->now()); });
+      injector->on_node_recovery(
+          [h, e](std::size_t n) { h->note_recovery(n, e->now()); });
+    }
   }
 
   RunState st;
@@ -499,6 +524,13 @@ Report run(hw::Machine& machine, pfs::StripedFs& fs,
       co_await pario::resilient_pwritev(fs, node, rec->file,
                                         std::move(pieces), payload,
                                         drain_retry, &st.rep.retry);
+      if (ordered_drain) {
+        // Same barrier as the sync path: an async checkpoint may not
+        // commit while its bytes are still acked-but-buffered at a
+        // server that could crash and lose them.
+        co_await pario::resilient_fsync(fs, node, rec->file, drain_retry,
+                                        &st.rep.retry);
+      }
     } catch (const pfs::IoError&) {
       ok = false;
     }
@@ -704,6 +736,21 @@ Report run(hw::Machine& machine, pfs::StripedFs& fs,
                                               std::move(mine), payload,
                                               nullptr, tp_ckpt_write);
             }
+            if (ordered_drain) {
+              // Durability barrier before the commit agreement: the
+              // checkpoint is only declared good once every acked byte
+              // is on disk.  A crash-truncated drain throws here and
+              // turns the commit into a coordinated failure instead of
+              // a silently hollow checkpoint.
+              co_await pario::resilient_fsync(
+                  fs, node, full ? ckpt_file : delta_file(k), step_retry,
+                  &st.rep.retry);
+              if (full && pol.is_sync_full() &&
+                  ckpt_replica != pfs::kInvalidFile) {
+                co_await pario::resilient_fsync(fs, node, ckpt_replica,
+                                                step_retry, &st.rep.retry);
+              }
+            }
           } catch (const pfs::IoError&) {
             ok = false;
           }
@@ -865,7 +912,12 @@ Report run(hw::Machine& machine, pfs::StripedFs& fs,
         for (const std::uint32_t s : fs.stripe_map(f).server_list()) {
           if (injector->node_scrubbed_in(s, since, now)) return true;
         }
-        return false;
+        // A writeback-loss window is a scrub in miniature: a plain crash
+        // that destroyed acked-but-unflushed bytes of this copy after its
+        // commit leaves the copy hollow, so the chain must not vouch for
+        // it.  (ordered_drain never lands here — its commits fsync first,
+        // so the loss precedes the commit and fails the agreement.)
+        return fs.file_lost_in(f, since, now);
       };
       // A scrubbed delta truncates the replay chain at that link; the
       // links above it are unreachable and count as lost.

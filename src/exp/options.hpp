@@ -11,6 +11,8 @@
 //   --policy=NAME  checkpoint policy (fault_ckpt):
 //                  sync_full | sync_incr | async_full | async_incr
 //   --seed=N       fault-plan seed (scenarios with stochastic fault plans)
+//   --audit        run every point under the audit::Ledger data-integrity
+//                  auditor and print a per-scenario summary line
 // Driver flags (scenario runner):
 //   -j N / --jobs=N  thread count for grid points / scenarios
 //   --repeat=K     run K times and fail on any output drift
@@ -35,6 +37,7 @@ struct Options {
   std::string metrics_out;   // write metrics JSON here ("" = don't)
   std::string policy;        // ckpt policy name ("" = bench default)
   std::uint64_t seed = 42;   // fault-plan seed (stochastic-plan benches)
+  bool audit = false;        // cross-check reads/writes in an audit ledger
   int jobs = 1;              // scenario-runner thread budget
   int repeat = 1;            // determinism gate: run K times, diff outputs
   std::string golden;        // determinism gate: pinned-output file
@@ -73,6 +76,8 @@ struct Options {
         policy = a + 9;
       } else if (std::strncmp(a, "--seed=", 7) == 0) {
         seed = std::strtoull(a + 7, nullptr, 10);
+      } else if (std::strcmp(a, "--audit") == 0) {
+        audit = true;
       } else if (std::strncmp(a, "--jobs=", 7) == 0) {
         jobs = std::atoi(a + 7);
       } else if (std::strcmp(a, "-j") == 0 && i + 1 < argc) {
@@ -90,8 +95,8 @@ struct Options {
       } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
         std::printf(
             "usage: %s [--full] [--scale=X] [--check] [--csv] [--metrics] "
-            "[--metrics-out=PATH] [--policy=NAME] [--seed=N] [-j N] "
-            "[--repeat=K] [--golden=PATH]\n",
+            "[--metrics-out=PATH] [--policy=NAME] [--seed=N] [--audit] "
+            "[-j N] [--repeat=K] [--golden=PATH]\n",
             argv[0]);
         std::exit(0);
       } else if (a[0] == '-' && error.empty()) {
@@ -99,8 +104,9 @@ struct Options {
         // and the caller owns the exit path); positionals fall through.
         error = std::string("unknown option '") + a +
                 "' (valid: --full --scale=X --check --csv --metrics "
-                "--metrics-out=PATH --policy=NAME --seed=N -j N/--jobs=N "
-                "--repeat=K --golden=PATH --all --list --help)";
+                "--metrics-out=PATH --policy=NAME --seed=N --audit "
+                "-j N/--jobs=N --repeat=K --golden=PATH --all --list "
+                "--help)";
       }
     }
     if (jobs < 1) jobs = 1;

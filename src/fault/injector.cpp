@@ -4,15 +4,22 @@
 
 namespace fault {
 
-simkit::Task<void> Injector::arm_crash(std::size_t node) {
+simkit::Task<void> Injector::arm_crash(std::size_t node, bool scrub) {
   if (node >= down_.size()) down_.resize(node + 1, 0);
   ++down_[node];
   if (m_crashes_) m_crashes_->inc();
+  for (const CrashListener& l : crash_listeners_) l(node, scrub);
   co_return;
 }
 
 simkit::Task<void> Injector::clear_crash(std::size_t node) {
-  if (node < down_.size() && down_[node] > 0) --down_[node];
+  if (node < down_.size() && down_[node] > 0) {
+    // Recovery fires only when the last overlapping window closes — the
+    // node is actually reachable again.
+    if (--down_[node] == 0) {
+      for (const RecoveryListener& l : recovery_listeners_) l(node);
+    }
+  }
   co_return;
 }
 
@@ -94,7 +101,7 @@ void Injector::start(simkit::Engine& eng) {
   // edges are scheduled after crash edges at equal times (schedule order
   // breaks ties), so a zero-length window never goes negative.
   for (const auto& c : plan_.crashes) {
-    eng.spawn_at(c.crash, arm_crash(c.io_node), "fault_crash");
+    eng.spawn_at(c.crash, arm_crash(c.io_node, c.scrub), "fault_crash");
     eng.spawn_at(c.reboot, clear_crash(c.io_node), "fault_reboot");
   }
   for (const auto& e : plan_.disk_episodes) {

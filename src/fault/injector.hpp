@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <span>
 #include <vector>
@@ -32,6 +33,23 @@ class Injector {
   Injector& operator=(const Injector&) = delete;
 
   const InjectionPlan& plan() const noexcept { return plan_; }
+
+  /// Fired at simulated time on every crash edge of `node` (`scrub` is
+  /// the window's scrub flag) and on the reboot edge that brings the
+  /// node's overlapping-window depth back to zero.  This is how crash
+  /// semantics reach subscribers with live state — the smart server
+  /// invalidates its volatile cache/pool, health trackers note the
+  /// outage — without the injector knowing about any of them.
+  /// Listeners may be registered before or after start(); they run at
+  /// edge-fire time either way.
+  using CrashListener = std::function<void(std::size_t node, bool scrub)>;
+  using RecoveryListener = std::function<void(std::size_t node)>;
+  void on_node_crash(CrashListener l) {
+    crash_listeners_.push_back(std::move(l));
+  }
+  void on_node_recovery(RecoveryListener l) {
+    recovery_listeners_.push_back(std::move(l));
+  }
 
   /// Schedule every fault edge on the engine.  Called once (idempotent);
   /// pfs::StripedFs does this when constructed with an injector.
@@ -98,7 +116,7 @@ class Injector {
     return (static_cast<std::uint64_t>(node) << 32) | disk;
   }
 
-  simkit::Task<void> arm_crash(std::size_t node);
+  simkit::Task<void> arm_crash(std::size_t node, bool scrub);
   simkit::Task<void> clear_crash(std::size_t node);
   simkit::Task<void> arm_episode(std::uint64_t disk_key, double factor);
   simkit::Task<void> clear_episode(std::uint64_t disk_key);
@@ -114,6 +132,8 @@ class Injector {
   std::vector<int> down_;
   std::map<std::uint64_t, int> episode_depth_;
   std::map<std::uint64_t, hw::DiskModel*> disks_;
+  std::vector<CrashListener> crash_listeners_;
+  std::vector<RecoveryListener> recovery_listeners_;
   std::uint64_t transient_errors_ = 0;
   std::uint64_t rejected_requests_ = 0;
   std::uint64_t sticky_transitions_ = 0;

@@ -73,7 +73,7 @@ InjectionPlan InjectionPlan::poisson_node_crashes(std::size_t io_nodes,
 InjectionPlan InjectionPlan::correlated_node_crashes(
     std::size_t io_nodes, std::size_t nodes_per_domain, double mtbf,
     double outage, double correlated_fraction, simkit::Time horizon,
-    std::uint64_t seed) {
+    std::uint64_t seed, bool scrub_domains) {
   InjectionPlan plan;
   plan.seed = seed;
   if (io_nodes == 0 || mtbf <= 0.0) return plan;
@@ -99,7 +99,7 @@ InjectionPlan InjectionPlan::correlated_node_crashes(
       for (std::size_t i = lo; i < hi; ++i) {
         members.push_back(static_cast<std::uint32_t>(i));
       }
-      plan.outage_domain(d, members, t, t + outage, /*scrub=*/true);
+      plan.outage_domain(d, members, t, t + outage, scrub_domains);
     } else {
       const auto node = std::min(io_nodes - 1,
                                  static_cast<std::size_t>(pick * io_nodes));

@@ -129,14 +129,16 @@ struct InjectionPlan {
   /// as poisson_node_crashes (mean gap `mtbf`), but a fraction
   /// `correlated_fraction` of events are rack-scoped — a uniformly chosen
   /// failure domain of `nodes_per_domain` consecutive I/O nodes loses
-  /// power together (scrubbing every member), while the rest crash one
+  /// power together (scrubbing every member by default; pass
+  /// `scrub_domains = false` for correlated-but-clean crashes where disk
+  /// contents and redo logs survive the outage), while the rest crash one
   /// uniform node cleanly.  Event *instants* depend only on (seed, mtbf,
   /// horizon), so sweeping the fraction compares identical fault clocks
   /// with different blast radii.
   static InjectionPlan correlated_node_crashes(
       std::size_t io_nodes, std::size_t nodes_per_domain, double mtbf,
       double outage, double correlated_fraction, simkit::Time horizon,
-      std::uint64_t seed);
+      std::uint64_t seed, bool scrub_domains = true);
 };
 
 }  // namespace fault

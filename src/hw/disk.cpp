@@ -57,7 +57,14 @@ simkit::Duration DiskModel::access(std::uint64_t offset, std::uint64_t nbytes,
     // Average rotational latency: half a revolution.
     rotation = 0.5 * revolution_time();
     t += seek + rotation;
+  } else if (sync_gap_) {
+    // Sequential on the track, but the previous synchronous commit let
+    // the sector rotate past the head: pay the rotational latency, no
+    // seek.
+    rotation = 0.5 * revolution_time();
+    t += rotation;
   }
+  sync_gap_ = false;
   double rate = p_.transfer_mb_per_s * 1e6;
   if (p_.zoned_speedup > 1.0) {
     // Outer zone (offset 0) runs at zoned_speedup x the inner-zone rate;

@@ -70,6 +70,14 @@ class DiskModel {
     return offset == head_;
   }
 
+  /// A synchronous commit (redo-log force) acks only once the sector is
+  /// on the platter; by the time the next append is issued the commit
+  /// point has rotated past the head, so that access pays rotational
+  /// latency even though it is block-sequential on the track.  This is
+  /// the classic sync-log penalty NVRAM and skip-sector layouts exist
+  /// to hide.  One-shot: cleared by the next access.
+  void note_sync_commit() noexcept { sync_gap_ = true; }
+
   std::uint64_t head_position() const noexcept { return head_; }
   void park() noexcept { head_ = 0; }
 
@@ -90,6 +98,7 @@ class DiskModel {
   DiskParams p_;
   std::uint64_t head_ = 0;
   double service_scale_ = 1.0;
+  bool sync_gap_ = false;
 };
 
 }  // namespace hw

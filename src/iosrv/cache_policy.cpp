@@ -42,6 +42,16 @@ void LruPolicy::mark_clean(const BlockKey& k) {
   if (it != map_.end()) it->second.dirty = false;
 }
 
+std::size_t LruPolicy::invalidate_all() {
+  std::size_t dirty = 0;
+  for (const auto& [k, e] : map_) {
+    if (e.dirty) ++dirty;
+  }
+  lru_.clear();
+  map_.clear();
+  return dirty;
+}
+
 bool LruPolicy::evict_one_clean() {
   for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
     auto m = map_.find(*it);
@@ -127,6 +137,20 @@ void ArcPolicy::promote(Entry& e, const BlockKey& k) {
 void ArcPolicy::mark_clean(const BlockKey& k) {
   auto it = map_.find(k);
   if (it != map_.end()) it->second.dirty = false;
+}
+
+std::size_t ArcPolicy::invalidate_all() {
+  std::size_t dirty = 0;
+  for (const auto& [k, e] : map_) {
+    if (e.dirty && (e.list == List::kT1 || e.list == List::kT2)) ++dirty;
+  }
+  t1_.clear();
+  t2_.clear();
+  b1_.clear();
+  b2_.clear();
+  map_.clear();
+  p_ = 0.0;  // the adaptation history described a cache that no longer exists
+  return dirty;
 }
 
 void ArcPolicy::drop_ghost_lru(List ghost) {

@@ -97,6 +97,15 @@ class CachePolicy {
   /// Mark a dirty block clean (the flusher finished writing it).
   virtual void mark_clean(const BlockKey& k) = 0;
 
+  /// Drop every resident block (and any ghost/adaptation history) —
+  /// power-loss semantics for a node crash.  Dirty pins do not survive:
+  /// the buffered data is gone, which is exactly the point.  Returns
+  /// the number of DIRTY blocks dropped (the lost-update count for
+  /// legacy write-behind, where the cache is the only dirty store).
+  /// Does NOT fire the evict listener: invalidation is loss, not
+  /// replacement, and is accounted separately by the caller.
+  virtual std::size_t invalidate_all() = 0;
+
  protected:
   void count_hit() noexcept { ++hits_; }
   void count_miss() noexcept { ++misses_; }
@@ -129,6 +138,7 @@ class LruPolicy final : public CachePolicy {
   bool is_dirty(const BlockKey& k) const override;
   bool insert(const BlockKey& k, bool dirty) override;
   void mark_clean(const BlockKey& k) override;
+  std::size_t invalidate_all() override;
 
  private:
   struct Entry {
@@ -174,6 +184,7 @@ class ArcPolicy final : public CachePolicy {
   bool is_dirty(const BlockKey& k) const override;
   bool insert(const BlockKey& k, bool dirty) override;
   void mark_clean(const BlockKey& k) override;
+  std::size_t invalidate_all() override;
 
   /// Adaptation target for |T1| (test/diagnostic).
   double p() const noexcept { return p_; }

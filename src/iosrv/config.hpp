@@ -64,6 +64,61 @@ constexpr std::string_view to_string(WritebackMode m) {
   return m == WritebackMode::kLegacy ? "legacy" : "pool";
 }
 
+/// What a client-visible write ack promises about durability, and what
+/// a node crash therefore costs.  `kWriteBehind` is the historical
+/// model: the ack means "buffered", and every acked-but-unflushed block
+/// on a crashed server is a lost update.  The other three close that
+/// window at increasing up-front cost.
+enum class DurabilityPolicy : std::uint8_t {
+  /// Ack on buffer; a crash loses the dirty pool (the default).
+  kWriteBehind,
+  /// Ack only after the in-place disk write — nothing acked is ever
+  /// lost, every write pays the full disk seek.
+  kWriteThrough,
+  /// Ack on buffer like write-behind, but expose a client-visible
+  /// flush barrier (pfs/pario fsync) that completes only on durable
+  /// ack; data is vulnerable exactly until the barrier returns.
+  kOrderedDrain,
+  /// Ack after a sequential append to a bounded per-node redo log
+  /// kept on a dedicated log arm (the classic log-device design, so
+  /// appends never contend with data traffic); a plain crash replays
+  /// the log on recovery (zero acked loss), a scrubbing crash destroys
+  /// log and data alike.
+  kJournaled,
+};
+
+constexpr std::string_view to_string(DurabilityPolicy p) {
+  switch (p) {
+    case DurabilityPolicy::kWriteBehind: return "write_behind";
+    case DurabilityPolicy::kWriteThrough: return "write_through";
+    case DurabilityPolicy::kOrderedDrain: return "ordered_drain";
+    default: return "journaled";
+  }
+}
+
+constexpr std::optional<DurabilityPolicy> parse_durability(
+    std::string_view s) {
+  if (s == "write_behind") return DurabilityPolicy::kWriteBehind;
+  if (s == "write_through") return DurabilityPolicy::kWriteThrough;
+  if (s == "ordered_drain") return DurabilityPolicy::kOrderedDrain;
+  if (s == "journaled") return DurabilityPolicy::kJournaled;
+  return std::nullopt;
+}
+
+struct DurabilityConfig {
+  DurabilityPolicy policy = DurabilityPolicy::kWriteBehind;
+  /// Master switch for crash semantics on the server: when false (the
+  /// default, preserving every pinned golden), a fault::Injector crash
+  /// rejects requests but leaves cache and pool contents intact, as it
+  /// always has.  When true, a crash invalidates the cache, discards
+  /// the writeback pool (acked-but-unflushed blocks become lost
+  /// updates), and cancels in-flight drains and read-ahead.
+  bool crash_semantics = false;
+  /// Redo-log capacity in blocks for kJournaled; bounds the dirty pool
+  /// (a write cannot ack until its journal slot is appended).
+  std::uint32_t journal_blocks = 256;
+};
+
 struct WritebackConfig {
   WritebackMode mode = WritebackMode::kLegacy;
   /// Dirty-buffer pool size in blocks; 0 means "cache capacity".
@@ -82,11 +137,14 @@ struct Config {
   PolicyKind policy = PolicyKind::kLru;
   ReadAheadConfig readahead;
   WritebackConfig writeback;
+  DurabilityConfig durability;
 
   /// True iff every knob still selects the legacy IoNode behaviour.
   constexpr bool is_legacy() const {
     return policy == PolicyKind::kLru && !readahead.enabled &&
-           writeback.mode == WritebackMode::kLegacy;
+           writeback.mode == WritebackMode::kLegacy &&
+           durability.policy == DurabilityPolicy::kWriteBehind &&
+           !durability.crash_semantics;
   }
 };
 

@@ -32,12 +32,21 @@ simkit::Task<void> WritebackPool::submit(DirtyBlock b) {
     while (dirty_.size() >= cap_) co_await wait_for_buffer();
     stall_time_ += eng_.now() - t0;
   }
+  if (is_dirty(b.key)) {
+    // A concurrent write to the same block buffered it while this one
+    // was stalled (the caller's absorb check ran before the stall).
+    // Queueing it again would double-count file_dirty_: the duplicate
+    // completion's erase() finds nothing and early-returns, the count
+    // never reaches zero, and every later drain_file() on the file
+    // waits forever.  Absorb here instead, exactly like the caller.
+    co_return;
+  }
   const std::uint64_t file = b.key.file;
-  dirty_.emplace(b.key, 0);
+  dirty_.emplace(b.key, Extent{b.local_offset, b.length});
   file_dirty_[file] += 1;
   queue_.push_back(std::move(b));
   max_dirty_ = std::max(max_dirty_, dirty_.size());
-  if (dirty_.size() >= high_ || force_ > 0) ensure_drainer();
+  if (dirty_.size() >= high_) ensure_drainer();
 }
 
 void WritebackPool::ensure_drainer() {
@@ -67,18 +76,33 @@ simkit::Task<void> WritebackPool::drain_worker() {
   while (want_drain()) {
     DirtyBlock b = queue_.front();
     queue_.pop_front();
+    std::exception_ptr err;
     try {
       co_await writer_(b);
     } catch (...) {
-      ++write_errors_;  // the legacy flusher could not fail; count it
+      err = std::current_exception();
     }
-    complete(b);
+    complete(b, err);
   }
 }
 
-void WritebackPool::complete(const DirtyBlock& b) {
-  dirty_.erase(b.key);
-  ++drained_;
+void WritebackPool::complete(const DirtyBlock& b, std::exception_ptr err) {
+  if (dirty_.erase(b.key) == 0) {
+    // The block was invalidated while this write was in flight: its
+    // loss is already accounted, the file bookkeeping already reset.
+    return;
+  }
+  if (err) {
+    // The block leaves the pool either way (the legacy flusher dropped
+    // failed data too), but the failure is recorded so drain_file() can
+    // refuse to report the file clean.
+    ++write_errors_;
+    FileErrors& fe = failed_[b.key.file];
+    ++fe.blocks;
+    if (!fe.first) fe.first = err;
+  } else {
+    ++drained_;
+  }
   auto it = file_dirty_.find(b.key.file);
   assert(it != file_dirty_.end());
   if (--it->second == 0) {
@@ -95,17 +119,88 @@ void WritebackPool::complete(const DirtyBlock& b) {
   }
 }
 
+simkit::Task<void> WritebackPool::drain_file_worker(std::uint64_t file) {
+  for (;;) {
+    auto it = std::find_if(
+        queue_.begin(), queue_.end(),
+        [file](const DirtyBlock& b) { return b.key.file == file; });
+    if (it == queue_.end()) co_return;
+    DirtyBlock b = *it;
+    queue_.erase(it);
+    std::exception_ptr err;
+    try {
+      co_await writer_(b);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    complete(b, err);
+  }
+}
+
 simkit::Task<void> WritebackPool::drain_file(std::uint64_t file) {
-  if (file_dirty_.count(file) == 0) co_return;
-  ++force_;
-  ensure_drainer();
+  // Force out only this file's blocks; everyone else keeps absorbing
+  // overwrites.  (An earlier version raised a global force flag that
+  // made the background drainer flush the entire pool — one tenant's
+  // fsync destroyed write-behind absorption for the whole node.)
+  auto pending = file_dirty_.find(file);
+  if (pending != file_dirty_.end()) {
+    const std::size_t width = std::min<std::size_t>(
+        drain_width_, static_cast<std::size_t>(pending->second));
+    std::vector<simkit::ProcHandle> workers;
+    workers.reserve(width);
+    for (std::size_t i = 0; i < width; ++i) {
+      workers.push_back(
+          eng_.spawn(drain_file_worker(file), "iosrv.fsync.w"));
+    }
+    for (simkit::ProcHandle& w : workers) co_await w.join();
+  }
+  // Blocks a background drain worker picked up before we started finish
+  // there; wait until the file's dirty count reaches zero.
   while (file_dirty_.count(file) != 0) {
     auto& trig = file_clean_[file];
     if (!trig) trig = std::make_shared<simkit::Trigger>();
     auto local = trig;  // keep alive across the wait
     co_await local->wait();
   }
-  --force_;
+  auto fe = failed_.find(file);
+  if (fe != failed_.end()) {
+    std::exception_ptr err = fe->second.first;
+    failed_.erase(fe);
+    if (err) std::rethrow_exception(err);
+  }
+}
+
+LossReport WritebackPool::invalidate_all() {
+  LossReport r;
+  r.lost.reserve(dirty_.size());
+  for (const auto& [k, ext] : dirty_) {
+    r.lost.push_back(DirtyBlock{k, ext.local_offset, ext.length});
+    r.bytes += ext.length;
+  }
+  r.blocks = r.lost.size();
+  // dirty_ iterates in hash order; sort so loss accounting and journal
+  // replay are deterministic.
+  std::sort(r.lost.begin(), r.lost.end(),
+            [](const DirtyBlock& a, const DirtyBlock& b) {
+              return a.key.file != b.key.file ? a.key.file < b.key.file
+                                              : a.key.block < b.key.block;
+            });
+  queue_.clear();
+  dirty_.clear();
+  file_dirty_.clear();
+  // Force-drain waiters wake with nothing pending: their data is lost,
+  // not in flight.  Loss is reported by the caller (the crash path),
+  // not as a drain error — the flush did not fail, the node died.
+  for (auto& [file, trig] : file_clean_) trig->fire(eng_);
+  file_clean_.clear();
+  while (!stalled_.empty()) {
+    eng_.schedule_at(eng_.now(), stalled_.front());
+    stalled_.pop_front();
+  }
+  ++invalidations_;
+  lost_blocks_ += r.blocks;
+  lost_bytes_ += r.bytes;
+  return r;
 }
 
 }  // namespace iosrv

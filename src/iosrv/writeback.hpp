@@ -13,8 +13,10 @@
 //     watermark and drains oldest-first down to the low watermark,
 //     keeping at most `drain_width` disk writes in flight — the
 //     throttle that leaves disk-queue room for demand reads,
-//   * drain_file() forces everything out (close/flush semantics) and
-//     completes only when the file has no dirty blocks left.
+//   * drain_file() forces one file's blocks out (close/flush
+//     semantics) and completes only when that file has no dirty blocks
+//     left; other files keep absorbing overwrites — a flush barrier on
+//     one tenant must not destroy write-behind for everyone else.
 //
 // Every coroutine here is finite: the drainer exits when its work is
 // done, so a simulation drains exactly when all forced flushes have
@@ -24,10 +26,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <map>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "iosrv/cache_policy.hpp"
 #include "iosrv/config.hpp"
@@ -45,11 +49,20 @@ struct DirtyBlock {
   std::uint64_t length = 0;
 };
 
+/// What a crash invalidation destroyed: every acked-but-unflushed block
+/// the pool held, sorted by (file, block) so downstream accounting and
+/// journal replay are deterministic.
+struct LossReport {
+  std::uint64_t blocks = 0;
+  std::uint64_t bytes = 0;
+  std::vector<DirtyBlock> lost;
+};
+
 class WritebackPool {
  public:
   /// Performs the physical write of one block (the IoNode binds this to
-  /// its disk arms).  Exceptions are swallowed and counted — matching
-  /// the legacy flusher, which could not fail.
+  /// its disk arms).  A throw is counted per pool and per file and
+  /// surfaced to the next drain_file() waiter on that file.
   using Writer = std::function<simkit::Task<void>(const DirtyBlock&)>;
 
   /// `cache_blocks` substitutes for WritebackConfig::pool_blocks == 0.
@@ -68,9 +81,21 @@ class WritebackPool {
   /// pool buffer is held; stalls while the pool is full.
   simkit::Task<void> submit(DirtyBlock b);
 
-  /// Force-drain until `file` has no dirty blocks (drains the whole
-  /// pool oldest-first — close semantics).
+  /// Force-drain until `file` has no dirty blocks (close/fsync
+  /// semantics).  Only this file's queued blocks are forced; everyone
+  /// else's stay buffered and keep absorbing overwrites.  If any of the
+  /// file's blocks failed to write since the last drain, the first
+  /// recorded error is rethrown to the waiter once the file is
+  /// quiescent — a flush that lost data must not report success.  The
+  /// failure record is consumed by whichever waiter observes it first.
   simkit::Task<void> drain_file(std::uint64_t file);
+
+  /// Power-loss semantics: discard every buffered block (queued and
+  /// in-flight alike), wake force-drain waiters (their data is gone,
+  /// not pending), release stalled submitters, and report what was
+  /// lost.  In-flight drain writes that complete after this are ignored
+  /// — their block no longer exists in the pool.
+  LossReport invalidate_all();
 
   // -- statistics ---------------------------------------------------------
   std::uint64_t drained() const noexcept { return drained_; }
@@ -79,18 +104,28 @@ class WritebackPool {
   std::size_t max_dirty() const noexcept { return max_dirty_; }
   std::uint64_t drainer_wakes() const noexcept { return wakes_; }
   std::uint64_t write_errors() const noexcept { return write_errors_; }
+  std::uint64_t lost_blocks() const noexcept { return lost_blocks_; }
+  std::uint64_t lost_bytes() const noexcept { return lost_bytes_; }
+  std::uint64_t invalidations() const noexcept { return invalidations_; }
+  /// Blocks of `file` whose drain write failed and has not yet been
+  /// surfaced to a drain_file() waiter.
+  std::uint64_t failed_blocks(std::uint64_t file) const noexcept {
+    auto it = failed_.find(file);
+    return it == failed_.end() ? 0 : it->second.blocks;
+  }
 
  private:
   simkit::Task<void> drain_loop();
   simkit::Task<void> drain_worker();
+  /// One forced-drain worker: writes out `file`'s queued blocks only.
+  simkit::Task<void> drain_file_worker(std::uint64_t file);
   void ensure_drainer();
-  /// Wants-draining predicate: above low watermark, or anything queued
-  /// while a force-drain waits.
+  /// Wants-draining predicate for the background drainer: above the low
+  /// watermark with work queued.  Forced drains run their own workers.
   bool want_drain() const noexcept {
-    return !queue_.empty() &&
-           (force_ > 0 || dirty_.size() > low_);
+    return !queue_.empty() && dirty_.size() > low_;
   }
-  void complete(const DirtyBlock& b);
+  void complete(const DirtyBlock& b, std::exception_ptr err);
 
   auto wait_for_buffer() {
     struct Awaiter {
@@ -111,13 +146,26 @@ class WritebackPool {
   std::size_t low_;
   std::uint32_t drain_width_;
 
+  /// Extent of a buffered block, kept per key so invalidation can price
+  /// the loss (and reconstruct DirtyBlocks for journal replay) even for
+  /// blocks already picked up by a drain worker.
+  struct Extent {
+    std::uint64_t local_offset = 0;
+    std::uint64_t length = 0;
+  };
+  /// Un-surfaced drain failures for one file.
+  struct FileErrors {
+    std::uint64_t blocks = 0;
+    std::exception_ptr first;
+  };
+
   std::deque<DirtyBlock> queue_;  // buffered, not yet picked by a worker
-  std::unordered_map<BlockKey, char, BlockKeyHash> dirty_;
+  std::unordered_map<BlockKey, Extent, BlockKeyHash> dirty_;
   std::map<std::uint64_t, std::uint64_t> file_dirty_;  // file -> blocks
   std::map<std::uint64_t, std::shared_ptr<simkit::Trigger>> file_clean_;
+  std::map<std::uint64_t, FileErrors> failed_;
   std::deque<std::coroutine_handle<>> stalled_;
   bool drainer_running_ = false;
-  int force_ = 0;  // active drain_file() waiters
 
   std::uint64_t drained_ = 0;
   std::uint64_t stalls_ = 0;
@@ -125,6 +173,9 @@ class WritebackPool {
   std::size_t max_dirty_ = 0;
   std::uint64_t wakes_ = 0;
   std::uint64_t write_errors_ = 0;
+  std::uint64_t lost_blocks_ = 0;
+  std::uint64_t lost_bytes_ = 0;
+  std::uint64_t invalidations_ = 0;
 };
 
 }  // namespace iosrv

@@ -7,8 +7,13 @@
 
 namespace pario {
 
+namespace {
+constexpr simkit::Time kNever = -1e300;
+}  // namespace
+
 HealthTracker::HealthTracker(std::size_t servers, Params p)
-    : p_(p), lat_(servers, 0.0), err_(servers) {}
+    : p_(p), lat_(servers, 0.0), err_(servers),
+      recovered_at_(servers, kNever) {}
 
 void HealthTracker::note_success(std::size_t server, simkit::Time now,
                                  simkit::Duration latency) {
@@ -30,6 +35,42 @@ void HealthTracker::note_error(std::size_t server, simkit::Time now) {
   }
 }
 
+void HealthTracker::note_crash(std::size_t server, simkit::Time now) {
+  if (server >= err_.size()) return;
+  // A crash is worth a burst of errors up front: the tracker should not
+  // need to observe every doomed request to learn the node is gone.
+  err_[server].score = decayed(err_[server], now) + 3.0;
+  err_[server].last = now;
+  recovered_at_[server] = kNever;  // down, not recovering
+  if (metrics::Registry* r = metrics::current()) {
+    r->counter("pario.health.crash_signals").inc();
+  }
+}
+
+void HealthTracker::note_recovery(std::size_t server, simkit::Time now) {
+  if (server >= recovered_at_.size()) return;
+  recovered_at_[server] = now;
+  ++recoveries_;
+  if (metrics::Registry* r = metrics::current()) {
+    r->counter("pario.health.recovery_signals").inc();
+  }
+}
+
+bool HealthTracker::recovering(std::size_t server,
+                               simkit::Time now) const noexcept {
+  if (server >= recovered_at_.size()) return false;
+  const simkit::Time at = recovered_at_[server];
+  return at != kNever && now - at < p_.recovery_window_s;
+}
+
+bool HealthTracker::any_recovering(std::span<const std::uint32_t> servers,
+                                   simkit::Time now) const noexcept {
+  for (const std::uint32_t s : servers) {
+    if (recovering(s, now)) return true;
+  }
+  return false;
+}
+
 double HealthTracker::decayed(const ErrorState& e,
                               simkit::Time now) const noexcept {
   if (e.score == 0.0) return 0.0;
@@ -48,7 +89,12 @@ double HealthTracker::error_score(std::size_t server,
 
 double HealthTracker::badness(std::size_t server,
                               simkit::Time now) const noexcept {
-  return ewma_latency(server) + p_.error_cost_s * error_score(server, now);
+  // A recovering server is priced worse than its history says: the
+  // cache it earned that history with died in the crash.
+  const double surcharge =
+      recovering(server, now) ? p_.recovery_cost_s : 0.0;
+  return ewma_latency(server) + p_.error_cost_s * error_score(server, now) +
+         surcharge;
 }
 
 double HealthTracker::expected_latency(

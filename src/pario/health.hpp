@@ -27,6 +27,12 @@ struct HealthParams {
   double latency_alpha = 0.25;     // EWMA weight of the newest sample
   double error_halflife_s = 30.0;  // error score halves every this long
   double error_cost_s = 0.05;      // badness seconds per unit error score
+  /// How long after its reboot a server is considered "recovering":
+  /// its cache is cold, a journal replay may be hogging its disks, and
+  /// hedged reads should not bet on it.
+  double recovery_window_s = 5.0;
+  /// Badness surcharge (seconds) while a server is recovering.
+  double recovery_cost_s = 0.05;
 };
 
 class HealthTracker {
@@ -41,6 +47,21 @@ class HealthTracker {
   void note_success(std::size_t server, simkit::Time now,
                     simkit::Duration latency);
   void note_error(std::size_t server, simkit::Time now);
+
+  // -- recovery signals (fed from fault::Injector listeners) --------------
+  /// The server's node crashed: count it as an error burst (requests
+  /// there will fail) and clear any stale recovery mark.
+  void note_crash(std::size_t server, simkit::Time now);
+  /// The server rebooted: it re-enters with a cold cache, so it carries
+  /// a recovery surcharge for recovery_window_s.
+  void note_recovery(std::size_t server, simkit::Time now);
+  /// Inside the post-reboot recovery window?
+  bool recovering(std::size_t server, simkit::Time now) const noexcept;
+  /// Any server of a striped copy still recovering?  Hedged reads use
+  /// this to avoid betting a speculative leg on a cold server.
+  bool any_recovering(std::span<const std::uint32_t> servers,
+                      simkit::Time now) const noexcept;
+  std::uint64_t recoveries_seen() const noexcept { return recoveries_; }
 
   // -- estimates ----------------------------------------------------------
   /// EWMA of observed latency; 0 until the first sample lands.
@@ -96,6 +117,8 @@ class HealthTracker {
   Params p_;
   std::vector<double> lat_;        // EWMA latency, 0 = no samples yet
   std::vector<ErrorState> err_;
+  std::vector<simkit::Time> recovered_at_;  // last reboot; -inf = never
+  std::uint64_t recoveries_ = 0;
   std::vector<Divergence> divergences_;
   std::uint64_t hedges_issued_ = 0;
   std::uint64_t hedge_wins_ = 0;

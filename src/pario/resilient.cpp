@@ -214,7 +214,12 @@ simkit::Task<void> resilient_op(pfs::OpKind kind, pfs::StripedFs& fs,
         policy.replica != pfs::kInvalidFile && target == file && len > 0) {
       est = policy.health->expected_latency(
           range_servers(fs, target, offset, len));
-      hedged = est > 0.0;
+      // A hedge is a bet that the replica is fast; a freshly rebooted
+      // replica server has a cold cache (and maybe a journal replay in
+      // flight), so the bet is off while any of its servers recovers.
+      hedged = est > 0.0 &&
+               !policy.health->any_recovering(
+                   range_servers(fs, policy.replica, offset, len), eng.now());
     }
     try {
       stats->note_attempt();
@@ -284,6 +289,35 @@ simkit::Task<void> pwritev_impl(pfs::StripedFs& fs, hw::NodeId client,
   }
 }
 
+simkit::Task<void> fsync_impl(pfs::StripedFs& fs, hw::NodeId client,
+                              pfs::FileId file, RetryPolicy policy,
+                              RetryStats* stats) {
+  simkit::Engine& eng = fs.machine().engine();
+  double delay_ms = policy.backoff_ms;
+  RetryStats local;
+  if (!stats) stats = &local;
+  for (int attempt = 1;; ++attempt) {
+    bool backoff = false;
+    try {
+      stats->note_attempt();
+      co_await fs.fsync(client, file);
+      co_return;
+    } catch (const pfs::IoError& e) {
+      if (policy.health) policy.health->note_error(e.io_node(), eng.now());
+      if (attempt >= policy.max_attempts) {
+        stats->note_exhausted();
+        throw;
+      }
+      stats->note_retry(simkit::milliseconds(delay_ms));
+      backoff = true;
+    }
+    if (backoff) {
+      co_await eng.delay(simkit::milliseconds(delay_ms));
+      delay_ms *= policy.backoff_multiplier;
+    }
+  }
+}
+
 simkit::Task<void> repair_impl(pfs::StripedFs& fs, hw::NodeId client,
                                HealthTracker* health, RetryPolicy policy,
                                RetryStats* stats) {
@@ -342,6 +376,13 @@ simkit::Task<void> resilient_pwritev(pfs::StripedFs& fs, hw::NodeId client,
   policy.validate();
   return pwritev_impl(fs, client, file, std::move(pieces), data, policy,
                       stats);
+}
+
+simkit::Task<void> resilient_fsync(pfs::StripedFs& fs, hw::NodeId client,
+                                   pfs::FileId file, RetryPolicy policy,
+                                   RetryStats* stats) {
+  policy.validate();
+  return fsync_impl(fs, client, file, policy, stats);
 }
 
 simkit::Task<void> repair_divergences(pfs::StripedFs& fs, hw::NodeId client,

@@ -133,6 +133,19 @@ simkit::Task<void> resilient_pwritev(pfs::StripedFs& fs, hw::NodeId client,
                                      RetryPolicy policy,
                                      RetryStats* stats = nullptr);
 
+/// Durability barrier with retry/backoff: drains every acked-but-buffered
+/// block of `file` to disk at its servers (pfs::StripedFs::fsync) and
+/// completes only when the drain reports clean.  This is the client-side
+/// entry point of the ordered_drain durability policy — the checkpoint
+/// engine calls it before declaring a commit durable.  A drain failure
+/// (node crash mid-drain, media error) is retried on the same file up to
+/// the policy's ladder; fsync never fails over to the replica, because a
+/// replica drain cannot make the *primary's* acked bytes durable.  Throws
+/// the last pfs::IoError once the ladder is exhausted.
+simkit::Task<void> resilient_fsync(pfs::StripedFs& fs, hw::NodeId client,
+                                   pfs::FileId file, RetryPolicy policy,
+                                   RetryStats* stats = nullptr);
+
 /// Reconcile every range in the tracker's divergence ledger: re-read the
 /// authoritative replica copy and rewrite the stale primary, through the
 /// same resilient policy.  Counts repairs in the tracker.  The ledger is

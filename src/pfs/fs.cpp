@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "audit/audit.hpp"
 #include "simkit/combinators.hpp"
 
 namespace pfs {
@@ -86,17 +87,36 @@ simkit::Task<void> StripedFs::piece_read(hw::NodeId client, FileId file,
   co_await net.transfer(client, node.node_id(), kHeaderBytes);
   co_await node.process(hw::AccessKind::kRead, client, file,
                         piece.local_offset, piece.length);
+  if (audit::Ledger* led = audit::current()) {
+    led->note_read(file, piece.server,
+                   piece.local_offset / io_.stripe_unit_bytes);
+  }
   co_await net.transfer(node.node_id(), client, piece.length);
 }
 
+bool StripedFs::durable_at_ack() const noexcept {
+  return !io_.write_behind ||
+         io_.server.durability.policy ==
+             iosrv::DurabilityPolicy::kWriteThrough ||
+         io_.server.durability.policy == iosrv::DurabilityPolicy::kJournaled;
+}
+
 simkit::Task<void> StripedFs::piece_write(hw::NodeId client, FileId file,
-                                          StripePiece piece) {
+                                          StripePiece piece,
+                                          std::uint64_t group) {
   IoNode& node = *nodes_[piece.server];
   auto& net = machine_.network();
   co_await net.transfer(client, node.node_id(),
                         kHeaderBytes + piece.length);
   co_await node.process(hw::AccessKind::kWrite, client, file,
                         piece.local_offset, piece.length);
+  // The ack the client just received: what it promises depends on the
+  // durability policy, and the ledger holds the server to it.
+  if (audit::Ledger* led = audit::current()) {
+    led->note_write_acked(file, piece.server,
+                          piece.local_offset / io_.stripe_unit_bytes,
+                          piece.length, durable_at_ack(), group);
+  }
 }
 
 simkit::Task<void> StripedFs::pread(hw::NodeId client, FileId file,
@@ -128,9 +148,18 @@ simkit::Task<void> StripedFs::pwrite(hw::NodeId client, FileId file,
   meta.size = std::max(meta.size, offset + len);
   co_await eng_.delay(simkit::milliseconds(io_.client_syscall_ms));
   if (len == 0) co_return;
+  std::vector<StripePiece> pieces = meta.map.split(offset, len);
+  // One client write spanning several server blocks is one atomic unit
+  // to the application; the shared group id lets the auditor flag it as
+  // torn when a crash makes some pieces durable and loses others.
+  std::uint64_t group = 0;
+  if (pieces.size() > 1) {
+    if (audit::Ledger* led = audit::current()) group = led->begin_group();
+  }
   std::vector<simkit::Task<void>> ops;
-  for (const StripePiece& piece : meta.map.split(offset, len)) {
-    ops.push_back(piece_write(client, file, piece));
+  ops.reserve(pieces.size());
+  for (const StripePiece& piece : pieces) {
+    ops.push_back(piece_write(client, file, piece, group));
   }
   co_await simkit::when_all(eng_, std::move(ops));
 }
@@ -140,6 +169,19 @@ simkit::Task<void> StripedFs::flush(hw::NodeId client, FileId file) {
   (void)client;
   std::vector<simkit::Task<void>> ops;
   for (auto& node : nodes_) ops.push_back(node->drain(file));
+  co_await simkit::when_all(eng_, std::move(ops));
+}
+
+simkit::Task<void> StripedFs::fsync(hw::NodeId client, FileId file) {
+  co_await eng_.delay(simkit::milliseconds(io_.client_syscall_ms));
+  (void)client;
+  // Only the file's own servers hold its data; drain exactly those.
+  // drain() rethrows recorded drain failures, so a barrier over lossy
+  // writes fails instead of lying.
+  std::vector<simkit::Task<void>> ops;
+  for (const std::uint32_t s : files_.at(file)->map.server_list()) {
+    ops.push_back(nodes_[s]->drain(file));
+  }
   co_await simkit::when_all(eng_, std::move(ops));
 }
 
@@ -189,6 +231,14 @@ std::uint64_t StripedFs::total_disk_writes() const {
   std::uint64_t n = 0;
   for (const auto& node : nodes_) n += node->disk_writes();
   return n;
+}
+
+bool StripedFs::file_lost_in(FileId file, simkit::Time t0,
+                             simkit::Time t1) const {
+  for (const auto& node : nodes_) {
+    if (node->file_lost_in(file, t0, t1)) return true;
+  }
+  return false;
 }
 
 // ---------------------------------------------------------------------------
@@ -248,6 +298,10 @@ simkit::ProcHandle FileHandle::iread(std::uint64_t offset, std::uint64_t len,
 
 simkit::Task<void> FileHandle::flush() {
   co_await traced(OpKind::kFlush, 0, fs_->flush(client_, file_));
+}
+
+simkit::Task<void> FileHandle::fsync() {
+  co_await traced(OpKind::kFlush, 0, fs_->fsync(client_, file_));
 }
 
 simkit::Task<void> FileHandle::close() {

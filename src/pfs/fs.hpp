@@ -62,6 +62,9 @@ class FileHandle {
 
   /// Wait until all buffered (write-behind) data of this file is on disk.
   simkit::Task<void> flush();
+  /// Durable flush barrier: completes only when every acked write of
+  /// this file is on disk at its servers (the ordered_drain contract).
+  simkit::Task<void> fsync();
   simkit::Task<void> close();
 
  private:
@@ -114,6 +117,11 @@ class StripedFs {
                             std::uint64_t offset, std::uint64_t len,
                             std::span<const std::byte> data = {});
   simkit::Task<void> flush(hw::NodeId client, FileId file);
+  /// Durable flush barrier on the file's own servers — the fsync the
+  /// ordered_drain durability policy exposes.  Completes only when the
+  /// file has no acked-but-unflushed blocks left; rethrows the first
+  /// drain failure instead of reporting a lossy flush as clean.
+  simkit::Task<void> fsync(hw::NodeId client, FileId file);
   simkit::Task<void> close(hw::NodeId client, FileId file);
 
   /// Shrink (or declare) the file size — a metadata round-trip, used by
@@ -141,6 +149,12 @@ class StripedFs {
   std::uint64_t total_disk_reads() const;
   std::uint64_t total_disk_writes() const;
 
+  /// Did any server crash destroy acked-but-unflushed data of `file` in
+  /// (t0, t1]?  Recovery logic treats this exactly like a scrub: a
+  /// checkpoint committed before the loss window cannot vouch for data
+  /// written into it.  Always false without crash semantics.
+  bool file_lost_in(FileId file, simkit::Time t0, simkit::Time t1) const;
+
   /// Request header cost on the wire (request descriptors are small).
   static constexpr std::uint64_t kHeaderBytes = 64;
 
@@ -157,8 +171,13 @@ class StripedFs {
 
   simkit::Task<void> piece_read(hw::NodeId client, FileId file,
                                 StripePiece piece);
+  /// `group` ties the pieces of one multi-block client write together
+  /// in the audit ledger (torn-write detection); 0 means ungrouped.
   simkit::Task<void> piece_write(hw::NodeId client, FileId file,
-                                 StripePiece piece);
+                                 StripePiece piece, std::uint64_t group);
+
+  /// Does a server ack imply durability under the configured policy?
+  bool durable_at_ack() const noexcept;
 
   hw::Machine& machine_;
   simkit::Engine& eng_;

@@ -20,6 +20,17 @@
 // related-work papers argue for.  All iosrv features default off; the
 // default node is byte-identical to the pre-iosrv passive server.
 //
+// Crash semantics (iosrv::DurabilityConfig, default OFF): when enabled
+// and a fault::Injector crash hits this node, the volatile state dies
+// with it — the block cache and writeback pool are invalidated,
+// in-flight drains and prefetches are cancelled (epoch check), and
+// acked-but-unflushed blocks become lost updates reported to the
+// audit:: ledger and the loss counters.  The DurabilityPolicy decides
+// what an ack promised: write_through pays the disk before acking,
+// ordered_drain keeps write-behind speed but honors fsync barriers,
+// journaled pays a sequential redo-log append per write and replays
+// the log on recovery after a plain (non-scrub) crash.
+//
 // There are no eternal server loops: every piece of work is a finite
 // coroutine, so a simulation drains exactly when all I/O (including
 // background flushes and prefetches) has completed.
@@ -94,6 +105,35 @@ class IoNode {
     return pool_.get();
   }
 
+  // Crash-semantics accounting (all zero unless durability.crash_semantics).
+  /// Acked-but-unflushed blocks destroyed by crashes on this node.
+  std::uint64_t lost_dirty_blocks() const noexcept {
+    return lost_dirty_blocks_;
+  }
+  std::uint64_t lost_bytes() const noexcept { return lost_bytes_; }
+  /// In-flight prefetches whose node died under them.
+  std::uint64_t readahead_cancelled() const noexcept { return ra_cancelled_; }
+  /// Crash invalidations of the block cache (cold re-entry events).
+  std::uint64_t cache_invalidations() const noexcept {
+    return cache_invalidations_;
+  }
+  std::uint64_t journal_appends() const noexcept { return journal_appends_; }
+  std::uint64_t journal_replayed() const noexcept { return journal_replayed_; }
+  /// Client-visible time spent blocked on durable-ack machinery: the
+  /// synchronous in-place write under write_through, the redo-log
+  /// append under journaled, and drain barriers (fsync/close) under
+  /// every policy.  This is "what the durability contract costs", kept
+  /// separate from makespan so queueing noise cannot hide the price.
+  simkit::Duration durability_wait() const noexcept {
+    return durability_wait_;
+  }
+
+  /// Did a crash destroy acked-but-unflushed data of `file` on this node
+  /// in (t0, t1]?  The writeback-loss analogue of
+  /// fault::Injector::node_scrubbed_in — checkpoint validity chains are
+  /// truncated by either.
+  bool file_lost_in(FileId file, simkit::Time t0, simkit::Time t1) const;
+
  private:
   // One file's per-node data lives on one local disk (PIOFS servers kept
   // each file in a local AIX file system); distinct files spread across
@@ -118,6 +158,18 @@ class IoNode {
   /// Fail the request if the node is crashed or a transient error fires.
   void check_faults();
 
+  // -- crash semantics (no-ops unless durability.crash_semantics) --------
+  /// Power-loss at the crash edge: invalidate cache and pool, account
+  /// lost updates (or park them for journal replay), cancel drains.
+  void on_crash(bool scrub);
+  /// Reboot edge: replay the surviving redo log, if any.
+  void on_recover();
+  void account_loss(const iosrv::LossReport& lr);
+  simkit::Task<void> replay_journal(std::vector<iosrv::DirtyBlock> blocks);
+  /// Sequential redo-log append on the dedicated log arm — the
+  /// per-write durability price of DurabilityPolicy::kJournaled.
+  simkit::Task<void> journal_append(std::uint64_t length);
+
   simkit::Engine& eng_;
   hw::NodeId self_;
   std::size_t index_;
@@ -126,6 +178,10 @@ class IoNode {
   simkit::Resource front_;        // daemon CPU (capacity 1)
   simkit::Resource dirty_slots_;  // legacy write-behind backpressure
   std::vector<std::unique_ptr<DiskArm>> disks_;
+  // Dedicated redo-log spindle (kJournaled only): appends are strictly
+  // sequential, so giving the log its own arm keeps them at streaming
+  // cost instead of doubling the seek traffic on the data disks.
+  std::unique_ptr<DiskArm> log_disk_;
   std::unique_ptr<iosrv::CachePolicy> cache_;
   iosrv::PatternTracker pattern_;
   std::unique_ptr<iosrv::WritebackPool> pool_;  // null in legacy mode
@@ -143,6 +199,18 @@ class IoNode {
       ra_inflight_;
   std::uint32_t ra_inflight_count_ = 0;
 
+  // Crash-semantics state.  crash_epoch_ bumps at every crash edge;
+  // coroutines that straddle a crash (drain writes, prefetches, legacy
+  // flushes, journal replay) capture it before their disk access and
+  // treat a mismatch afterwards as "this work died with the node".
+  std::uint64_t crash_epoch_ = 0;
+  bool last_crash_scrub_ = false;
+  std::vector<iosrv::DirtyBlock> replay_pending_;  // surviving redo log
+  std::map<FileId, std::vector<simkit::Time>> lost_times_;
+  std::uint64_t journal_base_ = 0;
+  bool journal_base_set_ = false;
+  std::uint64_t journal_head_ = 0;
+
   std::uint64_t served_ = 0;
   std::uint64_t disk_reads_ = 0;
   std::uint64_t disk_writes_ = 0;
@@ -150,6 +218,13 @@ class IoNode {
   std::uint64_t ra_hits_ = 0;
   std::uint64_t ra_late_hits_ = 0;
   std::uint64_t ra_waste_ = 0;
+  std::uint64_t ra_cancelled_ = 0;
+  std::uint64_t lost_dirty_blocks_ = 0;
+  std::uint64_t lost_bytes_ = 0;
+  std::uint64_t cache_invalidations_ = 0;
+  std::uint64_t journal_appends_ = 0;
+  std::uint64_t journal_replayed_ = 0;
+  simkit::Duration durability_wait_ = 0.0;
   simkit::Duration busy_ = 0.0;
 
   // Instrument handles from the registry installed at construction; all
@@ -168,6 +243,12 @@ class IoNode {
   metrics::Counter* m_ra_waste_ = nullptr;
   metrics::Counter* m_wb_drained_ = nullptr;
   metrics::Counter* m_wb_stalls_ = nullptr;
+  metrics::Counter* m_lost_blocks_ = nullptr;
+  metrics::Counter* m_lost_bytes_ = nullptr;
+  metrics::Counter* m_invalidations_ = nullptr;
+  metrics::Counter* m_ra_cancelled_ = nullptr;
+  metrics::Counter* m_journal_appends_ = nullptr;
+  metrics::Counter* m_journal_replayed_ = nullptr;
   metrics::Timeseries* m_queue_depth_ = nullptr;
 };
 

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdio>
 #include <exception>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 
@@ -70,6 +71,17 @@ void Context::finish_metrics() {
   metrics_done_ = true;
   delete scope_;
   scope_ = nullptr;
+  if (opt_.audit) {
+    const audit::Totals& t = audit_totals_;
+    out_ << "audit: writes=" << t.writes_acked
+         << " reads=" << t.reads_checked
+         << " lost_updates=" << t.lost_updates
+         << " lost_bytes=" << t.lost_bytes
+         << " stale_reads=" << t.stale_reads
+         << " torn_writes=" << t.torn_writes
+         << " scrub_destroyed=" << t.scrub_destroyed
+         << " violations=" << t.violations() << "\n";
+  }
   if (!metrics_path_.empty()) {
     if (metrics::write_json_file(registry_, metrics_path_)) {
       out_ << "metrics: wrote " << metrics_path_ << "\n";
@@ -84,17 +96,26 @@ void Context::for_each_point(std::size_t n,
                              const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   const bool metrics_on = opt_.metrics_enabled();
+  const bool audit_on = opt_.audit;
   std::vector<metrics::Registry> point_regs(metrics_on ? n : 0);
+  std::vector<audit::Totals> point_audit(audit_on ? n : 0);
   std::vector<std::exception_ptr> errors(n);
 
   auto run_point = [&](std::size_t i) {
     try {
+      // One ledger per point, installed like the per-point registry, so
+      // audited runs stay deterministic under -j N (totals fold back in
+      // point order below).
+      audit::Ledger ledger;
+      std::optional<audit::Scope> audit_scope;
+      if (audit_on) audit_scope.emplace(ledger);
       if (metrics_on) {
         metrics::Scope scope(point_regs[i]);
         fn(i);
       } else {
         fn(i);
       }
+      if (audit_on) point_audit[i] = ledger.totals();
     } catch (...) {
       errors[i] = std::current_exception();
     }
@@ -126,6 +147,9 @@ void Context::for_each_point(std::size_t n,
   // is independent of scheduling.
   if (metrics_on) {
     for (const metrics::Registry& r : point_regs) registry_.merge(r);
+  }
+  if (audit_on) {
+    for (const audit::Totals& t : point_audit) audit_totals_.merge(t);
   }
   for (const std::exception_ptr& e : errors) {
     if (e) std::rethrow_exception(e);

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/audit.hpp"
 #include "exp/options.hpp"
 #include "metrics/metrics.hpp"
 
@@ -136,8 +137,17 @@ class Context {
   metrics::Registry& registry() { return registry_; }
   /// Uninstall the body's metrics scope and, if --metrics-out was given,
   /// write the JSON file and append the "metrics: wrote PATH" line.
-  /// Idempotent; called automatically after the body returns.
+  /// Under --audit also appends the deterministic "audit: ..." summary
+  /// of every per-point ledger (merged in point order).  Idempotent;
+  /// called automatically after the body returns.
   void finish_metrics();
+
+  // -- data-integrity audit -------------------------------------------
+  /// Per-point audit totals merged in point order (--audit only; empty
+  /// otherwise).  A scenario body that installs its OWN audit::Scope
+  /// inside a point diverts that point's events away from the --audit
+  /// ledger — its summary then reflects only the un-diverted points.
+  const audit::Totals& audit_totals() const { return audit_totals_; }
 
   // -- parallel points ------------------------------------------------
   /// Run fn(i) for i in [0, n) on up to --jobs threads.  Each point runs
@@ -175,6 +185,7 @@ class Context {
   metrics::Registry registry_;
   metrics::Scope* scope_ = nullptr;  // owned; installed iff metrics on
   bool metrics_done_ = false;
+  audit::Totals audit_totals_;  // merged per-point totals (--audit)
 };
 
 /// Static registry of scenarios.  Instantiable for tests; the process-

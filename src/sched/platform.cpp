@@ -7,6 +7,7 @@
 #include <memory>
 #include <string>
 
+#include "iosrv/config.hpp"
 #include "metrics/metrics.hpp"
 #include "simkit/engine.hpp"
 #include "simkit/resource.hpp"
@@ -65,7 +66,24 @@ struct State {
   std::unique_ptr<simkit::Resource> io_slots = {};  // kOrderedSlots only
   bool ckpt_token_busy = false;                     // kCooperative only
   pario::RetryStats retry = {};
+
+  /// Under the ordered_drain durability policy every checkpoint write is
+  /// followed by an fsync barrier before the commit is recorded, so a
+  /// later server crash cannot hollow out a committed checkpoint.
+  bool ordered_drain() const {
+    return fs.params().server.durability.policy ==
+           iosrv::DurabilityPolicy::kOrderedDrain;
+  }
 };
+
+/// One fsync of the job's checkpoint file, issued from its first node
+/// (the barrier drains the file's servers; repeating it per node would
+/// just re-check an already clean file).
+simkit::Task<void> ckpt_fsync(State& st, JobRt& rt) {
+  co_await pario::resilient_fsync(st.fs,
+                                  st.machine.compute_node(rt.nodes[0]),
+                                  rt.ckpt_file, st.opt.retry, &st.retry);
+}
 
 simkit::Time est_finish(const State& st, const JobRt& rt) {
   return rt.out.start_time + rt.out.ideal_runtime_s * st.opt.estimate_margin;
@@ -149,6 +167,7 @@ simkit::Task<void> drain_body(State& st, JobRt& rt, int epoch, int ckpt_step,
   try {
     co_await fan_out(st, rt, rt.ckpt_file, 0, per_node,
                      rt.job.klass.state_bytes_per_node, /*read=*/false);
+    if (st.ordered_drain()) co_await ckpt_fsync(st, rt);
   } catch (const pfs::IoError&) {
     ok = false;
   }
@@ -192,6 +211,7 @@ simkit::Task<void> do_checkpoint(State& st, JobRt& rt) {
     try {
       co_await fan_out(st, rt, rt.ckpt_file, 0, per_node,
                        k.state_bytes_per_node, /*read=*/false);
+      if (st.ordered_drain()) co_await ckpt_fsync(st, rt);
     } catch (const pfs::IoError&) {
       err = std::current_exception();
     }
@@ -422,6 +442,22 @@ PlatformReport run(hw::Machine& machine, pfs::StripedFs& fs,
     st.rts.push_back(std::move(rt));
   }
   st.unfinished = static_cast<int>(st.rts.size());
+  if (opt.retry.health && injector &&
+      machine.config().io.server.durability.crash_semantics) {
+    // Crash/recovery edges feed the caller's health tracker directly:
+    // hedged reads learn a node died without observing a failed request,
+    // and steer clear of freshly rebooted (cold-cache) servers.  Gated
+    // on crash_semantics: without it a reboot leaves the cache warm, so
+    // there is no cold window for routing to avoid.  The listeners
+    // reference this run's engine and tracker — the injector must not
+    // be re-armed for another run (no caller does).
+    pario::HealthTracker* h = opt.retry.health;
+    simkit::Engine* e = &eng;
+    injector->on_node_crash(
+        [h, e](std::size_t n, bool) { h->note_crash(n, e->now()); });
+    injector->on_node_recovery(
+        [h, e](std::size_t n) { h->note_recovery(n, e->now()); });
+  }
   if (opt.coordination == Coordination::kOrderedSlots) {
     st.io_slots = std::make_unique<simkit::Resource>(
         eng, static_cast<std::uint64_t>(std::max(1, opt.io_slots)));
@@ -491,6 +527,13 @@ PlatformReport run(hw::Machine& machine, pfs::StripedFs& fs,
     rep.readahead_issued += n.readahead_issued();
     rep.readahead_hits += n.readahead_hits() + n.readahead_late_hits();
     rep.readahead_waste += n.readahead_waste();
+    rep.lost_dirty_blocks += n.lost_dirty_blocks();
+    rep.lost_bytes += n.lost_bytes();
+    rep.readahead_cancelled += n.readahead_cancelled();
+    rep.cache_invalidations += n.cache_invalidations();
+    rep.journal_appends += n.journal_appends();
+    rep.journal_replayed += n.journal_replayed();
+    rep.durability_wait_s += n.durability_wait();
   }
   if (metrics::Registry* m = metrics::current()) {
     m->gauge("sched.utilization").set(rep.utilization);

@@ -139,6 +139,20 @@ struct PlatformReport {
   std::uint64_t readahead_issued = 0;
   std::uint64_t readahead_hits = 0;       // includes late joins
   std::uint64_t readahead_waste = 0;
+  // Crash-consistency aggregates (all zero unless the servers run with
+  // durability.crash_semantics and the plan actually crashes one): the
+  // platform-level bill for write-behind's loss windows and the work the
+  // durable policies do to avoid them.
+  std::uint64_t lost_dirty_blocks = 0;    // acked writes destroyed by crashes
+  std::uint64_t lost_bytes = 0;           // payload of those writes
+  std::uint64_t readahead_cancelled = 0;  // prefetches killed mid-flight
+  std::uint64_t cache_invalidations = 0;  // whole-cache drops at crash edges
+  std::uint64_t journal_appends = 0;      // redo-log appends (kJournaled)
+  std::uint64_t journal_replayed = 0;     // blocks re-written by replay
+  // Client-visible seconds blocked on durable-ack machinery (sync
+  // in-place writes, journal appends, drain barriers) summed over all
+  // I/O nodes — the direct price of the durability contract.
+  double durability_wait_s = 0.0;
 
   double cache_hit_rate() const {
     const double total =

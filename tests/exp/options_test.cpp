@@ -20,7 +20,8 @@ expt::Options parse(std::vector<const char*> args) {
 TEST(Options, ParsesKnownFlags) {
   const expt::Options opt =
       parse({"--scale=0.5", "--check", "--csv", "--seed=7", "-j", "4",
-             "--repeat=2", "--golden=g.txt", "--policy=sync_full"});
+             "--repeat=2", "--golden=g.txt", "--policy=sync_full",
+             "--audit"});
   EXPECT_TRUE(opt.error.empty());
   EXPECT_DOUBLE_EQ(opt.scale, 0.5);
   EXPECT_TRUE(opt.scale_given);
@@ -31,6 +32,12 @@ TEST(Options, ParsesKnownFlags) {
   EXPECT_EQ(opt.repeat, 2);
   EXPECT_EQ(opt.golden, "g.txt");
   EXPECT_EQ(opt.policy, "sync_full");
+  EXPECT_TRUE(opt.audit);
+}
+
+TEST(Options, AuditDefaultsOff) {
+  const expt::Options opt = parse({"--check"});
+  EXPECT_FALSE(opt.audit);
 }
 
 TEST(Options, RejectsUnknownLongFlag) {

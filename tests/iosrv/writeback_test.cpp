@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 
 #include "simkit/engine.hpp"
 
@@ -111,10 +112,12 @@ TEST(WritebackPool, DrainFileOfCleanFileIsImmediate) {
   EXPECT_TRUE(done);
 }
 
-// The legacy flusher could not fail; the pool swallows writer
-// exceptions, counts them, and still completes the block so a forced
-// drain cannot hang on a bad arm.
-TEST(WritebackPool, WriterErrorsAreCountedNotFatal) {
+// A writer failure still completes the block (a forced drain cannot
+// hang on a bad arm), but the error is recorded per file and rethrown
+// to the drain_file() waiter: a flush that lost data must not report
+// success.  The record is consumed by the first waiter — a second
+// drain finds the file clean and healthy.
+TEST(WritebackPool, WriterErrorsSurfaceToTheDrainWaiter) {
   simkit::Engine eng;
   iosrv::WritebackPool pool(
       eng, pool_cfg(16), 64,
@@ -122,15 +125,125 @@ TEST(WritebackPool, WriterErrorsAreCountedNotFatal) {
         co_await eng.delay(0.01);
         if (b.key.block == 1) throw std::runtime_error("arm fault");
       });
+  bool threw = false;
+  bool second_clean = false;
+  eng.spawn([](simkit::Engine&, iosrv::WritebackPool& p, bool& threw,
+               bool& second_clean) -> simkit::Task<void> {
+    for (std::uint64_t i = 0; i < 3; ++i) co_await p.submit(block(1, i));
+    try {
+      co_await p.drain_file(1);
+    } catch (const std::runtime_error& e) {
+      threw = std::string(e.what()) == "arm fault";
+    }
+    co_await p.drain_file(1);  // record consumed: must not rethrow
+    second_clean = true;
+  }(eng, pool, threw, second_clean));
+  eng.run();
+
+  EXPECT_TRUE(threw);
+  EXPECT_TRUE(second_clean);
+  EXPECT_EQ(pool.write_errors(), 1u);
+  EXPECT_EQ(pool.drained(), 2u);  // the failed block is not "drained"
+  EXPECT_EQ(pool.dirty_count(), 0u);
+  EXPECT_EQ(pool.failed_blocks(1), 0u);  // consumed by the waiter
+}
+
+// Regression: two concurrent writes to the same block while the pool is
+// full.  The first stalls in submit() before inserting its key, the
+// second passes the caller's absorb check and stalls too; both used to
+// queue, double-counting the file's dirty blocks, and the count never
+// returned to zero — every later drain_file() hung forever.
+TEST(WritebackPool, DuplicateSubmitAfterStallIsAbsorbed) {
+  simkit::Engine eng;
+  iosrv::WritebackPool pool(
+      eng, pool_cfg(2), 64,
+      [&eng](const iosrv::DirtyBlock&) -> simkit::Task<void> {
+        co_await eng.delay(0.01);
+      });
+  bool drained_ok = false;
+  auto writer = [](simkit::Engine&,
+                   iosrv::WritebackPool& p) -> simkit::Task<void> {
+    co_await p.submit(block(7, 42));
+  };
+  eng.spawn([](simkit::Engine& e, iosrv::WritebackPool& p,
+               bool& ok) -> simkit::Task<void> {
+    // Fill the 2-block pool so both duplicate submitters stall.
+    co_await p.submit(block(1, 0));
+    co_await p.submit(block(1, 1));
+    co_await e.delay(0.1);  // let the duplicates resolve
+    co_await p.drain_file(7);
+    co_await p.drain_file(1);
+    ok = true;
+  }(eng, pool, drained_ok));
+  eng.spawn(writer(eng, pool));
+  eng.spawn(writer(eng, pool));
+  eng.run();
+
+  EXPECT_TRUE(drained_ok);
+  EXPECT_EQ(pool.dirty_count(), 0u);
+}
+
+// A forced drain is per file: the fsync'ing tenant's blocks go out, the
+// other tenant's stay buffered and keep absorbing overwrites.
+TEST(WritebackPool, DrainFileLeavesOtherFilesBuffered) {
+  simkit::Engine eng;
+  iosrv::WritebackPool pool(
+      eng, pool_cfg(16), 64,
+      [&eng](const iosrv::DirtyBlock&) -> simkit::Task<void> {
+        co_await eng.delay(0.01);
+      });
   eng.spawn([](simkit::Engine&, iosrv::WritebackPool& p) -> simkit::Task<void> {
     for (std::uint64_t i = 0; i < 3; ++i) co_await p.submit(block(1, i));
+    for (std::uint64_t i = 0; i < 3; ++i) co_await p.submit(block(2, i));
     co_await p.drain_file(1);
+    EXPECT_FALSE(p.is_dirty({1, 0}));
+    EXPECT_TRUE(p.is_dirty({2, 0}));
   }(eng, pool));
   eng.run();
 
-  EXPECT_EQ(pool.write_errors(), 1u);
   EXPECT_EQ(pool.drained(), 3u);
+  EXPECT_EQ(pool.dirty_count(), 3u);  // file 2 still buffered
+}
+
+// Crash semantics: invalidation empties the pool, reports the loss
+// sorted by (file, block), releases stalled submitters, and leaves the
+// pool usable.
+TEST(WritebackPool, InvalidateAllReportsSortedLossAndReleasesStalls) {
+  simkit::Engine eng;
+  iosrv::WritebackPool pool(
+      eng, pool_cfg(2), 64,
+      [&eng](const iosrv::DirtyBlock&) -> simkit::Task<void> {
+        co_await eng.delay(1000.0);  // drain never completes in time
+      });
+  bool third_submitted = false;
+  iosrv::LossReport lr;
+  eng.spawn([](simkit::Engine&, iosrv::WritebackPool& p,
+               bool& done) -> simkit::Task<void> {
+    co_await p.submit(block(2, 5));
+    co_await p.submit(block(1, 9));
+    co_await p.submit(block(1, 3));  // stalls: pool is full
+    done = true;
+  }(eng, pool, third_submitted));
+  eng.spawn([](simkit::Engine& e, iosrv::WritebackPool& p,
+               iosrv::LossReport& lr) -> simkit::Task<void> {
+    co_await e.delay(0.5);
+    lr = p.invalidate_all();
+  }(eng, pool, lr));
+  eng.run();
+
+  ASSERT_EQ(lr.blocks, 2u);
+  EXPECT_EQ(lr.bytes, 2u * 4096u);
+  EXPECT_EQ(lr.lost[0].key.file, 1u);  // sorted: (1,9) before (2,5)
+  EXPECT_EQ(lr.lost[0].key.block, 9u);
+  EXPECT_EQ(lr.lost[1].key.file, 2u);
+  EXPECT_TRUE(third_submitted);  // stalled submitter released
+  // The released block buffered normally after the invalidation and the
+  // still-running drainer eventually wrote it out: the pool stays
+  // usable across a crash.
   EXPECT_EQ(pool.dirty_count(), 0u);
+  EXPECT_EQ(pool.drained(), 1u);
+  EXPECT_EQ(pool.lost_blocks(), 2u);
+  EXPECT_EQ(pool.invalidations(), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,180 @@
+// Fault x smart-server interactions: what a node crash does to the
+// writeback pool, the redo log, and in-flight read-ahead — the crash
+// semantics behind the server_crash_durability scenario, pinned at unit
+// scale.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "hw/machine.hpp"
+#include "iosrv/config.hpp"
+#include "pfs/fs.hpp"
+#include "pfs/types.hpp"
+#include "simkit/engine.hpp"
+
+namespace pfs {
+namespace {
+
+constexpr std::uint64_t kBlock = 64 * 1024;  // paragon stripe unit
+
+hw::MachineConfig smart_cfg(iosrv::DurabilityPolicy policy,
+                            std::uint32_t pool_blocks) {
+  hw::MachineConfig cfg = hw::MachineConfig::paragon_small(4, 2);
+  cfg.io.server.writeback.mode = iosrv::WritebackMode::kPool;
+  cfg.io.server.writeback.pool_blocks = pool_blocks;
+  cfg.io.server.durability.policy = policy;
+  cfg.io.server.durability.crash_semantics = true;
+  return cfg;
+}
+
+struct Rig {
+  simkit::Engine eng;
+  fault::Injector injector;
+  hw::Machine machine;
+  StripedFs fs;
+  Rig(hw::MachineConfig cfg, fault::InjectionPlan plan)
+      : injector(std::move(plan)),
+        machine(eng, std::move(cfg)),
+        fs(machine, &injector) {}
+
+  std::uint64_t lost_blocks() {
+    return fs.io_node(0).lost_dirty_blocks() +
+           fs.io_node(1).lost_dirty_blocks();
+  }
+  std::uint64_t pool_drained() {
+    return fs.io_node(0).writeback_pool()->drained() +
+           fs.io_node(1).writeback_pool()->drained();
+  }
+};
+
+simkit::Task<void> write_blocks(Rig& r, FileId f, std::uint64_t n) {
+  const hw::NodeId c = r.machine.compute_node(0);
+  for (std::uint64_t b = 0; b < n; ++b) {
+    try {
+      co_await r.fs.pwrite(c, f, b * kBlock, kBlock);
+    } catch (const IoError&) {
+      co_return;  // node died under the burst; whatever acked, acked
+    }
+  }
+}
+
+// A crash while the background drainer is mid-flight: blocks already on
+// disk stay drained, everything still pooled (queued or in a drain
+// write) is a lost update, and the pools come out empty and usable.
+TEST(CrashSemantics, CrashMidDrainForfeitsPooledBlocks) {
+  fault::InjectionPlan plan;
+  plan.crash_node(0, 0.05, 10.0).crash_node(1, 0.05, 10.0);
+  Rig r(smart_cfg(iosrv::DurabilityPolicy::kWriteBehind, 8),
+        std::move(plan));
+  const FileId f = r.fs.create("victim");
+  r.eng.spawn(write_blocks(r, f, 12));
+  r.eng.run();
+
+  EXPECT_GT(r.lost_blocks(), 0u);
+  // Every acked block either drained before the crash or was lost with
+  // it — none vanish from the accounting.
+  EXPECT_EQ(r.pool_drained() + r.lost_blocks(), 12u);
+  EXPECT_EQ(r.fs.io_node(0).writeback_pool()->dirty_count(), 0u);
+  EXPECT_EQ(r.fs.io_node(1).writeback_pool()->dirty_count(), 0u);
+  EXPECT_GE(r.fs.io_node(0).cache_invalidations(), 1u);
+  EXPECT_GE(r.fs.io_node(1).cache_invalidations(), 1u);
+}
+
+// Plain crash under journaled: the redo log survives the reboot and is
+// replayed deterministically — zero acked loss.
+TEST(CrashSemantics, JournaledPlainCrashReplaysTheLog) {
+  fault::InjectionPlan plan;
+  plan.crash_node(0, 0.3, 1.0).crash_node(1, 0.3, 1.0);
+  Rig r(smart_cfg(iosrv::DurabilityPolicy::kJournaled, 16),
+        std::move(plan));
+  const FileId f = r.fs.create("logged");
+  r.eng.spawn(write_blocks(r, f, 8));
+  r.eng.run();
+
+  EXPECT_EQ(r.lost_blocks(), 0u);
+  EXPECT_EQ(r.fs.io_node(0).journal_replayed() +
+                r.fs.io_node(1).journal_replayed(),
+            8u);
+  EXPECT_GT(r.fs.io_node(0).journal_appends(), 0u);
+}
+
+// A scrubbing crash takes the redo log down with the node: the same
+// burst that replays cleanly above is simply lost.
+TEST(CrashSemantics, ScrubbingCrashDestroysTheLog) {
+  fault::InjectionPlan plan;
+  plan.crash_node(0, 0.3, 1.0, /*scrub=*/true)
+      .crash_node(1, 0.3, 1.0, /*scrub=*/true);
+  Rig r(smart_cfg(iosrv::DurabilityPolicy::kJournaled, 16),
+        std::move(plan));
+  const FileId f = r.fs.create("scrubbed");
+  r.eng.spawn(write_blocks(r, f, 8));
+  r.eng.run();
+
+  EXPECT_EQ(r.lost_blocks(), 8u);
+  EXPECT_EQ(r.fs.io_node(0).journal_replayed() +
+                r.fs.io_node(1).journal_replayed(),
+            0u);
+}
+
+// A crash with prefetches on the disk queue: the speculation is
+// cancelled (counted, budget released), not delivered into a cache that
+// no longer exists.
+TEST(CrashSemantics, CrashCancelsInFlightReadahead) {
+  fault::InjectionPlan plan;
+  plan.crash_node(0, 0.25, 10.0).crash_node(1, 0.25, 10.0);
+  hw::MachineConfig cfg =
+      smart_cfg(iosrv::DurabilityPolicy::kWriteBehind, 8);
+  cfg.io.server.readahead.enabled = true;
+  Rig r(std::move(cfg), std::move(plan));
+  const FileId f = r.fs.create("streamed");
+  // Several sequential streams keep the disk queues deep, so the crash
+  // is guaranteed to land with speculative reads still on an arm.
+  for (std::size_t client = 0; client < 4; ++client) {
+    r.eng.spawn([](Rig& r, FileId f, std::size_t cl) -> simkit::Task<void> {
+      const hw::NodeId c = r.machine.compute_node(cl);
+      for (std::uint64_t b = 0; b < 24; ++b) {
+        try {
+          co_await r.fs.pread(c, f, (cl * 32 + b) * kBlock, kBlock);
+        } catch (const IoError&) {
+          co_return;
+        }
+      }
+    }(r, f, client));
+  }
+  r.eng.run();
+
+  EXPECT_GT(r.fs.io_node(0).readahead_issued() +
+                r.fs.io_node(1).readahead_issued(),
+            0u);
+  EXPECT_GT(r.fs.io_node(0).readahead_cancelled() +
+                r.fs.io_node(1).readahead_cancelled(),
+            0u);
+}
+
+// After invalidation the pool must stay fully usable: a post-recovery
+// burst acks, drains on close, and leaves no residue.
+TEST(CrashSemantics, PoolStaysUsableAfterInvalidation) {
+  fault::InjectionPlan plan;
+  plan.crash_node(0, 0.05, 0.2).crash_node(1, 0.05, 0.2);
+  Rig r(smart_cfg(iosrv::DurabilityPolicy::kWriteBehind, 8),
+        std::move(plan));
+  const FileId f = r.fs.create("reborn");
+  r.eng.spawn([](Rig& r, FileId f) -> simkit::Task<void> {
+    co_await write_blocks(r, f, 12);   // first burst: dies in the crash
+    co_await r.eng.delay(1.0);         // both nodes back up
+    co_await write_blocks(r, f, 12);   // second burst: must fully work
+    co_await r.fs.close(r.machine.compute_node(0), f);
+  }(r, f));
+  r.eng.run();
+
+  EXPECT_GT(r.lost_blocks(), 0u);
+  EXPECT_EQ(r.fs.io_node(0).writeback_pool()->dirty_count(), 0u);
+  EXPECT_EQ(r.fs.io_node(1).writeback_pool()->dirty_count(), 0u);
+  // The close barrier drained the second burst to disk.
+  EXPECT_GE(r.pool_drained() + r.lost_blocks(), 12u);
+}
+
+}  // namespace
+}  // namespace pfs

@@ -73,14 +73,15 @@ TEST(ScenarioGrid, LastAxisFastest) {
   EXPECT_EQ(seen, want);
 }
 
-TEST(ScenarioGlobalRegistry, HasAllTwentyEightScenarios) {
+TEST(ScenarioGlobalRegistry, HasAllThirtyScenarios) {
   const char* names[] = {
       "table2_3", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
       "table4", "table5", "ablation_overhead", "ablation_ionode",
       "ablation_network", "ablation_iomode", "ablation_scan",
       "ablation_stripe", "ablation_aggregators", "fault_ckpt",
       "fault_correlated", "platform_ckpt_interference", "platform_queueing",
-      "platform_server_cache", "server_cache_policy", "server_readahead",
+      "platform_server_cache", "platform_server_faults",
+      "server_cache_policy", "server_crash_durability", "server_readahead",
       "engine_bench", "micro_simkit", "micro_pfs", "micro_twophase"};
   for (const char* n : names) {
     EXPECT_NE(scenario::Registry::global().find(n), nullptr) << n;
