@@ -23,7 +23,22 @@ std::unique_ptr<Topology> make_topology(const MachineConfig& cfg) {
 
 Machine::Machine(simkit::Engine& eng, MachineConfig cfg)
     : eng_(eng), cfg_(std::move(cfg)) {
+  cfg_.validate();
   net_ = std::make_unique<Network>(eng_, make_topology(cfg_), cfg_.net);
+}
+
+void MachineConfig::validate() const {
+  if (compute_nodes == 0) {
+    throw ConfigError("MachineConfig '" + name +
+                      "': compute_nodes must be > 0");
+  }
+  if (io_nodes == 0) {
+    throw ConfigError("MachineConfig '" + name + "': io_nodes must be > 0");
+  }
+  if (io_nodes_per_switch > io_nodes) {
+    throw ConfigError("MachineConfig '" + name +
+                      "': io_nodes_per_switch exceeds io_nodes");
+  }
 }
 
 MachineConfig MachineConfig::paragon_small(std::size_t compute_nodes,
@@ -80,6 +95,47 @@ MachineConfig MachineConfig::sp2(std::size_t compute_nodes) {
   m.io.client_syscall_ms = 0.3;
   m.io.cache_bytes_per_io_node = 16ULL << 20;
   m.io.write_behind = false;  // SP-2 was observed faster on reads
+  return m;
+}
+
+MachineConfig MachineConfig::paragon_xl(std::size_t compute_nodes,
+                                        std::size_t io_nodes) {
+  if (compute_nodes < 1024 || compute_nodes > 4096) {
+    throw ConfigError("paragon_xl: compute_nodes must be in [1024, 4096]");
+  }
+  if (io_nodes < 64 || io_nodes > 128) {
+    throw ConfigError("paragon_xl: io_nodes must be in [64, 128]");
+  }
+  MachineConfig m;
+  m.name = "Paragon-XL";
+  m.compute_nodes = compute_nodes;
+  m.io_nodes = io_nodes;
+  // Rack switches scope I/O failure domains: 8 servers share a switch,
+  // so a rack event takes out a bounded slice of the I/O partition.
+  m.io_nodes_per_switch = 8;
+  // A generation past the i860: faster cores, but the interconnect
+  // per-message software overhead shrinks far less than link bandwidth
+  // grows — which is exactly why flat O(P^2) exchanges stop scaling.
+  m.cpu_mflops = 200.0;
+  m.mem_copy_mb_per_s = 400.0;
+  m.mem_bytes_per_node = 256ULL << 20;
+  m.topology = TopologyKind::kMultistageSwitch;
+  m.net.link_mb_per_s = 300.0;
+  m.net.per_hop_latency_us = 0.5;
+  m.net.sw_overhead_us = 20.0;
+  // Commodity drives of the same vintage: faster media, shorter seeks.
+  m.disk.track_to_track_seek_ms = 0.8;
+  m.disk.average_seek_ms = 5.0;
+  m.disk.rpm = 7200.0;
+  m.disk.transfer_mb_per_s = 40.0;
+  m.disk.controller_overhead_ms = 0.2;
+  m.disk.capacity_bytes = 64ULL << 30;
+  m.io.stripe_unit_bytes = 64 * 1024;
+  m.io.disks_per_io_node = 4;
+  m.io.server_overhead_ms = 0.2;
+  m.io.client_syscall_ms = 0.05;
+  m.io.cache_bytes_per_io_node = 64ULL << 20;
+  m.io.write_behind = true;
   return m;
 }
 

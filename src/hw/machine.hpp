@@ -10,6 +10,7 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,13 @@
 namespace hw {
 
 enum class TopologyKind : std::uint8_t { kMesh2D, kMultistageSwitch };
+
+/// Typed error for impossible platform shapes.  Thrown by
+/// MachineConfig::validate() (and therefore the Machine constructor)
+/// instead of letting a zero-node partition trip asserts deep in pfs/mprt.
+struct ConfigError : std::invalid_argument {
+  using std::invalid_argument::invalid_argument;
+};
 
 /// Calibration knobs for the parallel-file-system I/O path.  These are the
 /// "architectural and software" constants the paper's effects hinge on;
@@ -64,6 +72,12 @@ struct MachineConfig {
     return compute_nodes + io_nodes;
   }
 
+  /// Reject impossible shapes with a ConfigError naming the bad field:
+  /// zero compute nodes, zero I/O nodes, or a switch fan-in larger than
+  /// the I/O partition.  Called by the Machine constructor, so every
+  /// simulation fails fast instead of asserting downstream.
+  void validate() const;
+
   // -- Presets (calibrated to the paper's platforms; see DESIGN.md §2) ----
 
   /// 56-node Paragon used for the FFT experiments (2 or 4 I/O nodes).
@@ -74,6 +88,13 @@ struct MachineConfig {
                                      std::size_t io_nodes);
   /// 80-node SP-2 with PIOFS: 4 I/O nodes, 4 SSA disks each, 32 KB BSU.
   static MachineConfig sp2(std::size_t compute_nodes);
+  /// Scale-out platform beyond the paper: 1024-4096 compute nodes and
+  /// 64-128 I/O servers on a multistage switch, with switch-scoped I/O
+  /// failure domains (8 servers per rack switch).  Throws ConfigError
+  /// outside those ranges — the preset is the validated envelope the
+  /// figure2_xl sweep runs in (DESIGN.md §16).
+  static MachineConfig paragon_xl(std::size_t compute_nodes,
+                                  std::size_t io_nodes);
 };
 
 class Machine {

@@ -6,19 +6,19 @@
 
 namespace metrics {
 
-namespace {
+namespace detail {
 // One installed registry per THREAD: each simulation is single-threaded,
 // but the scenario runner executes independent simulations on a thread
-// pool, and a plain global would cross-instrument concurrent runs.  The
-// zero-overhead-when-off contract survives: current() is still a single
-// (thread-local) pointer load and a branch.
-thread_local Registry* g_current = nullptr;
-}  // namespace
+// pool, and a plain global would cross-instrument concurrent runs.
+// constinit: no dynamic TLS initialization guard, so the inline
+// current() in the header is a bare thread-local load and a branch.
+constinit thread_local Registry* g_current = nullptr;
+}  // namespace detail
 
-Registry* current() noexcept { return g_current; }
-
-Scope::Scope(Registry& r) noexcept : prev_(g_current) { g_current = &r; }
-Scope::~Scope() { g_current = prev_; }
+Scope::Scope(Registry& r) noexcept : prev_(detail::g_current) {
+  detail::g_current = &r;
+}
+Scope::~Scope() { detail::g_current = prev_; }
 
 // -- Gauge ------------------------------------------------------------------
 

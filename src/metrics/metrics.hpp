@@ -195,8 +195,18 @@ class Registry {
   std::map<std::string, Timeseries> timeseries_;
 };
 
+namespace detail {
+/// The per-thread installed registry.  Exposed (constinit, so no TLS
+/// guard) only so current() can inline to a single thread-local load —
+/// hot paths check it on every request, and the out-of-line call was
+/// measurable in the engine's resume path.  Write access stays confined
+/// to Scope.
+extern constinit thread_local Registry* g_current;
+}  // namespace detail
+
 /// The installed registry, or nullptr when metrics are off (the default).
-Registry* current() noexcept;
+/// Inline: one thread-local pointer load and a branch at every call site.
+inline Registry* current() noexcept { return detail::g_current; }
 
 /// RAII installation of a registry for a lexical scope.  Nests: the
 /// previous registry is restored on destruction.  Install the scope

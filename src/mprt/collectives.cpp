@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstring>
+
+#include "metrics/metrics.hpp"
 
 namespace mprt {
 
@@ -78,14 +81,299 @@ simkit::Task<std::vector<Message>> gatherv(Comm& c, Rank root,
   co_return out;
 }
 
-simkit::Task<std::vector<Message>> alltoallv(
+namespace {
+
+/// Wire-traffic instruments for one alltoallv call (any routing kind);
+/// null when metrics are off.  `bytes` counts simulated wire volume
+/// including the 32-byte point-to-point envelope, so routing overhead
+/// (frame headers, forwarding hops) is visible, not just payload.
+struct A2aMeters {
+  A2aMeters() {
+    if (metrics::Registry* r = metrics::current()) {
+      msgs = &r->counter("mprt.alltoall.msgs");
+      bytes = &r->counter("mprt.alltoall.bytes");
+    }
+  }
+  void note(std::uint64_t sim_bytes) {
+    if (msgs) {
+      msgs->inc();
+      bytes->inc(sim_bytes + 32);
+    }
+  }
+  metrics::Counter* msgs = nullptr;
+  metrics::Counter* bytes = nullptr;
+};
+
+/// A personalized block in flight through a routed exchange.  Wire record:
+/// [src u32][dst u32][sim_bytes u64][payload_len u64][payload bytes].
+/// sim_bytes is the block's simulated size; the payload carries only what
+/// the caller materialized (possibly nothing), so a frame's real length
+/// is at most its simulated length.
+struct Block {
+  Rank src = -1;
+  Rank dst = -1;
+  std::uint64_t sim_bytes = 0;
+  std::vector<std::byte> payload;
+};
+
+constexpr std::size_t kBlockHeader = 24;
+
+/// Serialize blocks into `frame` and return the frame's SIMULATED size
+/// via `sim` (header per record + sim_bytes, whether or not the payload
+/// was materialized) — the honest wire cost of routed aggregation.
+void encode_blocks(const std::vector<Block>& blocks,
+                   std::vector<std::byte>& frame, std::uint64_t& sim) {
+  frame.clear();
+  sim = 0;
+  std::size_t real = 0;
+  for (const auto& b : blocks) real += kBlockHeader + b.payload.size();
+  frame.reserve(real);
+  for (const auto& b : blocks) {
+    std::uint32_t hdr32[2] = {static_cast<std::uint32_t>(b.src),
+                              static_cast<std::uint32_t>(b.dst)};
+    std::uint64_t hdr64[2] = {b.sim_bytes, b.payload.size()};
+    const auto* p32 = reinterpret_cast<const std::byte*>(hdr32);
+    frame.insert(frame.end(), p32, p32 + 8);
+    const auto* p64 = reinterpret_cast<const std::byte*>(hdr64);
+    frame.insert(frame.end(), p64, p64 + 16);
+    frame.insert(frame.end(), b.payload.begin(), b.payload.end());
+    sim += kBlockHeader + b.sim_bytes;
+  }
+}
+
+std::vector<Block> decode_blocks(std::span<const std::byte> frame) {
+  std::vector<Block> out;
+  std::size_t cur = 0;
+  while (cur + kBlockHeader <= frame.size()) {
+    std::uint32_t hdr32[2];
+    std::uint64_t hdr64[2];
+    std::memcpy(hdr32, frame.data() + cur, 8);
+    std::memcpy(hdr64, frame.data() + cur + 8, 16);
+    cur += kBlockHeader;
+    Block b;
+    b.src = static_cast<Rank>(hdr32[0]);
+    b.dst = static_cast<Rank>(hdr32[1]);
+    b.sim_bytes = hdr64[0];
+    const auto len = static_cast<std::size_t>(hdr64[1]);
+    assert(cur + len <= frame.size());
+    b.payload.assign(frame.begin() + static_cast<std::ptrdiff_t>(cur),
+                     frame.begin() + static_cast<std::ptrdiff_t>(cur + len));
+    cur += len;
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+/// Rank r's outbound blocks (self excluded — delivered locally), with
+/// zero-size blocks skipped: routed topologies do not pay wire headers
+/// for nothing-to-say pairs.  Receivers reconstruct the empty messages.
+std::vector<Block> build_blocks(
+    Rank r, int p, const std::vector<std::uint64_t>& send_bytes,
+    const std::vector<std::span<const std::byte>>& payloads) {
+  std::vector<Block> out;
+  for (int d = 0; d < p; ++d) {
+    if (d == r) continue;
+    const auto du = static_cast<std::size_t>(d);
+    if (send_bytes[du] == 0) continue;
+    Block b;
+    b.src = r;
+    b.dst = d;
+    b.sim_bytes = send_bytes[du];
+    if (!payloads.empty()) {
+      b.payload.assign(payloads[du].begin(), payloads[du].end());
+    }
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+Message block_to_message(Block b, int tag) {
+  Message m;
+  m.src = b.src;
+  m.tag = tag;
+  m.bytes = b.sim_bytes;
+  m.payload = std::move(b.payload);
+  return m;
+}
+
+/// Fill the self slot and any source that sent nothing, so every routing
+/// kind returns the same shape the flat exchange does: P messages indexed
+/// by source, empty ones included.
+void fill_missing(std::vector<Message>& out, Rank r, int p, int tag,
+                  const std::vector<std::uint64_t>& send_bytes,
+                  const std::vector<std::span<const std::byte>>& payloads) {
+  Message self;
+  self.src = r;
+  self.tag = tag;
+  self.bytes = send_bytes[static_cast<std::size_t>(r)];
+  if (!payloads.empty()) {
+    const auto& pay = payloads[static_cast<std::size_t>(r)];
+    self.payload.assign(pay.begin(), pay.end());
+  }
+  out[static_cast<std::size_t>(r)] = std::move(self);
+  for (int s = 0; s < p; ++s) {
+    Message& m = out[static_cast<std::size_t>(s)];
+    if (m.src < 0) {
+      m.src = s;
+      m.tag = tag;
+    }
+  }
+}
+
+/// Bruck store-and-forward: ceil(log2 P) rounds; in round k every rank
+/// ships the blocks whose remaining relative distance has bit k set to
+/// rank + 2^k.  P * ceil(log2 P) wire messages total — each block hops
+/// (and pays the network) once per set bit of its distance.
+simkit::Task<std::vector<Message>> alltoallv_bruck(
     Comm& c, std::vector<std::uint64_t> send_bytes,
     std::vector<std::span<const std::byte>> payloads) {
   const int p = c.size();
-  assert(send_bytes.size() == static_cast<std::size_t>(p));
-  assert(payloads.empty() || payloads.size() == static_cast<std::size_t>(p));
+  const Rank r = c.rank();
+  A2aMeters meters;
+  std::vector<Message> out(static_cast<std::size_t>(p));
+  std::vector<Block> items = build_blocks(r, p, send_bytes, payloads);
+  int last_tag = Comm::kCollectiveTagBase;
+  for (int k = 1; k < p; k <<= 1) {
+    const int tag = c.next_collective_tag();
+    last_tag = tag;
+    const Rank dst = (r + k) % p;
+    const Rank src = (r - k + p) % p;
+    std::vector<Block> fwd;
+    std::vector<Block> keep;
+    for (auto& b : items) {
+      const int rel = (b.dst - r + p) % p;
+      if (rel & k) {
+        fwd.push_back(std::move(b));
+      } else {
+        keep.push_back(std::move(b));
+      }
+    }
+    items = std::move(keep);
+    std::vector<std::byte> frame;
+    std::uint64_t sim = 0;
+    encode_blocks(fwd, frame, sim);
+    meters.note(sim);
+    co_await c.send(dst, tag, sim, frame);
+    Message m = co_await c.recv(src, tag);
+    auto arrived = decode_blocks(m.payload);
+    for (auto& b : arrived) {
+      if (b.dst == r) {
+        out[static_cast<std::size_t>(b.src)] =
+            block_to_message(std::move(b), tag);
+      } else {
+        items.push_back(std::move(b));
+      }
+    }
+  }
+  assert(items.empty());
+  fill_missing(out, r, p, last_tag, send_bytes, payloads);
+  co_return out;
+}
+
+/// Two-level leader routing: members ship all their blocks to the group
+/// leader (one message), leaders exchange pairwise (A^2), leaders deliver
+/// to members (one message each) — ~2P + A^2 wire messages instead of
+/// P^2, at the price of every byte crossing the network an extra time.
+simkit::Task<std::vector<Message>> alltoallv_twolevel(
+    Comm& c, std::vector<std::uint64_t> send_bytes,
+    std::vector<std::span<const std::byte>> payloads) {
+  const int p = c.size();
+  const Rank r = c.rank();
+  A2aMeters meters;
+  const int width = two_level_group_width(p, c.topology());
+  const int nl = (p + width - 1) / width;
+  const Rank my_leader = r - r % width;
+  const int li = r / width;
+  const int tag_up = c.next_collective_tag();
+  const int tag_x = c.next_collective_tag();
+  const int tag_down = c.next_collective_tag();
+
+  std::vector<Message> out(static_cast<std::size_t>(p));
+  std::vector<Block> mine = build_blocks(r, p, send_bytes, payloads);
+
+  if (r != my_leader) {
+    std::vector<std::byte> frame;
+    std::uint64_t sim = 0;
+    encode_blocks(mine, frame, sim);
+    meters.note(sim);
+    co_await c.send(my_leader, tag_up, sim, frame);
+    Message down = co_await c.recv(my_leader, tag_down);
+    auto arrived = decode_blocks(down.payload);
+    for (auto& b : arrived) {
+      assert(b.dst == r);
+      out[static_cast<std::size_t>(b.src)] =
+          block_to_message(std::move(b), tag_down);
+    }
+  } else {
+    // Collect the group's blocks (members in rank order).
+    std::vector<Block> pool = std::move(mine);
+    const Rank group_end = std::min(my_leader + width, p);
+    for (Rank mr = my_leader + 1; mr < group_end; ++mr) {
+      Message up = co_await c.recv(mr, tag_up);
+      auto arrived = decode_blocks(up.payload);
+      for (auto& b : arrived) pool.push_back(std::move(b));
+    }
+    // Bucket by destination group.
+    std::vector<std::vector<Block>> per_group(static_cast<std::size_t>(nl));
+    std::vector<Block> local;
+    for (auto& b : pool) {
+      const int g = b.dst / width;
+      if (g == li) {
+        local.push_back(std::move(b));
+      } else {
+        per_group[static_cast<std::size_t>(g)].push_back(std::move(b));
+      }
+    }
+    // Shifted pairwise exchange among leaders (eager sends: the
+    // sequential send-then-recv per step cannot deadlock).
+    for (int k = 1; k < nl; ++k) {
+      const int gd = (li + k) % nl;
+      const int gs = (li - k + nl) % nl;
+      const Rank dst_leader = gd * width;
+      const Rank src_leader = gs * width;
+      std::vector<std::byte> frame;
+      std::uint64_t sim = 0;
+      encode_blocks(per_group[static_cast<std::size_t>(gd)], frame, sim);
+      meters.note(sim);
+      co_await c.send(dst_leader, tag_x, sim, frame);
+      Message m = co_await c.recv(src_leader, tag_x);
+      auto arrived = decode_blocks(m.payload);
+      for (auto& b : arrived) local.push_back(std::move(b));
+    }
+    // Deliver within my group.
+    std::vector<std::vector<Block>> per_member(
+        static_cast<std::size_t>(group_end - my_leader));
+    for (auto& b : local) {
+      if (b.dst == r) {
+        out[static_cast<std::size_t>(b.src)] =
+            block_to_message(std::move(b), tag_down);
+      } else {
+        per_member[static_cast<std::size_t>(b.dst - my_leader)].push_back(
+            std::move(b));
+      }
+    }
+    for (Rank mr = my_leader + 1; mr < group_end; ++mr) {
+      std::vector<std::byte> frame;
+      std::uint64_t sim = 0;
+      encode_blocks(per_member[static_cast<std::size_t>(mr - my_leader)],
+                    frame, sim);
+      meters.note(sim);
+      co_await c.send(mr, tag_down, sim, frame);
+    }
+  }
+  fill_missing(out, r, p, tag_down, send_bytes, payloads);
+  co_return out;
+}
+
+/// The historical flat exchange, kept byte-identical (same single tag,
+/// same shifted pairwise order, self included) for default-topology runs.
+simkit::Task<std::vector<Message>> alltoallv_flat(
+    Comm& c, std::vector<std::uint64_t> send_bytes,
+    std::vector<std::span<const std::byte>> payloads) {
+  const int p = c.size();
   const int tag = c.next_collective_tag();
   const Rank r = c.rank();
+  A2aMeters meters;
   std::vector<Message> out(static_cast<std::size_t>(p));
 
   // Shifted pairwise exchange: step k talks to (r+k) / (r-k).  Eager sends
@@ -98,11 +386,49 @@ simkit::Task<std::vector<Message>> alltoallv(
     // operands inside co_await argument lists.
     std::span<const std::byte> pay;
     if (!payloads.empty()) pay = payloads[d];
+    meters.note(send_bytes[d]);
     co_await c.send(dst, tag, send_bytes[d], pay);
     Message m = co_await c.recv(src, tag);
     out[static_cast<std::size_t>(src)] = std::move(m);
   }
   co_return out;
+}
+
+}  // namespace
+
+int two_level_group_width(int p, const CollectiveTopology& t) {
+  if (p <= 1) return 1;
+  int g = t.group_size;
+  if (g <= 0) {
+    g = static_cast<int>(
+        std::ceil(std::sqrt(static_cast<double>(p))));
+  }
+  return std::clamp(g, 1, p);
+}
+
+std::vector<Rank> two_level_leaders(int p, int width) {
+  std::vector<Rank> out;
+  for (Rank r = 0; r < p; r += width) out.push_back(r);
+  return out;
+}
+
+simkit::Task<std::vector<Message>> alltoallv(
+    Comm& c, std::vector<std::uint64_t> send_bytes,
+    std::vector<std::span<const std::byte>> payloads) {
+  assert(send_bytes.size() == static_cast<std::size_t>(c.size()));
+  assert(payloads.empty() ||
+         payloads.size() == static_cast<std::size_t>(c.size()));
+  const CollectiveTopology::Kind kind = c.topology().kind;
+  if (kind == CollectiveTopology::Kind::kBruck) {
+    co_return co_await alltoallv_bruck(c, std::move(send_bytes),
+                                       std::move(payloads));
+  }
+  if (kind == CollectiveTopology::Kind::kTwoLevel) {
+    co_return co_await alltoallv_twolevel(c, std::move(send_bytes),
+                                          std::move(payloads));
+  }
+  co_return co_await alltoallv_flat(c, std::move(send_bytes),
+                                    std::move(payloads));
 }
 
 namespace {

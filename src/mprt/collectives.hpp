@@ -35,12 +35,29 @@ simkit::Task<std::vector<Message>> gatherv(
 /// Returns P messages indexed by source.  `payloads`, when non-empty,
 /// supplies per-destination real content.
 ///
+/// Routing follows the cluster's CollectiveTopology: kFlat is the
+/// historical shifted pairwise exchange (P messages per rank), kBruck
+/// store-and-forwards in ceil(log2 P) rounds, kTwoLevel routes through
+/// group leaders (~2P + A^2 messages total for A groups).  All three
+/// deliver identical buffers; only message counts and timing differ.
+/// Wire traffic is metered as mprt.alltoall.msgs / mprt.alltoall.bytes
+/// when a metrics registry is installed.
+///
 /// Parameters are taken BY VALUE deliberately: a coroutine must not bind
 /// references to caller temporaries (and GCC 12 additionally miscompiles
 /// non-trivially-destructible default arguments of coroutine calls).
 simkit::Task<std::vector<Message>> alltoallv(
     Comm& c, std::vector<std::uint64_t> send_bytes,
     std::vector<std::span<const std::byte>> payloads = {});
+
+/// Effective kTwoLevel group width for a P-rank cluster: the topology's
+/// group_size clamped to [1, P], or ceil(sqrt(P)) when it is 0.
+int two_level_group_width(int p, const CollectiveTopology& t);
+
+/// Group-leader ranks (0, W, 2W, ...) for a P-rank cluster at width W.
+/// These are also the aggregator ranks of the hierarchical two-phase
+/// I/O path (pario::TwoPhase under a kTwoLevel topology).
+std::vector<Rank> two_level_leaders(int p, int width);
 
 enum class ReduceOp : std::uint8_t { kSum, kMin, kMax };
 

@@ -37,6 +37,24 @@ struct Message {
   std::vector<std::byte> payload;      // real content (may be empty)
 };
 
+/// Routing policy for bulk collective exchanges: how alltoallv (and the
+/// hierarchical two-phase I/O built on it) moves personalized blocks.
+/// kFlat is the default and reproduces the historical behavior byte for
+/// byte; the other kinds trade per-hop forwarding for message count, the
+/// O(P^2) -> O(P + A^2) reduction DESIGN.md §16 describes.
+struct CollectiveTopology {
+  enum class Kind : std::uint8_t {
+    kFlat,      // direct pairwise: P messages per rank
+    kBruck,     // ceil(log2 P) store-and-forward rounds (sparse exchanges)
+    kTwoLevel,  // leader-per-group routing: ~2P + A^2 messages total
+  };
+  Kind kind = Kind::kFlat;
+  /// kTwoLevel group width G: ranks [g*G, (g+1)*G) route through their
+  /// leader, rank g*G.  0 picks ceil(sqrt(P)), which minimizes the
+  /// 2P + (P/G)^2*... message total for a square machine.
+  int group_size = 0;
+};
+
 class Cluster;
 
 /// Per-rank communication endpoint.
@@ -50,7 +68,10 @@ class Comm {
   Cluster& cluster() noexcept { return *cluster_; }
 
   /// Timed, eager send.  `bytes` is the simulated message size; `payload`
-  /// optionally carries real content (empty, or exactly `bytes` long).
+  /// optionally carries real content — empty, exactly `bytes` long, or
+  /// (for framed collective routing) shorter than `bytes` when part of
+  /// the simulated volume is timing-only.  Receivers must size content
+  /// off payload.size(), never off bytes.
   simkit::Task<void> send(Rank dst, int tag, std::uint64_t bytes,
                           std::span<const std::byte> payload = {});
 
@@ -66,6 +87,9 @@ class Comm {
   /// Next tag for internal collective rounds; stays in lock-step across
   /// ranks because collectives are called in SPMD order.
   int next_collective_tag() { return kCollectiveTagBase + (coll_seq_++ & 0xFFFF); }
+
+  /// The cluster-wide collective routing policy (see CollectiveTopology).
+  const CollectiveTopology& topology() const noexcept;
 
   std::uint64_t messages_sent() const noexcept { return sent_; }
   std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
@@ -126,10 +150,18 @@ class Cluster {
   /// tag), the other ranks pick it up after a barrier.
   std::map<int, std::shared_ptr<void>>& rendezvous() { return rendezvous_; }
 
+  /// Collective routing policy for every Comm of this cluster.  Set it
+  /// before spawning rank bodies — changing the topology between two
+  /// collectives of a running SPMD program is undefined (ranks could
+  /// route one collective two different ways).
+  void set_topology(CollectiveTopology t) noexcept { topology_ = t; }
+  const CollectiveTopology& topology() const noexcept { return topology_; }
+
  private:
   hw::Machine& machine_;
   std::vector<std::unique_ptr<Comm>> comms_;
   std::map<int, std::shared_ptr<void>> rendezvous_;
+  CollectiveTopology topology_;
 };
 
 /// Wait for a set of nonblocking operations (MPI_Waitall).

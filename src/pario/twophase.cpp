@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstring>
+#include <limits>
 
 #include "metrics/metrics.hpp"
 #include "mprt/collectives.hpp"
@@ -104,6 +106,17 @@ struct Domains {
   }
 };
 
+Domains make_domains(std::uint64_t lo, std::uint64_t hi, int p,
+                     std::uint64_t stripe_unit) {
+  if (hi <= lo) return {0, 0, 0};
+  // Stripe-aligned domains keep each aggregator talking to a stable
+  // subset of I/O nodes.
+  std::uint64_t chunk = (hi - lo + static_cast<std::uint64_t>(p) - 1) /
+                        static_cast<std::uint64_t>(p);
+  chunk = (chunk + stripe_unit - 1) / stripe_unit * stripe_unit;
+  return {lo, chunk, hi};
+}
+
 Domains partition(const std::vector<std::vector<Extent>>& all, int p,
                   std::uint64_t stripe_unit) {
   std::uint64_t lo = ~std::uint64_t{0}, hi = 0;
@@ -113,13 +126,367 @@ Domains partition(const std::vector<std::vector<Extent>>& all, int p,
       hi = std::max(hi, e.file_end());
     }
   }
-  if (hi <= lo) return {0, 0, 0};
-  // Stripe-aligned domains keep each aggregator talking to a stable
-  // subset of I/O nodes.
-  std::uint64_t chunk = (hi - lo + static_cast<std::uint64_t>(p) - 1) /
-                        static_cast<std::uint64_t>(p);
-  chunk = (chunk + stripe_unit - 1) / stripe_unit * stripe_unit;
-  return {lo, chunk, hi};
+  return make_domains(lo, hi, p, stripe_unit);
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical (aggregator-subset) path — active under a kTwoLevel
+// collective topology.  The group leaders ARE the aggregators, so the
+// rank->aggregator data motion rides the same leader routing the
+// collectives use, and the O(P)-per-rank extent table is replaced by an
+// allreduce of the global [lo, hi) bounds.  Per-source sub-extent lists —
+// which the flat path reads out of the replicated table — are shipped
+// inline as 16-byte (file_offset, length) records ahead of the data.
+// ---------------------------------------------------------------------------
+
+/// Global [lo, hi) of the collective access without the replicated extent
+/// table: an allreduce of {min offset, -max end} under kMin.  Offsets ride
+/// as doubles (exact below 2^53 — far beyond any simulated file).
+simkit::Task<std::pair<std::uint64_t, std::uint64_t>> reduce_bounds(
+    mprt::Comm& c, const std::vector<Extent>& mine) {
+  double vals[2] = {std::numeric_limits<double>::infinity(),
+                    std::numeric_limits<double>::infinity()};
+  for (const auto& e : mine) {
+    vals[0] = std::min(vals[0], static_cast<double>(e.file_offset));
+    vals[1] = std::min(vals[1], -static_cast<double>(e.file_end()));
+  }
+  std::span<double> view(vals, 2);
+  co_await mprt::allreduce(c, view, mprt::ReduceOp::kMin);
+  std::pair<std::uint64_t, std::uint64_t> bounds{0, 0};
+  if (std::isfinite(vals[0])) {
+    bounds = {static_cast<std::uint64_t>(vals[0]),
+              static_cast<std::uint64_t>(-vals[1])};
+  }
+  co_return bounds;
+}
+
+/// Record frame: [n u64][n x (file_offset u64, length u64)].  Data bytes,
+/// when carried, follow the records in the same payload.
+std::vector<std::byte> encode_records(const std::vector<Extent>& subs) {
+  std::vector<std::byte> out(8 + subs.size() * 16);
+  const std::uint64_t n = subs.size();
+  std::memcpy(out.data(), &n, 8);
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    std::uint64_t pair[2] = {subs[i].file_offset, subs[i].length};
+    std::memcpy(out.data() + 8 + i * 16, pair, 16);
+  }
+  return out;
+}
+
+std::vector<Extent> decode_records(std::span<const std::byte> pay) {
+  if (pay.size() < 8) return {};
+  std::uint64_t n = 0;
+  std::memcpy(&n, pay.data(), 8);
+  if (pay.size() < 8 + n * 16) return {};
+  std::vector<Extent> v(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    std::uint64_t pair[2];
+    std::memcpy(pair, pay.data() + 8 + i * 16, 16);
+    v[i] = Extent{pair[0], pair[1], 0};
+  }
+  return v;
+}
+
+/// Byte offset where data begins inside a records+data payload.
+std::size_t records_size(const std::vector<Extent>& recs) {
+  return 8 + recs.size() * 16;
+}
+
+/// Collective write over the aggregator subset.  Parameters by value
+/// (coroutine); comm/fs stay alive in the caller's frame across the await.
+simkit::Task<void> hier_write(mprt::Comm& comm, pfs::StripedFs& fs,
+                              pfs::FileId file, std::vector<Extent> mine,
+                              std::span<const std::byte> local_data,
+                              TwoPhaseStats* stats, TwoPhaseOptions options) {
+  simkit::Engine& eng = comm.engine();
+  const TpMeters m;
+  const int p = comm.size();
+  const int width = mprt::two_level_group_width(p, comm.topology());
+  const auto leaders = mprt::two_level_leaders(p, width);
+  const int naggs = static_cast<int>(leaders.size());
+
+  const simkit::Time t_meta = eng.now();
+  const auto bounds = co_await reduce_bounds(comm, mine);
+  const Domains dom = make_domains(bounds.first, bounds.second, naggs,
+                                   fs.stripe_map(file).stripe_unit());
+  if (stats) stats->exchange_time += eng.now() - t_meta;
+  if (m.exchange_s) m.exchange_s->observe(eng.now() - t_meta);
+  if (dom.chunk == 0) co_return;  // reduced bounds: all ranks agree
+
+  // ---- exchange phase: records (+ data) to the owning aggregators ------
+  const simkit::Time t_x = eng.now();
+  const bool with_data = !local_data.empty();
+  std::vector<std::uint64_t> send_bytes(static_cast<std::size_t>(p), 0);
+  std::vector<std::vector<std::byte>> payload_store(
+      static_cast<std::size_t>(p));
+  std::vector<std::span<const std::byte>> payload_views(
+      static_cast<std::size_t>(p));
+  std::uint64_t packed = 0;
+  for (int a = 0; a < naggs; ++a) {
+    const auto [dlo, dhi] = dom.of(a);
+    auto subs = TwoPhase::intersect(mine, dlo, dhi);
+    if (subs.empty()) continue;  // nothing for this aggregator: no message
+    const std::uint64_t data_bytes = total_length(subs);
+    const auto dst = static_cast<std::size_t>(leaders[a]);
+    auto& buf = payload_store[dst];
+    buf = encode_records(subs);
+    if (with_data) {
+      buf.reserve(buf.size() + data_bytes);
+      for (const auto& s : subs) {
+        buf.insert(buf.end(), local_data.begin() + s.buf_offset,
+                   local_data.begin() + s.buf_offset + s.length);
+      }
+    }
+    send_bytes[dst] = records_size(subs) + data_bytes;
+    payload_views[dst] = buf;
+    packed += records_size(subs) + data_bytes;
+  }
+  co_await comm.machine().mem_copy(packed);  // pack pass
+  // Named lvalue: see the GCC 12 note in TwoPhase::write.
+  auto received = co_await mprt::alltoallv(comm, send_bytes, payload_views);
+
+  // ---- aggregator side: decode records, assemble runs ------------------
+  const bool assemble = fs.is_backed(file);
+  const bool is_agg = comm.rank() % width == 0;
+  std::vector<Extent> runs;
+  std::vector<std::vector<std::byte>> run_bufs;
+  std::uint64_t unpacked = 0;
+  if (is_agg) {
+    std::vector<std::vector<Extent>> recs(static_cast<std::size_t>(p));
+    std::vector<Extent> domain_pieces;
+    for (int s = 0; s < p; ++s) {
+      recs[static_cast<std::size_t>(s)] =
+          decode_records(received[static_cast<std::size_t>(s)].payload);
+      const auto& rr = recs[static_cast<std::size_t>(s)];
+      domain_pieces.insert(domain_pieces.end(), rr.begin(), rr.end());
+    }
+    runs = TwoPhase::merge_runs(domain_pieces);
+    run_bufs.resize(runs.size());
+    if (assemble) {
+      for (std::size_t i = 0; i < runs.size(); ++i) {
+        run_bufs[i].resize(runs[i].length);
+      }
+      for (int s = 0; s < p; ++s) {
+        const auto& rr = recs[static_cast<std::size_t>(s)];
+        const auto& pay = received[static_cast<std::size_t>(s)].payload;
+        std::size_t cursor = records_size(rr);  // data follows records
+        for (const auto& sub : rr) {
+          auto it = std::upper_bound(
+              runs.begin(), runs.end(), sub.file_offset,
+              [](std::uint64_t off, const Extent& r) {
+                return off < r.file_offset;
+              });
+          const auto run_idx = static_cast<std::size_t>(
+              std::distance(runs.begin(), std::prev(it)));
+          if (pay.size() >= cursor + sub.length) {
+            std::memcpy(run_bufs[run_idx].data() +
+                            (sub.file_offset - runs[run_idx].file_offset),
+                        pay.data() + cursor, sub.length);
+          }
+          cursor += sub.length;
+          unpacked += sub.length;
+        }
+      }
+    } else {
+      for (const auto& rr : recs) unpacked += total_length(rr);
+    }
+  }
+  co_await comm.machine().mem_copy(unpacked);  // unpack pass
+  if (stats) stats->exchange_time += eng.now() - t_x;
+  if (m.exchange_s) m.exchange_s->observe(eng.now() - t_x);
+
+  // ---- I/O phase: only aggregators have runs ---------------------------
+  const simkit::Time t_io = eng.now();
+  std::exception_ptr deferred;  // see TwoPhaseOptions::retry
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    std::span<const std::byte> run_view;
+    if (assemble) run_view = run_bufs[i];
+    if (options.retry) {
+      try {
+        co_await resilient_pwrite(fs, comm.node(), file,
+                                  runs[i].file_offset, runs[i].length,
+                                  run_view, *options.retry,
+                                  options.retry_stats);
+      } catch (const pfs::IoError&) {
+        deferred = std::current_exception();
+        break;  // abandon my domain; complete the protocol below
+      }
+    } else {
+      co_await fs.pwrite(comm.node(), file, runs[i].file_offset,
+                         runs[i].length, run_view);
+    }
+    if (stats) {
+      ++stats->io_calls;
+      stats->io_bytes += runs[i].length;
+    }
+    if (m.io_calls) {
+      m.io_calls->inc();
+      m.io_bytes->inc(runs[i].length);
+    }
+  }
+  if (stats) stats->io_time += eng.now() - t_io;
+  if (m.io_s) m.io_s->observe(eng.now() - t_io);
+
+  co_await mprt::barrier(comm);  // collective completion
+  if (deferred) std::rethrow_exception(deferred);
+}
+
+/// Collective read over the aggregator subset: a request round (records
+/// only), aggregator preads, then a reply round (data in request order).
+simkit::Task<void> hier_read(mprt::Comm& comm, pfs::StripedFs& fs,
+                             pfs::FileId file, std::vector<Extent> mine,
+                             std::span<std::byte> local_out,
+                             TwoPhaseStats* stats, TwoPhaseOptions options) {
+  simkit::Engine& eng = comm.engine();
+  const TpMeters m;
+  const int p = comm.size();
+  const int width = mprt::two_level_group_width(p, comm.topology());
+  const auto leaders = mprt::two_level_leaders(p, width);
+  const int naggs = static_cast<int>(leaders.size());
+
+  const simkit::Time t_meta = eng.now();
+  const auto bounds = co_await reduce_bounds(comm, mine);
+  const Domains dom = make_domains(bounds.first, bounds.second, naggs,
+                                   fs.stripe_map(file).stripe_unit());
+  if (stats) stats->exchange_time += eng.now() - t_meta;
+  if (m.exchange_s) m.exchange_s->observe(eng.now() - t_meta);
+  if (dom.chunk == 0) co_return;
+
+  const bool serve_data = fs.is_backed(file);
+
+  // ---- request round: my sub-extent records to each aggregator ---------
+  const simkit::Time t_req = eng.now();
+  std::vector<std::vector<Extent>> my_subs(static_cast<std::size_t>(naggs));
+  std::vector<std::uint64_t> req_bytes(static_cast<std::size_t>(p), 0);
+  std::vector<std::vector<std::byte>> req_store(static_cast<std::size_t>(p));
+  std::vector<std::span<const std::byte>> req_views(
+      static_cast<std::size_t>(p));
+  std::uint64_t packed_req = 0;
+  for (int a = 0; a < naggs; ++a) {
+    const auto [dlo, dhi] = dom.of(a);
+    my_subs[static_cast<std::size_t>(a)] =
+        TwoPhase::intersect(mine, dlo, dhi);
+    const auto& subs = my_subs[static_cast<std::size_t>(a)];
+    if (subs.empty()) continue;
+    const auto dst = static_cast<std::size_t>(leaders[a]);
+    req_store[dst] = encode_records(subs);
+    req_bytes[dst] = records_size(subs);
+    req_views[dst] = req_store[dst];
+    packed_req += records_size(subs);
+  }
+  co_await comm.machine().mem_copy(packed_req);
+  auto requests = co_await mprt::alltoallv(comm, req_bytes, req_views);
+  if (stats) stats->exchange_time += eng.now() - t_req;
+  if (m.exchange_s) m.exchange_s->observe(eng.now() - t_req);
+
+  // ---- I/O phase (aggregators): pread the merged request runs ----------
+  const bool is_agg = comm.rank() % width == 0;
+  std::vector<std::vector<Extent>> recs(static_cast<std::size_t>(p));
+  std::vector<Extent> runs;
+  if (is_agg) {
+    std::vector<Extent> domain_pieces;
+    for (int s = 0; s < p; ++s) {
+      recs[static_cast<std::size_t>(s)] =
+          decode_records(requests[static_cast<std::size_t>(s)].payload);
+      const auto& rr = recs[static_cast<std::size_t>(s)];
+      domain_pieces.insert(domain_pieces.end(), rr.begin(), rr.end());
+    }
+    runs = TwoPhase::merge_runs(domain_pieces);
+  }
+  std::vector<std::vector<std::byte>> run_bufs(runs.size());
+  const simkit::Time t_io = eng.now();
+  std::exception_ptr deferred;  // see TwoPhaseOptions::retry
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (serve_data) run_bufs[i].resize(runs[i].length);
+    std::span<std::byte> run_view;
+    if (serve_data) run_view = run_bufs[i];
+    if (options.retry) {
+      try {
+        co_await resilient_pread(fs, comm.node(), file,
+                                 runs[i].file_offset, runs[i].length,
+                                 run_view, *options.retry,
+                                 options.retry_stats);
+      } catch (const pfs::IoError&) {
+        deferred = std::current_exception();
+        break;  // serve what we have; the caller discards on rethrow
+      }
+    } else {
+      co_await fs.pread(comm.node(), file, runs[i].file_offset,
+                        runs[i].length, run_view);
+    }
+    if (stats) {
+      ++stats->io_calls;
+      stats->io_bytes += runs[i].length;
+    }
+    if (m.io_calls) {
+      m.io_calls->inc();
+      m.io_bytes->inc(runs[i].length);
+    }
+  }
+  if (stats) stats->io_time += eng.now() - t_io;
+  if (m.io_s) m.io_s->observe(eng.now() - t_io);
+  if (deferred && serve_data) {
+    // Zero-fill unsized runs so the reply pack below stays valid; the
+    // caller discards the data on rethrow.
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      run_bufs[i].resize(runs[i].length);
+    }
+  }
+
+  // ---- reply round: data back to requesters, in request order ----------
+  const simkit::Time t_x = eng.now();
+  std::vector<std::uint64_t> rep_bytes(static_cast<std::size_t>(p), 0);
+  std::vector<std::vector<std::byte>> rep_store(static_cast<std::size_t>(p));
+  std::vector<std::span<const std::byte>> rep_views(
+      static_cast<std::size_t>(p));
+  std::uint64_t packed = 0;
+  for (int s = 0; s < p; ++s) {
+    const auto su = static_cast<std::size_t>(s);
+    const std::uint64_t bytes = total_length(recs[su]);
+    if (bytes == 0) continue;
+    rep_bytes[su] = bytes;
+    packed += bytes;
+    if (serve_data) {
+      auto& buf = rep_store[su];
+      buf.reserve(bytes);
+      for (const auto& sub : recs[su]) {
+        auto it = std::upper_bound(
+            runs.begin(), runs.end(), sub.file_offset,
+            [](std::uint64_t off, const Extent& r) {
+              return off < r.file_offset;
+            });
+        const auto run_idx = static_cast<std::size_t>(
+            std::distance(runs.begin(), std::prev(it)));
+        const auto* src = run_bufs[run_idx].data() +
+                          (sub.file_offset - runs[run_idx].file_offset);
+        buf.insert(buf.end(), src, src + sub.length);
+      }
+      rep_views[su] = buf;
+    }
+  }
+  co_await comm.machine().mem_copy(packed);  // pack pass
+  auto replies = co_await mprt::alltoallv(comm, rep_bytes, rep_views);
+
+  // Scatter replies by my own per-domain request order.
+  std::uint64_t unpacked = 0;
+  for (int a = 0; a < naggs; ++a) {
+    const auto& subs = my_subs[static_cast<std::size_t>(a)];
+    const auto& pay =
+        replies[static_cast<std::size_t>(leaders[a])].payload;
+    std::size_t cursor = 0;
+    for (const auto& sub : subs) {
+      if (!local_out.empty() && pay.size() >= cursor + sub.length) {
+        std::memcpy(local_out.data() + sub.buf_offset, pay.data() + cursor,
+                    sub.length);
+      }
+      cursor += sub.length;
+      unpacked += sub.length;
+    }
+  }
+  co_await comm.machine().mem_copy(unpacked);  // unpack pass
+  if (stats) stats->exchange_time += eng.now() - t_x;
+  if (m.exchange_s) m.exchange_s->observe(eng.now() - t_x);
+  if (deferred) std::rethrow_exception(deferred);
 }
 
 }  // namespace
@@ -169,6 +536,13 @@ simkit::Task<void> TwoPhase::write(mprt::Comm& comm, pfs::StripedFs& fs,
     return a.file_offset != b.file_offset ? a.file_offset < b.file_offset
                                           : a.buf_offset < b.buf_offset;
   });
+  if (comm.topology().kind == mprt::CollectiveTopology::Kind::kTwoLevel) {
+    // Aggregator-subset path: the topology's group leaders do the file
+    // I/O; options.aggregators is superseded by the leader set.
+    co_await hier_write(comm, fs, file, std::move(mine), local_data, stats,
+                        options);
+    co_return;
+  }
 
   const simkit::Time t_meta = eng.now();
   auto all = co_await allgather_extents(comm, mine);
@@ -314,6 +688,11 @@ simkit::Task<void> TwoPhase::read(mprt::Comm& comm, pfs::StripedFs& fs,
     return a.file_offset != b.file_offset ? a.file_offset < b.file_offset
                                           : a.buf_offset < b.buf_offset;
   });
+  if (comm.topology().kind == mprt::CollectiveTopology::Kind::kTwoLevel) {
+    co_await hier_read(comm, fs, file, std::move(mine), local_out, stats,
+                       options);
+    co_return;
+  }
 
   const simkit::Time t_meta = eng.now();
   auto all = co_await allgather_extents(comm, mine);

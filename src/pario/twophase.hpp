@@ -39,6 +39,13 @@ struct TwoPhaseOptions {
   /// cb_nodes).  0 = every rank aggregates (the default).  Fewer
   /// aggregators concentrate the file traffic — useful when ranks far
   /// outnumber I/O nodes.
+  ///
+  /// Ignored under a kTwoLevel collective topology: there the topology's
+  /// group LEADERS are the aggregators, the rank->aggregator data motion
+  /// rides the leader routing, and the replicated O(P) extent table is
+  /// replaced by a bounds allreduce plus inline sub-extent records — the
+  /// scale-out path (DESIGN.md §16).  Flat and kBruck topologies use the
+  /// classic path (whose alltoallv still routes by topology).
   int aggregators = 0;
 
   /// Retry/backoff policy for the aggregators' file I/O (fault runs).

@@ -120,6 +120,48 @@ TEST(Ckpt, CheckpointingBoundsLostWorkUnderCrashes) {
       << "without checkpoints every crash rolls back to step 0";
 }
 
+TEST(Ckpt, BoundedFanInPreservesCheckpointSemantics) {
+  // Options::io_fan_in routes the checkpoint collectives over the leader
+  // topology (aggregator two-phase) — the accounting and the verified
+  // restored state must match the flat shape exactly.
+  Options flat;
+  flat.ckpt_interval_steps = 2;
+  Options bounded = flat;
+  bounded.io_fan_in = 2;
+  const Report a = run_with(fault::InjectionPlan{}, flat);
+  const Report b = run_with(fault::InjectionPlan{}, bounded);
+  ASSERT_TRUE(b.completed);
+  EXPECT_TRUE(b.state_verified);
+  EXPECT_EQ(b.checkpoints, a.checkpoints);
+  EXPECT_EQ(b.ckpt_bytes, a.ckpt_bytes);
+}
+
+TEST(Ckpt, BoundedFanInSurvivesCrashRecovery) {
+  Options opt;
+  opt.ckpt_interval_steps = 2;
+  opt.retry.max_attempts = 3;
+  opt.io_fan_in = 2;
+  const Report rep = run_with(mid_run_outage(), opt);
+  EXPECT_TRUE(rep.completed);
+  EXPECT_GE(rep.restarts, 1);
+  EXPECT_TRUE(rep.state_verified)
+      << "hierarchical restore must replay the same bytes";
+}
+
+TEST(Ckpt, BoundedFanInCapsAsyncDrains) {
+  // io_fan_in = 1 serializes the background drains through the slot
+  // pool; the job must still complete with every checkpoint committed.
+  Options opt;
+  opt.ckpt_interval_steps = 2;
+  opt.policy.write = Policy::Write::kAsync;
+  opt.io_fan_in = 1;
+  const Report rep = run_with(fault::InjectionPlan{}, opt);
+  EXPECT_TRUE(rep.completed);
+  EXPECT_TRUE(rep.state_verified);
+  EXPECT_EQ(rep.dropped_checkpoints, 0);
+  EXPECT_EQ(rep.checkpoints, 3);
+}
+
 // state_bytes_per_rank not divisible by state_pieces: the interleaved
 // layout spreads the remainder across pieces, so neighbouring ranks'
 // extents must not overlap — the restart verification would catch the

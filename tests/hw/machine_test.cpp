@@ -100,10 +100,71 @@ TEST(Machine, SwitchFanInGroupsIoNodesIntoDomains) {
             (std::vector<std::uint32_t>{0, 1, 2, 3}));
   EXPECT_EQ(m.io_domain_members(1), (std::vector<std::uint32_t>{4, 5}));
 
-  cfg.io_nodes_per_switch = 16;  // fan-in above the partition: one domain
+  cfg.io_nodes_per_switch = 6;  // fan-in equal to the partition: one domain
   Machine wide(eng, cfg);
   EXPECT_EQ(wide.io_domain_count(), 1u);
   EXPECT_EQ(wide.io_domain_of(5), 0u);
+
+  // Fan-in above the partition used to silently clamp; it is now a typed
+  // configuration error (see MachineConfig::validate).
+  cfg.io_nodes_per_switch = 16;
+  EXPECT_THROW(Machine(eng, cfg), ConfigError);
+}
+
+TEST(MachineConfig, ValidateRejectsImpossibleShapes) {
+  MachineConfig ok = MachineConfig::paragon_small(8, 2);
+  EXPECT_NO_THROW(ok.validate());
+
+  MachineConfig no_io = ok;
+  no_io.io_nodes = 0;
+  EXPECT_THROW(no_io.validate(), ConfigError);
+
+  MachineConfig no_compute = ok;
+  no_compute.compute_nodes = 0;
+  EXPECT_THROW(no_compute.validate(), ConfigError);
+
+  MachineConfig wide_switch = ok;
+  wide_switch.io_nodes_per_switch = 3;  // > io_nodes = 2
+  EXPECT_THROW(wide_switch.validate(), ConfigError);
+
+  // Boundary cases that must PASS: fan-in equal to the partition, and
+  // the 0 sentinel (singleton domains).
+  MachineConfig edge = ok;
+  edge.io_nodes_per_switch = 2;
+  EXPECT_NO_THROW(edge.validate());
+  edge.io_nodes_per_switch = 0;
+  EXPECT_NO_THROW(edge.validate());
+}
+
+TEST(Machine, ConstructorValidates) {
+  simkit::Engine eng;
+  MachineConfig bad = MachineConfig::paragon_small(8, 2);
+  bad.io_nodes = 0;
+  EXPECT_THROW(Machine(eng, bad), ConfigError);
+}
+
+TEST(MachineConfig, ParagonXlEnvelope) {
+  const auto m = MachineConfig::paragon_xl(2048, 64);
+  EXPECT_EQ(m.compute_nodes, 2048u);
+  EXPECT_EQ(m.io_nodes, 64u);
+  EXPECT_EQ(m.topology, TopologyKind::kMultistageSwitch);
+  EXPECT_EQ(m.io_nodes_per_switch, 8u);
+  EXPECT_NO_THROW(m.validate());
+
+  // Switch-scoped domains: 64 servers behind 8-port switches = 8 racks.
+  simkit::Engine eng;
+  Machine mach(eng, m);
+  EXPECT_EQ(mach.io_domain_count(), 8u);
+  EXPECT_EQ(mach.io_domain_of(7), 0u);
+  EXPECT_EQ(mach.io_domain_of(8), 1u);
+
+  // The validated envelope: outside 1024-4096 x 64-128 is a typed error.
+  EXPECT_THROW(MachineConfig::paragon_xl(512, 64), ConfigError);
+  EXPECT_THROW(MachineConfig::paragon_xl(8192, 64), ConfigError);
+  EXPECT_THROW(MachineConfig::paragon_xl(1024, 32), ConfigError);
+  EXPECT_THROW(MachineConfig::paragon_xl(1024, 256), ConfigError);
+  EXPECT_NO_THROW(MachineConfig::paragon_xl(1024, 64));
+  EXPECT_NO_THROW(MachineConfig::paragon_xl(4096, 128));
 }
 
 }  // namespace

@@ -5,10 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <functional>
 #include <numeric>
 #include <vector>
 
 #include "hw/machine.hpp"
+#include "metrics/metrics.hpp"
 #include "simkit/engine.hpp"
 
 namespace mprt {
@@ -174,6 +176,150 @@ TEST(Collectives, BarrierCostGrowsLogarithmically) {
   const double t32 = barrier_time(32);
   EXPECT_GT(t32, t4);
   EXPECT_LT(t32, 8.0 * t4);  // log growth, not linear
+}
+
+// -- routed topologies: Bruck and two-level leader exchange ----------------
+
+struct Delivery {
+  Rank src;
+  std::uint64_t bytes;
+  std::vector<std::byte> payload;
+  bool operator==(const Delivery&) const = default;
+};
+
+// Pseudo-random per-pair sizes (deterministic, seed-mixed): about a
+// quarter of the pairs exchange nothing, the rest up to ~300 bytes.
+std::uint64_t pair_size(int r, int d, unsigned seed) {
+  const unsigned v = (static_cast<unsigned>(r) * 1315423911u) ^
+                     (static_cast<unsigned>(d) * 2654435761u) ^ seed;
+  if (v % 4 == 0) return 0;
+  return v % 300;
+}
+
+std::vector<std::vector<Delivery>> run_alltoallv(CollectiveTopology topo,
+                                                 int p, unsigned seed,
+                                                 bool with_payloads) {
+  simkit::Engine eng;
+  hw::Machine machine(
+      eng, hw::MachineConfig::paragon_small(static_cast<std::size_t>(p), 2));
+  Cluster cluster(machine, p);
+  cluster.set_topology(topo);
+  std::vector<std::vector<Delivery>> got(static_cast<std::size_t>(p));
+  const std::function<simkit::Task<void>(Comm&)> body =
+      [&](Comm& c) -> simkit::Task<void> {
+    const int r = c.rank();
+    std::vector<std::vector<std::byte>> bufs(static_cast<std::size_t>(p));
+    std::vector<std::uint64_t> sizes(static_cast<std::size_t>(p));
+    std::vector<std::span<const std::byte>> views(
+        static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d) {
+      const auto du = static_cast<std::size_t>(d);
+      sizes[du] = pair_size(r, d, seed);
+      if (with_payloads) {
+        bufs[du].assign(sizes[du],
+                        static_cast<std::byte>((r * 16 + d + seed)));
+        views[du] = bufs[du];
+      }
+    }
+    std::vector<std::span<const std::byte>> pass;
+    if (with_payloads) pass = views;
+    auto msgs = co_await alltoallv(c, sizes, pass);
+    auto& mine = got[static_cast<std::size_t>(r)];
+    for (auto& m : msgs) {
+      mine.push_back(Delivery{m.src, m.bytes, std::move(m.payload)});
+    }
+  };
+  eng.spawn(cluster.run(body));
+  eng.run();
+  return got;
+}
+
+class TopologySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TopologySweep, RoutedAlltoallvMatchesFlat) {
+  const int p = GetParam();
+  for (unsigned seed : {7u, 19u}) {
+    const auto flat =
+        run_alltoallv({CollectiveTopology::Kind::kFlat, 0}, p, seed, true);
+    const auto bruck =
+        run_alltoallv({CollectiveTopology::Kind::kBruck, 0}, p, seed, true);
+    EXPECT_EQ(bruck, flat) << "bruck p=" << p << " seed=" << seed;
+    // Several widths, including non-divisors and the sqrt default.
+    for (int width : {0, 1, 3, 4, p}) {
+      const auto two = run_alltoallv(
+          {CollectiveTopology::Kind::kTwoLevel, width}, p, seed, true);
+      EXPECT_EQ(two, flat) << "two-level p=" << p << " width=" << width
+                           << " seed=" << seed;
+    }
+  }
+}
+
+TEST_P(TopologySweep, RoutedTimingOnlyExchangeKeepsSimSizes) {
+  const int p = GetParam();
+  // No payloads: the routed frames are headers-only, but every delivered
+  // message must still carry the correct simulated size.
+  const auto flat =
+      run_alltoallv({CollectiveTopology::Kind::kFlat, 0}, p, 3u, false);
+  const auto bruck =
+      run_alltoallv({CollectiveTopology::Kind::kBruck, 0}, p, 3u, false);
+  const auto two =
+      run_alltoallv({CollectiveTopology::Kind::kTwoLevel, 0}, p, 3u, false);
+  for (int r = 0; r < p; ++r) {
+    for (int s = 0; s < p; ++s) {
+      const auto ru = static_cast<std::size_t>(r);
+      const auto su = static_cast<std::size_t>(s);
+      EXPECT_EQ(flat[ru][su].bytes, pair_size(s, r, 3u));
+      EXPECT_EQ(bruck[ru][su].bytes, flat[ru][su].bytes);
+      EXPECT_EQ(two[ru][su].bytes, flat[ru][su].bytes);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, TopologySweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 16));
+
+std::uint64_t alltoallv_msgs(CollectiveTopology topo, int p) {
+  metrics::Registry reg;
+  metrics::Scope scope(reg);
+  run_alltoallv(topo, p, 11u, false);
+  return reg.counter("mprt.alltoall.msgs").value();
+}
+
+TEST(Collectives, TwoLevelMessageCountGrowsLinearly) {
+  // Flat is quadratic: doubling P quadruples messages.  Two-level with
+  // the sqrt grouping must stay ~linear: doubling P less than triples it.
+  const std::uint64_t two32 =
+      alltoallv_msgs({CollectiveTopology::Kind::kTwoLevel, 0}, 32);
+  const std::uint64_t two64 =
+      alltoallv_msgs({CollectiveTopology::Kind::kTwoLevel, 0}, 64);
+  EXPECT_LT(two64, 3 * two32);
+
+  const std::uint64_t flat32 =
+      alltoallv_msgs({CollectiveTopology::Kind::kFlat, 0}, 32);
+  const std::uint64_t flat64 =
+      alltoallv_msgs({CollectiveTopology::Kind::kFlat, 0}, 64);
+  EXPECT_EQ(flat32, 32u * 32u);
+  EXPECT_EQ(flat64, 64u * 64u);
+  // At 64 ranks the leader routing is already an order of magnitude
+  // below flat; Bruck sits at P * log2(P).
+  EXPECT_GE(flat64, 10 * two64);
+  const std::uint64_t bruck64 =
+      alltoallv_msgs({CollectiveTopology::Kind::kBruck, 0}, 64);
+  EXPECT_EQ(bruck64, 64u * 6u);
+}
+
+TEST(Collectives, TwoLevelHelpers) {
+  EXPECT_EQ(two_level_group_width(16, {CollectiveTopology::Kind::kTwoLevel,
+                                       0}),
+            4);
+  EXPECT_EQ(two_level_group_width(15, {CollectiveTopology::Kind::kTwoLevel,
+                                       0}),
+            4);  // ceil(sqrt(15))
+  EXPECT_EQ(two_level_group_width(16, {CollectiveTopology::Kind::kTwoLevel,
+                                       64}),
+            16);  // clamped to P
+  EXPECT_EQ(two_level_leaders(10, 4), (std::vector<Rank>{0, 4, 8}));
+  EXPECT_EQ(two_level_leaders(8, 4), (std::vector<Rank>{0, 4}));
 }
 
 TEST(Collectives, ConsecutiveCollectivesDoNotCrossTalk) {

@@ -1,0 +1,167 @@
+// Tests for the hierarchical (aggregator-subset) two-phase path: under a
+// kTwoLevel collective topology the group leaders do the file I/O and the
+// replicated extent table is replaced by a bounds allreduce plus inline
+// sub-extent records.  Byte-equivalence against the flat path is the
+// contract (DESIGN.md §16).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "mprt/collectives.hpp"
+#include "mprt/comm.hpp"
+#include "pario/twophase.hpp"
+#include "pfs/fs.hpp"
+#include "simkit/engine.hpp"
+
+namespace pario {
+namespace {
+
+constexpr std::uint64_t kRec = 512;
+
+// Pseudo-random disjoint decomposition: global record i belongs to rank
+// hash(i) % p; per-rank buffer offsets are sequential in record order.
+std::vector<Extent> scattered(int rank, int p, std::uint64_t nrecs,
+                              unsigned seed) {
+  std::vector<Extent> out;
+  std::uint64_t buf = 0;
+  for (std::uint64_t i = 0; i < nrecs; ++i) {
+    const unsigned owner =
+        ((static_cast<unsigned>(i) * 2654435761u) ^ seed) %
+        static_cast<unsigned>(p);
+    if (owner == static_cast<unsigned>(rank)) {
+      out.push_back(Extent{i * kRec, kRec, buf});
+      buf += kRec;
+    }
+  }
+  return out;
+}
+
+std::uint64_t my_bytes(int rank, int p, std::uint64_t nrecs, unsigned seed) {
+  std::uint64_t n = 0;
+  for (const auto& e : scattered(rank, p, nrecs, seed)) n += e.length;
+  return n;
+}
+
+// Run a collective write of the scattered decomposition under `topo` and
+// return the whole resulting file image.
+std::vector<std::byte> write_image(mprt::CollectiveTopology topo, int p,
+                                   std::uint64_t nrecs, unsigned seed) {
+  simkit::Engine eng;
+  hw::Machine machine(
+      eng, hw::MachineConfig::paragon_small(static_cast<std::size_t>(p), 2));
+  pfs::StripedFs fs(machine);
+  const pfs::FileId f = fs.create("hier", /*backed=*/true);
+  mprt::Cluster cluster(machine, p);
+  cluster.set_topology(topo);
+  const std::function<simkit::Task<void>(mprt::Comm&)> body =
+      [&](mprt::Comm& c) -> simkit::Task<void> {
+    auto mine = scattered(c.rank(), p, nrecs, seed);
+    std::vector<std::byte> data(my_bytes(c.rank(), p, nrecs, seed));
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<std::byte>(c.rank() * 41 + i);
+    }
+    co_await TwoPhase::write(c, fs, f, std::move(mine), data);
+  };
+  eng.spawn(cluster.run(body));
+  eng.run();
+  std::vector<std::byte> whole(nrecs * kRec);
+  fs.peek(f, 0, whole);
+  return whole;
+}
+
+TEST(HierTwoPhase, WriteMatchesFlatByteForByte) {
+  for (int p : {3, 8}) {
+    for (unsigned seed : {1u, 9u}) {
+      const auto flat = write_image(
+          {mprt::CollectiveTopology::Kind::kFlat, 0}, p, 64, seed);
+      for (int width : {0, 2, p}) {
+        const auto hier = write_image(
+            {mprt::CollectiveTopology::Kind::kTwoLevel, width}, p, 64,
+            seed);
+        EXPECT_EQ(hier, flat) << "p=" << p << " width=" << width
+                              << " seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(HierTwoPhase, RoundTripRestoresEveryRanksBuffer) {
+  const int p = 8;
+  simkit::Engine eng;
+  hw::Machine machine(eng, hw::MachineConfig::paragon_small(8, 2));
+  pfs::StripedFs fs(machine);
+  const pfs::FileId f = fs.create("hier_rt", true);
+  mprt::Cluster cluster(machine, p);
+  cluster.set_topology({mprt::CollectiveTopology::Kind::kTwoLevel, 4});
+  int good = 0;
+  const std::function<simkit::Task<void>(mprt::Comm&)> body =
+      [&](mprt::Comm& c) -> simkit::Task<void> {
+    auto mine = scattered(c.rank(), p, 96, 5u);
+    std::vector<std::byte> data(my_bytes(c.rank(), p, 96, 5u));
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<std::byte>(c.rank() * 17 + i * 3);
+    }
+    co_await TwoPhase::write(c, fs, f, mine, data);
+    std::vector<std::byte> back(data.size());
+    co_await TwoPhase::read(c, fs, f, mine, back);
+    if (back == data) ++good;
+  };
+  eng.spawn(cluster.run(body));
+  eng.run();
+  EXPECT_EQ(good, p);
+}
+
+TEST(HierTwoPhase, OnlyGroupLeadersTouchTheFileSystem) {
+  const int p = 8;
+  simkit::Engine eng;
+  hw::Machine machine(eng, hw::MachineConfig::paragon_small(8, 2));
+  pfs::StripedFs fs(machine);
+  const pfs::FileId f = fs.create("hier_agg");
+  mprt::Cluster cluster(machine, p);
+  cluster.set_topology({mprt::CollectiveTopology::Kind::kTwoLevel, 4});
+  TwoPhaseStats per_rank[8];
+  const std::function<simkit::Task<void>(mprt::Comm&)> body =
+      [&](mprt::Comm& c) -> simkit::Task<void> {
+    co_await TwoPhase::write(c, fs, f, scattered(c.rank(), p, 256, 2u), {},
+                             &per_rank[c.rank()]);
+    co_await TwoPhase::read(c, fs, f, scattered(c.rank(), p, 256, 2u), {},
+                            &per_rank[c.rank()]);
+  };
+  eng.spawn(cluster.run(body));
+  eng.run();
+  // Leaders at width 4 are ranks 0 and 4 — exactly pario's aggregators.
+  for (int r = 0; r < p; ++r) {
+    if (r % 4 == 0) {
+      EXPECT_GT(per_rank[r].io_calls, 0u) << "leader " << r;
+    } else {
+      EXPECT_EQ(per_rank[r].io_calls, 0u) << "member " << r;
+    }
+  }
+}
+
+TEST(HierTwoPhase, EmptyCollectiveCompletesEverywhere) {
+  // No rank contributes extents: the bounds allreduce yields an empty
+  // range and every rank returns without deadlock.
+  const int p = 5;
+  simkit::Engine eng;
+  hw::Machine machine(eng, hw::MachineConfig::paragon_small(5, 2));
+  pfs::StripedFs fs(machine);
+  const pfs::FileId f = fs.create("hier_empty");
+  mprt::Cluster cluster(machine, p);
+  cluster.set_topology({mprt::CollectiveTopology::Kind::kTwoLevel, 0});
+  int done = 0;
+  const std::function<simkit::Task<void>(mprt::Comm&)> body =
+      [&](mprt::Comm& c) -> simkit::Task<void> {
+    co_await TwoPhase::write(c, fs, f, {});
+    co_await TwoPhase::read(c, fs, f, {});
+    ++done;
+  };
+  eng.spawn(cluster.run(body));
+  eng.run();
+  EXPECT_EQ(done, p);
+}
+
+}  // namespace
+}  // namespace pario

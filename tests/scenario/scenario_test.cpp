@@ -73,10 +73,10 @@ TEST(ScenarioGrid, LastAxisFastest) {
   EXPECT_EQ(seen, want);
 }
 
-TEST(ScenarioGlobalRegistry, HasAllThirtyScenarios) {
+TEST(ScenarioGlobalRegistry, HasAllThirtyOneScenarios) {
   const char* names[] = {
       "table2_3", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-      "table4", "table5", "ablation_overhead", "ablation_ionode",
+      "figure2_xl", "table4", "table5", "ablation_overhead", "ablation_ionode",
       "ablation_network", "ablation_iomode", "ablation_scan",
       "ablation_stripe", "ablation_aggregators", "fault_ckpt",
       "fault_correlated", "platform_ckpt_interference", "platform_queueing",
